@@ -1,0 +1,92 @@
+// Theorem 3.19 instrumentation: measured competitive ratio of arrow versus
+// the s*log2(D) reference across graph families, diameters and workloads.
+//
+// For every instance we report arrow's total latency, the best available
+// lower bound on the offline optimum (exact Held-Karp for |R| <= 14, else
+// the Lemma 3.17 Manhattan-MST/12 bound), the measured ratio, and the
+// theorem's reference quantity s*log2(D). Expected shape: the ratio column
+// never exceeds a small constant times the reference column.
+#include <cstdio>
+
+#include "analysis/competitive.hpp"
+#include "arrow/arrow.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+#include "workload/workloads.hpp"
+
+using namespace arrowdq;
+
+namespace {
+
+void run_family(const char* name, Graph g, Tree t, Table& table, std::uint64_t seed) {
+  Rng rng(seed);
+  struct Load {
+    const char* name;
+    RequestSet reqs;
+  };
+  NodeId n = g.node_count();
+  NodeId root = t.root();
+  Rng r1 = rng.split(), r2 = rng.split(), r3 = rng.split();
+  std::vector<Load> loads;
+  loads.push_back({"one-shot", one_shot_all(n, root)});
+  loads.push_back({"poisson", poisson_uniform(n, root, 12, 0.5, r1)});
+  loads.push_back({"bursty", bursty(n, root, 3, 4, 6, r2)});
+  loads.push_back({"sequential", sequential_random(n, root, 10, 3 * t.diameter(), r3)});
+
+  for (auto& load : loads) {
+    auto out = run_arrow(t, load.reqs);
+    auto rep = analyze_competitive(g, t, load.reqs, out, 13);
+    table.row()
+        .cell(name)
+        .cell(load.name)
+        .cell(static_cast<std::int64_t>(n))
+        .cell(static_cast<std::int64_t>(rep.tree_diameter))
+        .cell(rep.stretch, 2)
+        .cell(ticks_to_units_d(rep.cost_arrow), 1)
+        .cell(ticks_to_units_d(rep.opt.value), 1)
+        .cell(rep.opt.exact >= 0 ? "exact" : "mst/12")
+        .cell(rep.ratio, 2)
+        .cell(rep.s_log_d, 2);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Theorem 3.19: measured competitive ratio vs. s*log2(D) ===\n\n");
+  Table table({"graph", "load", "n", "D", "s", "cost_arrow", "opt_bound", "bound_kind",
+               "ratio", "s*log2D"});
+
+  Rng seeder(0xC0FFEE);
+  run_family("path-16", make_path(16), shortest_path_tree(make_path(16), 0), table, 1);
+  run_family("grid-4x4", make_grid(4, 4), shortest_path_tree(make_grid(4, 4), 0), table, 2);
+  {
+    Graph g = make_torus(4, 4);
+    run_family("torus-4x4", g, shortest_path_tree(g, 0), table, 3);
+  }
+  {
+    Graph g = make_complete(12);
+    run_family("complete-12", g, balanced_binary_overlay(g), table, 4);
+  }
+  {
+    Rng rng(77);
+    Graph g = make_random_tree(16, rng);
+    run_family("randtree-16", g, shortest_path_tree(g, 0), table, 5);
+  }
+  {
+    Rng rng(78);
+    Graph g = make_random_geometric(14, 0.4, rng);
+    run_family("geometric-14", g, kruskal_mst(g, 0), table, 6);
+  }
+  {
+    Graph g = make_ring(16);
+    run_family("ring-16", g, shortest_path_tree(g, 0), table, 7);
+  }
+
+  emit_table(table, "competitive_sweep");
+  std::printf("\nexpected shape: ratio column bounded by a small constant times the "
+              "s*log2D column on every row (Theorem 3.19).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Theorem 3.18 instrumentation: the nearest-neighbour heuristic under a cost
+// dn dominated by a metric do is (3/2)*ceil(log2(Dnn/dnn))-approximate.
+//
+// We instantiate the theorem as the paper does (dn = cT, do = cM) across
+// instance sizes, reporting the measured NN/OPT ratio and the theorem's
+// bound (x2 for path-vs-tour slack). Expected shape: measured ratio always
+// below the bound; the bound grows with the spread Dnn/dnn while the
+// measured ratio stays far smaller on random instances.
+#include <cstdio>
+
+#include "analysis/costs.hpp"
+#include "analysis/nn_tsp.hpp"
+#include "analysis/optimal.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+#include "workload/workloads.hpp"
+
+using namespace arrowdq;
+
+int main() {
+  std::printf("=== Theorem 3.18: NN-heuristic approximation under dominated costs ===\n\n");
+  Table table({"spread", "|R|", "nn_cT", "opt_cM", "ratio", "2x_thm318_bound", "within"});
+
+  // Spread = ratio between the time scale and the distance scale; larger
+  // spread widens the NN edge-length classes and hence the bound.
+  int rows_within = 0, rows = 0;
+  for (int spread_exp = 0; spread_exp <= 6; ++spread_exp) {
+    for (int seed = 0; seed < 3; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(spread_exp) * 31 + static_cast<std::uint64_t>(seed));
+      Graph g = make_path(14);
+      Tree t = shortest_path_tree(g, 0);
+      Rng wrng = rng.split();
+      double rate = 1.0 / static_cast<double>(1 << spread_exp);
+      auto reqs = poisson_uniform(14, 0, 12, rate, wrng);
+
+      auto dT = tree_dist_ticks(t);
+      auto cT = make_cT(dT);
+      auto cM = make_cM(dT);
+      auto nn = nn_order(reqs, cT);
+      Time nn_cost = order_cost(nn, reqs, cT);
+      Time opt_cm = min_order_cost_exact(reqs, cM);
+      auto stats = nn_edge_stats(nn, reqs, cT);
+      double bound = 2.0 * theorem318_factor(stats.max_edge, stats.min_nonzero_edge);
+      double ratio = opt_cm > 0 ? static_cast<double>(nn_cost) / static_cast<double>(opt_cm) : 1.0;
+      bool within = ratio <= bound + 1e-9;
+      ++rows;
+      if (within) ++rows_within;
+      table.row()
+          .cell(static_cast<std::int64_t>(1 << spread_exp))
+          .cell(static_cast<std::int64_t>(reqs.size()))
+          .cell(ticks_to_units_d(nn_cost), 1)
+          .cell(ticks_to_units_d(opt_cm), 1)
+          .cell(ratio, 2)
+          .cell(bound, 1)
+          .cell(within ? "yes" : "NO");
+    }
+  }
+  emit_table(table, "nn_heuristic");
+  std::printf("\nbound held on %d/%d rows (expected: all).\n", rows_within, rows);
+  return 0;
+}

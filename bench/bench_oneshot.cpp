@@ -1,0 +1,80 @@
+// One-shot concurrent queuing (Herlihy-Tirthapura-Wattenhofer, PODC 2001 —
+// the predecessor result this paper generalizes): when all requests are
+// issued simultaneously, arrow's cost is within s * log|R| of optimal.
+//
+// We sweep the number of simultaneous requesters |R| on fixed topologies and
+// report arrow's cost, the Manhattan-MST bound on OPT (time plays no role in
+// a one-shot load, so cM degenerates to dT and the bound is the Steiner-ish
+// MST of the requesting nodes), and the measured ratio vs. s * log2|R|.
+//
+// Expected shape: ratio grows at most logarithmically with |R|, staying
+// below a small constant times s * log2|R|.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/costs.hpp"
+#include "analysis/optimal.hpp"
+#include "arrow/arrow.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+#include "support/table.hpp"
+#include "workload/workloads.hpp"
+
+using namespace arrowdq;
+
+namespace {
+
+void sweep(const char* name, const Graph& g, const Tree& t, Table& table) {
+  AllPairs apsp(g);
+  double s = stretch_exact(apsp, t).max_stretch;
+  Rng rng(2025);
+  for (int reqn : {4, 8, 16, 32, 64}) {
+    if (reqn > g.node_count()) continue;
+    // Random distinct requesters.
+    auto perm = rng.permutation(g.node_count());
+    std::vector<NodeId> nodes(perm.begin(), perm.begin() + reqn);
+    auto reqs = one_shot_burst(nodes, t.root());
+    auto out = run_arrow(t, reqs);
+    Time cost = out.total_latency(reqs);
+    Time mst = request_mst_weight(reqs, make_cM(graph_dist_ticks(apsp)));
+    double ratio = mst > 0 ? static_cast<double>(cost) / static_cast<double>(mst) : 0.0;
+    double ref = s * std::log2(std::max(2.0, static_cast<double>(reqn)));
+    table.row()
+        .cell(name)
+        .cell(static_cast<std::int64_t>(reqn))
+        .cell(ticks_to_units_d(cost), 1)
+        .cell(ticks_to_units_d(mst), 1)
+        .cell(ratio, 2)
+        .cell(ref, 2);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== One-shot concurrent case: cost vs. s*log|R| (PODC'01 bound) ===\n\n");
+  Table table({"graph", "|R|", "cost_arrow", "mst_bound", "ratio", "s*log2|R|"});
+  {
+    Graph g = make_grid(8, 8);
+    sweep("grid-8x8", g, shortest_path_tree(g, 0), table);
+  }
+  {
+    Graph g = make_complete(64);
+    sweep("complete-64", g, balanced_binary_overlay(g), table);
+  }
+  {
+    Rng rng(11);
+    Graph g = make_random_tree(64, rng);
+    sweep("randtree-64", g, shortest_path_tree(g, 0), table);
+  }
+  {
+    Graph g = make_torus(8, 8);
+    sweep("torus-8x8", g, shortest_path_tree(g, 0), table);
+  }
+  emit_table(table, "oneshot");
+  std::printf("\nexpected shape: ratio grows no faster than s*log2|R| (one-shot bound of "
+              "the PODC'01 predecessor paper, subsumed by Theorem 3.19).\n");
+  return 0;
+}

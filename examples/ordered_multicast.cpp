@@ -1,0 +1,43 @@
+// Totally ordered multicast: concurrent publishers on a torus send messages
+// that every node must deliver in the same order. The arrow queue provides
+// the order; a sequencer token stamps messages as it travels the queue.
+//
+//   $ ./ordered_multicast
+#include <cstdio>
+
+#include "apps/multicast.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+using namespace arrowdq;
+
+int main() {
+  Rng rng(7);
+  Graph g = make_torus(4, 4);
+  Tree t = shortest_path_tree(g, 0);
+  const NodeId n = g.node_count();
+
+  // Two bursts of concurrent publishes 8 units apart.
+  RequestSet reqs = bursty(n, /*root=*/0, /*bursts=*/2, /*burst_size=*/6,
+                           /*burst_gap_units=*/8, rng);
+
+  MulticastResult mc = run_ordered_multicast(t, reqs);
+
+  std::printf("ordered multicast on a 4x4 torus: %d messages, %d nodes\n", reqs.size(), n);
+  std::printf("  agreed delivery order (message = request id): ");
+  for (RequestId id : mc.stamped) std::printf("%d ", id);
+  std::printf("\n  avg delivery latency: %.2f units\n", mc.avg_delivery_latency_units);
+  std::printf("  makespan            : %.1f units\n", ticks_to_units_d(mc.makespan));
+
+  // Show that two different nodes observe the identical order (the whole
+  // point of total ordering).
+  std::printf("\ndelivery times at node 0 vs node %d (same order at both):\n", n - 1);
+  for (std::size_t seq = 0; seq < mc.stamped.size(); ++seq) {
+    std::printf("  seq %2zu (msg %2d): node0 %.1f, node%d %.1f\n", seq, mc.stamped[seq],
+                ticks_to_units_d(mc.deliver[seq][0]), n - 1,
+                ticks_to_units_d(mc.deliver[seq][static_cast<std::size_t>(n - 1)]));
+  }
+  return 0;
+}

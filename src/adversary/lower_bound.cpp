@@ -1,0 +1,127 @@
+#include "adversary/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+namespace {
+
+void expand(NodeId i, int t, int size, int dir, Weight D,
+            std::set<std::pair<Weight, NodeId>>& acc) {
+  // Record (time, node); recursion on requests with t > 0.
+  ARROWDQ_ASSERT(i >= 0 && i <= D);
+  acc.insert({t, i});
+  if (t <= 0) return;
+  for (int j = 0; j < size; ++j) {
+    NodeId child = i - static_cast<NodeId>(dir) * (NodeId{1} << j);
+    if (child < 0 || child > D) continue;  // clipped at the path boundary
+    expand(child, t - 1, j, -dir, D, acc);
+  }
+}
+
+int default_k(int log2_D) { return std::max(2, log2_D); }
+
+}  // namespace
+
+std::vector<std::pair<NodeId, Weight>> theorem41_request_pattern(int log2_D, int k) {
+  ARROWDQ_ASSERT(log2_D >= 1);
+  if (k <= 0) k = default_k(log2_D);
+  const Weight D = Weight{1} << log2_D;
+  std::set<std::pair<Weight, NodeId>> acc;  // (time, node), de-duplicated
+  expand(static_cast<NodeId>(D), k, log2_D, +1, D, acc);
+  for (int t = 0; t < k; ++t) {
+    acc.insert({t, 0});
+    acc.insert({t, static_cast<NodeId>(D)});
+  }
+  std::vector<std::pair<NodeId, Weight>> out;
+  out.reserve(acc.size());
+  for (const auto& [t, node] : acc) out.emplace_back(node, t);
+  return out;
+}
+
+LowerBoundInstance make_theorem41_instance(int log2_D, int k) {
+  if (k <= 0) k = default_k(log2_D);
+  const Weight D = Weight{1} << log2_D;
+  auto pattern = theorem41_request_pattern(log2_D, k);
+
+  LowerBoundInstance inst{make_path(static_cast<NodeId>(D) + 1),
+                          shortest_path_tree(make_path(static_cast<NodeId>(D) + 1), 0),
+                          RequestSet::from_units(0, pattern),
+                          k,
+                          D,
+                          /*stretch=*/1};
+  return inst;
+}
+
+LowerBoundInstance make_theorem42_instance(int log2_Dp, Weight s, int k) {
+  ARROWDQ_ASSERT(s >= 1);
+  if (k <= 0) k = default_k(log2_Dp);
+  const Weight Dp = Weight{1} << log2_Dp;
+  const Weight D = Dp * s;
+  auto n = static_cast<NodeId>(D) + 1;
+
+  // G: the path plus unit shortcuts between consecutive multiples of s.
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 1);
+  if (s > 1) {
+    for (NodeId i = 0; i + static_cast<NodeId>(s) < n; i += static_cast<NodeId>(s))
+      g.add_edge(i, i + static_cast<NodeId>(s), 1);
+  }
+
+  // T: the bare path (shortcuts excluded), rooted at v0.
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), kNoNode);
+  for (NodeId i = 1; i < n; ++i) parent[static_cast<std::size_t>(i)] = i - 1;
+  Tree tree = Tree::from_parents(std::move(parent), 0);
+
+  // Requests: Theorem 4.1 pattern on the virtual path P' of length Dp,
+  // mapped to every s-th node, times scaled by s (each P' edge is now a
+  // length-s tree path).
+  auto pattern = theorem41_request_pattern(log2_Dp, k);
+  std::vector<std::pair<NodeId, Weight>> mapped;
+  mapped.reserve(pattern.size());
+  for (const auto& [node, t] : pattern)
+    mapped.emplace_back(node * static_cast<NodeId>(s), t * s);
+
+  return LowerBoundInstance{std::move(g), std::move(tree),
+                            RequestSet::from_units(0, std::move(mapped)), k, D, s};
+}
+
+std::vector<RequestId> theorem41_intended_order(const LowerBoundInstance& inst) {
+  struct Item {
+    Time t;
+    NodeId node;
+    RequestId id;
+  };
+  std::vector<Item> items;
+  items.reserve(static_cast<std::size_t>(inst.requests.size()));
+  for (const auto& r : inst.requests.real()) items.push_back({r.time, r.node, r.id});
+  std::sort(items.begin(), items.end(), [&](const Item& a, const Item& b) {
+    if (a.t != b.t) return a.t < b.t;
+    // Levels alternate sweep direction; level index = time in units.
+    bool even = (a.t / units_to_ticks(1)) % 2 == 0;
+    return even ? a.node < b.node : a.node > b.node;
+  });
+  std::vector<RequestId> order;
+  order.reserve(items.size() + 1);
+  order.push_back(kRootRequest);
+  for (const auto& it : items) order.push_back(it.id);
+  return order;
+}
+
+Time order_tree_cost(const LowerBoundInstance& inst, const std::vector<RequestId>& order) {
+  Time total = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const auto& a = inst.requests.by_id(order[i]);
+    const auto& b = inst.requests.by_id(order[i + 1]);
+    total += units_to_ticks(inst.tree.distance(a.node, b.node));
+  }
+  return total;
+}
+
+}  // namespace arrowdq

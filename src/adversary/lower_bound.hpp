@@ -1,0 +1,66 @@
+// Adversarial request constructions from Section 4 (Theorems 4.1 and 4.2).
+//
+// Theorem 4.1 (path construction): on a path v0..vD with root v0, a
+// recursively defined request set forces arrow to sweep the whole path once
+// per time level — cost ~ k*D — while an optimal offline ordering pays only
+// O(D) (the "comb" MST bound). The recursion:
+//   start:  r = (v_D, k, log2 D, +1)
+//   expand: (v_i, t, s, d) with t > 0 spawns (v_{i - d*2^j}, t-1, j, -d)
+//           for j = 0..s-1,
+// plus boundary requests at v_0 and v_D at every time 0..k-1 (Figure 9).
+//
+// Theorem 4.2 (stretch-s variant): scale the construction onto a path of
+// length D = D' * s whose tree is the path but whose graph has unit-weight
+// shortcut edges between consecutive multiples of s, making the tree stretch
+// exactly s.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct LowerBoundInstance {
+  Graph graph;          // communication graph G
+  Tree tree;            // spanning tree T (the path), rooted at v0
+  RequestSet requests;  // the adversarial request set (root v0)
+  int k = 0;            // number of time levels
+  Weight diameter = 0;  // D, the tree diameter
+  Weight stretch = 1;   // s (1 for Theorem 4.1 instances)
+};
+
+/// The raw (node index, time level) pairs of the recursion, de-duplicated
+/// and sorted. Exposed for tests; times are levels (units), not ticks.
+std::vector<std::pair<NodeId, Weight>> theorem41_request_pattern(int log2_D, int k);
+
+/// Theorem 4.1 instance: G = T = path of length D = 2^log2_D; k time levels
+/// (k <= 0 selects the Figure 9 default k = log2 D). Expected arrow cost is
+/// ~ k*D; expected optimal cost is O(D).
+LowerBoundInstance make_theorem41_instance(int log2_D, int k = 0);
+
+/// Theorem 4.2 instance: path of length D' * s with shortcuts every s hops;
+/// requests of the Theorem 4.1 pattern for diameter D' = 2^log2_Dp, mapped
+/// to node i*s with times scaled by s.
+LowerBoundInstance make_theorem42_instance(int log2_Dp, Weight s, int k = 0);
+
+/// The ordering the paper's Theorem 4.1 narrative assigns to arrow: strictly
+/// by time level, left-to-right on even levels and right-to-left on odd ones
+/// (Figure 9). Returns request ids starting with the virtual root request.
+///
+/// Reproduction note: this order costs ~k*D under cA = dT, which is the
+/// quantity the theorem's ratio uses. A live synchronous execution of the
+/// protocol does NOT produce this order — v0's time-stacked requests
+/// complete locally before any message can reach v0, and the resulting
+/// nearest-neighbour order (Lemma 3.8) merges time levels diagonally,
+/// costing only Theta(D) on this instance. The bench reports both numbers.
+std::vector<RequestId> theorem41_intended_order(const LowerBoundInstance& inst);
+
+/// Sum of dT over consecutive pairs of `order` (the cost cA the paper's
+/// lower-bound argument charges to arrow), in ticks.
+Time order_tree_cost(const LowerBoundInstance& inst, const std::vector<RequestId>& order);
+
+}  // namespace arrowdq

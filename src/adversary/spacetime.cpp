@@ -1,0 +1,53 @@
+#include "adversary/spacetime.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+std::string render_spacetime(NodeId path_length, const RequestSet& reqs,
+                             const std::vector<RequestId>& order,
+                             const SpacetimeOptions& opts) {
+  ARROWDQ_ASSERT(path_length >= 1);
+  ARROWDQ_ASSERT(opts.node_step >= 1);
+  ARROWDQ_ASSERT(opts.time_step >= 1);
+
+  Weight max_t = 0;
+  for (const auto& r : reqs.real()) max_t = std::max(max_t, ticks_to_units(r.time));
+
+  auto cols = static_cast<std::size_t>((path_length - 1) / opts.node_step + 1);
+  auto rows = static_cast<std::size_t>(max_t / opts.time_step + 1);
+  std::vector<std::string> grid(rows, std::string(cols, '.'));
+
+  std::vector<std::int32_t> pos(static_cast<std::size_t>(reqs.size()) + 1, -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+
+  for (const auto& r : reqs.real()) {
+    auto row = static_cast<std::size_t>(ticks_to_units(r.time) / opts.time_step);
+    auto col = static_cast<std::size_t>(r.node / opts.node_step);
+    ARROWDQ_ASSERT(row < rows && col < cols);
+    char mark = 'o';
+    if (opts.label_order && pos[static_cast<std::size_t>(r.id)] >= 0)
+      mark = static_cast<char>('0' + pos[static_cast<std::size_t>(r.id)] % 10);
+    grid[row][col] = mark;
+  }
+
+  std::ostringstream out;
+  out << "time v, path -> (v0 left, v" << path_length - 1 << " right)";
+  if (opts.node_step > 1 || opts.time_step > 1)
+    out << "  [1 col = " << opts.node_step << " nodes, 1 row = " << opts.time_step << " units]";
+  out << "\n";
+  for (std::size_t t = 0; t < rows; ++t)
+    out << "t=" << t * static_cast<std::size_t>(opts.time_step) << "\t" << grid[t] << "\n";
+  return out.str();
+}
+
+std::string render_spacetime(NodeId path_length, const RequestSet& reqs,
+                             const SpacetimeOptions& opts) {
+  return render_spacetime(path_length, reqs, {}, opts);
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,35 @@
+// ASCII space-time rendering of request sets and queuing orders on a path,
+// reproducing Figure 9's visual: the path runs horizontally, time advances
+// vertically, each request is a dot, and consecutive requests in the order
+// are connected (conceptually) by the message that links them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct SpacetimeOptions {
+  /// Horizontal compression: one character column per `node_step` nodes.
+  NodeId node_step = 1;
+  /// Vertical compression: one row per `time_step` units.
+  Weight time_step = 1;
+  /// Label each dot with the last digit of its position in the order
+  /// instead of 'o'.
+  bool label_order = false;
+};
+
+/// Render requests placed on a path graph (nodes 0..n-1). Rows are time
+/// levels (earliest on top), columns are nodes (v0 left). Dots mark
+/// requests; when `order` is supplied and label_order is set, dots show the
+/// order position mod 10.
+std::string render_spacetime(NodeId path_length, const RequestSet& reqs,
+                             const std::vector<RequestId>& order, const SpacetimeOptions& opts);
+
+std::string render_spacetime(NodeId path_length, const RequestSet& reqs,
+                             const SpacetimeOptions& opts = {});
+
+}  // namespace arrowdq

@@ -1,0 +1,49 @@
+#include "analysis/async_nn.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+AsyncNnReport check_async_nn(const Tree& tree, const RequestSet& reqs,
+                             const QueuingOutcome& outcome) {
+  AsyncNnReport rep;
+  auto order = outcome.order();
+  auto dT = tree_dist_ticks(tree);
+
+  rep.chain_holds = true;
+  rep.violations = 0;
+
+  std::vector<bool> visited(static_cast<std::size_t>(reqs.size()) + 1, false);
+  visited[0] = true;
+
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const Request& cur = reqs.by_id(order[i]);
+    const Request& next = reqs.by_id(order[i + 1]);
+    const Completion& c = outcome.completion(next.id);
+
+    // c'A = measured latency of `next`; c'T for the consecutive pair.
+    Time ca_prime = c.completed_at - next.time;
+    Time ct_prime = next.time - cur.time + ca_prime;  // = completed_at - t_cur
+    Time ct = cost_cT(cur, next, dT);
+    Time cm = cost_cM(cur, next, dT);
+    if (!(0 <= ct_prime && ct_prime <= ct && ct <= cm)) rep.chain_holds = false;
+
+    // NN property: no unvisited candidate can beat c'T of the chosen next.
+    // For candidates, c'T = cT (they are not consecutive with `cur`).
+    for (RequestId cand = 1; cand <= reqs.size(); ++cand) {
+      if (visited[static_cast<std::size_t>(cand)] || cand == next.id) continue;
+      if (cost_cT(cur, reqs.by_id(cand), dT) < ct_prime) {
+        ++rep.violations;
+        break;
+      }
+    }
+    visited[static_cast<std::size_t>(next.id)] = true;
+  }
+
+  rep.is_nn = rep.violations == 0;
+  return rep;
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,36 @@
+// Lemma 3.20: the queuing order of an *asynchronous* arrow execution is a
+// nearest-neighbour TSP path under the execution-dependent cost c'T:
+//
+//   c'T(ri, rj) = (tj - ti) + c'A(ri, rj)   if rj directly follows ri in
+//                                           the execution's order pi'A,
+//                 cT(ri, rj)                otherwise,
+//
+// where c'A(ri, rj) is the measured latency of rj (time from tj until rj's
+// message reached ri's node). Since c'A <= dT (delays are normalized to at
+// most one unit per unit of edge weight), 0 <= c'T <= cT <= cM — the chain
+// of inequalities (12) that powers Theorem 3.21.
+//
+// The NN property is verifiable directly from a QueuingOutcome: for each
+// consecutive pair, completed_at(r_(i+1)) - t_(pi(i)) must not exceed
+// cT(pi(i), r) for any unvisited candidate r.
+#pragma once
+
+#include "analysis/costs.hpp"
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+
+namespace arrowdq {
+
+struct AsyncNnReport {
+  bool is_nn = false;           // Lemma 3.20's property holds
+  bool chain_holds = false;     // 0 <= c'T <= cT <= cM on consecutive pairs
+  int violations = 0;           // NN violations found (0 when is_nn)
+};
+
+/// Check Lemma 3.20 and inequality chain (12) on an (a)synchronous arrow
+/// execution outcome.
+AsyncNnReport check_async_nn(const Tree& tree, const RequestSet& reqs,
+                             const QueuingOutcome& outcome);
+
+}  // namespace arrowdq

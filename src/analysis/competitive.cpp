@@ -1,0 +1,37 @@
+#include "analysis/competitive.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+CompetitiveReport analyze_competitive(const Graph& g, const Tree& t, const RequestSet& reqs,
+                                      const QueuingOutcome& arrow_outcome,
+                                      std::int32_t exact_limit) {
+  CompetitiveReport rep;
+  rep.cost_arrow = arrow_outcome.total_latency(reqs);
+
+  auto order = arrow_outcome.order();
+  auto dT = tree_dist_ticks(t);
+  auto cT = make_cT(dT);
+  rep.ct_sum = order_cost(order, reqs, cT);
+  rep.t_last = reqs.by_id(order.back()).time;
+  rep.lemma310_exact = rep.cost_arrow == rep.ct_sum - rep.t_last;
+
+  AllPairs apsp(g);
+  auto dG = graph_dist_ticks(apsp);
+  rep.opt = opt_cost_lower_bound(reqs, dG, exact_limit);
+
+  rep.ratio = rep.opt.value > 0
+                  ? static_cast<double>(rep.cost_arrow) / static_cast<double>(rep.opt.value)
+                  : 0.0;
+
+  rep.stretch = stretch_exact(apsp, t).max_stretch;
+  rep.tree_diameter = t.diameter();
+  double log_d = std::log2(std::max<double>(2.0, static_cast<double>(rep.tree_diameter)));
+  rep.s_log_d = rep.stretch * log_d;
+  return rep;
+}
+
+}  // namespace arrowdq

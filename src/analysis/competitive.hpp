@@ -1,0 +1,44 @@
+// End-to-end competitive-ratio analysis of one arrow execution
+// (Theorem 3.19 instrumentation).
+#pragma once
+
+#include <vector>
+
+#include "analysis/costs.hpp"
+#include "analysis/optimal.hpp"
+#include "graph/metrics.hpp"
+#include "proto/queuing.hpp"
+
+namespace arrowdq {
+
+struct CompetitiveReport {
+  // Measured arrow cost (Definition 3.3), ticks.
+  Time cost_arrow = 0;
+  // Lemma 3.10 decomposition: sum of cT along arrow's order and the issue
+  // time of the last request in arrow's order. In the synchronous model
+  // cost_arrow == ct_sum - t_last exactly. (The journal text prints the
+  // identity with a "+", but its own proof derives CT = t_piA(|R|) +
+  // sum dT = t_piA(|R|) + cost_arrow, so the sign here follows the proof.)
+  Time ct_sum = 0;
+  Time t_last = 0;
+  bool lemma310_exact = false;
+
+  // Lower bounds on the optimal offline cost (ticks).
+  OptBound opt;
+
+  // ratio = cost_arrow / opt.value (0 when the bound is 0).
+  double ratio = 0.0;
+  // The Theorem 3.19 reference quantity s * log2(max(D, 2)).
+  double s_log_d = 0.0;
+
+  double stretch = 1.0;
+  Weight tree_diameter = 0;
+};
+
+/// Analyze an arrow outcome against the offline optimum on (G, T).
+/// `exact_limit` caps the Held-Karp exact computation.
+CompetitiveReport analyze_competitive(const Graph& g, const Tree& t, const RequestSet& reqs,
+                                      const QueuingOutcome& arrow_outcome,
+                                      std::int32_t exact_limit = 14);
+
+}  // namespace arrowdq

@@ -1,0 +1,60 @@
+#include "analysis/costs.hpp"
+
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+DistFn tree_dist_ticks(const Tree& tree) {
+  return [&tree](NodeId u, NodeId v) { return units_to_ticks(tree.distance(u, v)); };
+}
+
+DistFn graph_dist_ticks(const AllPairs& apsp) {
+  return [&apsp](NodeId u, NodeId v) { return units_to_ticks(apsp.dist(u, v)); };
+}
+
+Time cost_cT(const Request& ri, const Request& rj, const DistFn& dist) {
+  Time dt = dist(ri.node, rj.node);
+  Time d = rj.time - ri.time + dt;
+  if (d >= 0) return d;
+  return ri.time - rj.time + dt;
+}
+
+Time cost_cM(const Request& ri, const Request& rj, const DistFn& dist) {
+  Time dt = dist(ri.node, rj.node);
+  return dt + std::llabs(rj.time - ri.time);
+}
+
+Time cost_cO(const Request& ri, const Request& rj, const DistFn& dist) {
+  Time dt = dist(ri.node, rj.node);
+  return std::max(dt, ri.time - rj.time);
+}
+
+CostFn make_cT(DistFn dist) {
+  return [dist = std::move(dist)](const Request& ri, const Request& rj) {
+    return cost_cT(ri, rj, dist);
+  };
+}
+
+CostFn make_cM(DistFn dist) {
+  return [dist = std::move(dist)](const Request& ri, const Request& rj) {
+    return cost_cM(ri, rj, dist);
+  };
+}
+
+CostFn make_cO(DistFn dist) {
+  return [dist = std::move(dist)](const Request& ri, const Request& rj) {
+    return cost_cO(ri, rj, dist);
+  };
+}
+
+Time order_cost(std::span<const RequestId> order, const RequestSet& reqs, const CostFn& cost) {
+  ARROWDQ_ASSERT(!order.empty());
+  Time total = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    total += cost(reqs.by_id(order[i]), reqs.by_id(order[i + 1]));
+  return total;
+}
+
+}  // namespace arrowdq

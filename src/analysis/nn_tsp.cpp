@@ -1,0 +1,82 @@
+#include "analysis/nn_tsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+std::vector<RequestId> nn_order(const RequestSet& reqs, const CostFn& cost) {
+  auto n = reqs.size();
+  std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+  std::vector<RequestId> order;
+  order.reserve(static_cast<std::size_t>(n) + 1);
+  RequestId cur = kRootRequest;
+  used[0] = true;
+  order.push_back(cur);
+  for (std::int32_t step = 0; step < n; ++step) {
+    RequestId best = kNoRequest;
+    Time best_cost = 0;
+    for (RequestId cand = 1; cand <= n; ++cand) {
+      if (used[static_cast<std::size_t>(cand)]) continue;
+      Time c = cost(reqs.by_id(cur), reqs.by_id(cand));
+      if (best == kNoRequest || c < best_cost) {
+        best = cand;
+        best_cost = c;
+      }
+    }
+    ARROWDQ_ASSERT(best != kNoRequest);
+    used[static_cast<std::size_t>(best)] = true;
+    order.push_back(best);
+    cur = best;
+  }
+  return order;
+}
+
+bool is_nn_order(std::span<const RequestId> order, const RequestSet& reqs, const CostFn& cost) {
+  auto n = reqs.size();
+  if (order.size() != static_cast<std::size_t>(n) + 1) return false;
+  if (order.front() != kRootRequest) return false;
+  std::vector<bool> visited(static_cast<std::size_t>(n) + 1, false);
+  visited[0] = true;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const Request& cur = reqs.by_id(order[i]);
+    Time taken = cost(cur, reqs.by_id(order[i + 1]));
+    for (RequestId cand = 1; cand <= n; ++cand) {
+      if (visited[static_cast<std::size_t>(cand)] || cand == order[i + 1]) continue;
+      if (cost(cur, reqs.by_id(cand)) < taken) return false;
+    }
+    visited[static_cast<std::size_t>(order[i + 1])] = true;
+  }
+  return true;
+}
+
+NnEdgeStats nn_edge_stats(std::span<const RequestId> order, const RequestSet& reqs,
+                          const CostFn& cost) {
+  NnEdgeStats stats;
+  Time min_nz = 0;
+  bool have_nz = false;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    Time c = cost(reqs.by_id(order[i]), reqs.by_id(order[i + 1]));
+    stats.max_edge = std::max(stats.max_edge, c);
+    if (c == 0) {
+      ++stats.zero_edges;
+    } else if (!have_nz || c < min_nz) {
+      min_nz = c;
+      have_nz = true;
+    }
+  }
+  stats.min_nonzero_edge = have_nz ? min_nz : 0;
+  return stats;
+}
+
+double theorem318_factor(Time max_edge, Time min_nonzero_edge) {
+  if (max_edge <= 0 || min_nonzero_edge <= 0) return 1.5;
+  double ratio = static_cast<double>(max_edge) / static_cast<double>(min_nonzero_edge);
+  double classes = std::max(1.0, std::ceil(std::log2(ratio)));
+  if (ratio > 1.0 && std::pow(2.0, classes) == ratio) classes += 1.0;  // ceil over half-open classes
+  return 1.5 * classes;
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,39 @@
+// Nearest-neighbour TSP paths (Section 3.4 / Theorem 3.18).
+//
+// Lemma 3.8: the arrow protocol's queuing order is a nearest-neighbour TSP
+// path on R under cost cT starting from the root request r0. Nearest-
+// neighbour orders are not unique under ties, so rather than comparing one
+// NN order against arrow's, is_nn_order() checks the defining property
+// (Equations 6-7): every step of the order goes to *a* closest unvisited
+// request.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/costs.hpp"
+#include "proto/request.hpp"
+
+namespace arrowdq {
+
+/// Greedy NN path from r0; ties broken toward the smallest request id.
+std::vector<RequestId> nn_order(const RequestSet& reqs, const CostFn& cost);
+
+/// Checks Equations (6)-(7): each consecutive cost equals the minimum cost
+/// from the current request to any not-yet-visited request.
+bool is_nn_order(std::span<const RequestId> order, const RequestSet& reqs, const CostFn& cost);
+
+struct NnEdgeStats {
+  Time max_edge = 0;          // D_NN
+  Time min_nonzero_edge = 0;  // d_NN (0 when all edges are zero)
+  int zero_edges = 0;
+};
+
+NnEdgeStats nn_edge_stats(std::span<const RequestId> order, const RequestSet& reqs,
+                          const CostFn& cost);
+
+/// Theorem 3.18's approximation factor for an NN *tour*:
+/// (3/2) * ceil(log2(D_NN / d_NN)), at least 3/2.
+double theorem318_factor(Time max_edge, Time min_nonzero_edge);
+
+}  // namespace arrowdq

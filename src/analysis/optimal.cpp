@@ -1,0 +1,183 @@
+#include "analysis/optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+Time min_order_cost_exact(const RequestSet& reqs, const CostFn& cost,
+                          std::vector<RequestId>* best_order) {
+  auto n = reqs.size();
+  ARROWDQ_ASSERT_MSG(n <= 18, "Held-Karp limited to 18 requests");
+  if (n == 0) {
+    if (best_order) *best_order = {kRootRequest};
+    return 0;
+  }
+  const Time inf = std::numeric_limits<Time>::max() / 4;
+  const std::size_t full = std::size_t{1} << n;
+  // dp[mask][i]: min cost of a path r0 -> ... -> r_(i+1) visiting exactly the
+  // requests in mask (bit i represents request id i+1).
+  std::vector<std::vector<Time>> dp(full, std::vector<Time>(static_cast<std::size_t>(n), inf));
+  std::vector<std::vector<std::int8_t>> from(
+      best_order ? full : 0,
+      std::vector<std::int8_t>(best_order ? static_cast<std::size_t>(n) : 0, -1));
+  for (std::int32_t i = 0; i < n; ++i) {
+    dp[std::size_t{1} << i][static_cast<std::size_t>(i)] =
+        cost(reqs.by_id(kRootRequest), reqs.by_id(i + 1));
+  }
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (!(mask & (std::size_t{1} << i))) continue;
+      Time base = dp[mask][static_cast<std::size_t>(i)];
+      if (base >= inf) continue;
+      for (std::int32_t j = 0; j < n; ++j) {
+        if (mask & (std::size_t{1} << j)) continue;
+        std::size_t nmask = mask | (std::size_t{1} << j);
+        Time c = base + cost(reqs.by_id(i + 1), reqs.by_id(j + 1));
+        if (c < dp[nmask][static_cast<std::size_t>(j)]) {
+          dp[nmask][static_cast<std::size_t>(j)] = c;
+          if (best_order) from[nmask][static_cast<std::size_t>(j)] = static_cast<std::int8_t>(i);
+        }
+      }
+    }
+  }
+  std::int32_t best_end = 0;
+  Time best = inf;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (dp[full - 1][static_cast<std::size_t>(i)] < best) {
+      best = dp[full - 1][static_cast<std::size_t>(i)];
+      best_end = i;
+    }
+  }
+  if (best_order) {
+    std::vector<RequestId> rev;
+    std::size_t mask = full - 1;
+    std::int32_t cur = best_end;
+    while (cur >= 0) {
+      rev.push_back(cur + 1);
+      std::int8_t prev = from[mask][static_cast<std::size_t>(cur)];
+      mask &= ~(std::size_t{1} << cur);
+      cur = prev;
+    }
+    rev.push_back(kRootRequest);
+    best_order->assign(rev.rbegin(), rev.rend());
+  }
+  return best;
+}
+
+Time min_order_cost_brute(const RequestSet& reqs, const CostFn& cost) {
+  auto n = reqs.size();
+  ARROWDQ_ASSERT_MSG(n <= 9, "brute force limited to 9 requests");
+  std::vector<RequestId> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 1);
+  Time best = std::numeric_limits<Time>::max();
+  do {
+    Time c = cost(reqs.by_id(kRootRequest), reqs.by_id(perm.empty() ? kRootRequest : perm[0]));
+    if (perm.empty()) c = 0;
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i)
+      c += cost(reqs.by_id(perm[i]), reqs.by_id(perm[i + 1]));
+    best = std::min(best, c);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return n == 0 ? 0 : best;
+}
+
+Time request_mst_weight(const RequestSet& reqs, const CostFn& cost) {
+  auto m = reqs.size() + 1;  // include r0
+  if (m <= 1) return 0;
+  const Time inf = std::numeric_limits<Time>::max() / 4;
+  std::vector<Time> best(static_cast<std::size_t>(m), inf);
+  std::vector<bool> used(static_cast<std::size_t>(m), false);
+  best[0] = 0;
+  Time total = 0;
+  for (std::int32_t step = 0; step < m; ++step) {
+    std::int32_t pick = -1;
+    for (std::int32_t i = 0; i < m; ++i)
+      if (!used[static_cast<std::size_t>(i)] &&
+          (pick < 0 || best[static_cast<std::size_t>(i)] < best[static_cast<std::size_t>(pick)]))
+        pick = i;
+    used[static_cast<std::size_t>(pick)] = true;
+    total += best[static_cast<std::size_t>(pick)];
+    for (std::int32_t j = 0; j < m; ++j) {
+      if (used[static_cast<std::size_t>(j)]) continue;
+      Time c = cost(reqs.by_id(pick), reqs.by_id(j));
+      if (c < best[static_cast<std::size_t>(j)]) best[static_cast<std::size_t>(j)] = c;
+    }
+  }
+  return total;
+}
+
+Time min_order_cost_2opt(const RequestSet& reqs, const CostFn& cost, int max_passes) {
+  auto n = reqs.size();
+  if (n <= 1) return n == 0 ? 0 : cost(reqs.by_id(0), reqs.by_id(1));
+  // Start from the greedy NN order.
+  std::vector<RequestId> order;
+  {
+    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    RequestId cur = kRootRequest;
+    used[0] = true;
+    order.push_back(cur);
+    for (std::int32_t s = 0; s < n; ++s) {
+      RequestId best = kNoRequest;
+      Time bc = 0;
+      for (RequestId cand = 1; cand <= n; ++cand) {
+        if (used[static_cast<std::size_t>(cand)]) continue;
+        Time c = cost(reqs.by_id(cur), reqs.by_id(cand));
+        if (best == kNoRequest || c < bc) {
+          best = cand;
+          bc = c;
+        }
+      }
+      used[static_cast<std::size_t>(best)] = true;
+      order.push_back(best);
+      cur = best;
+    }
+  }
+  auto seg_cost = [&](const std::vector<RequestId>& o) {
+    Time t = 0;
+    for (std::size_t i = 0; i + 1 < o.size(); ++i)
+      t += cost(reqs.by_id(o[i]), reqs.by_id(o[i + 1]));
+    return t;
+  };
+  Time cur_cost = seg_cost(order);
+  // "Or-opt" style: relocate single elements; correct for asymmetric costs
+  // (classic 2-opt reversal assumes symmetry).
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      for (std::size_t j = 1; j < order.size(); ++j) {
+        if (i == j || i + 1 == j) continue;
+        std::vector<RequestId> cand = order;
+        RequestId moved = cand[i];
+        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+        std::size_t insert_at = j < i ? j : j - 1;
+        cand.insert(cand.begin() + static_cast<std::ptrdiff_t>(insert_at), moved);
+        Time c = seg_cost(cand);
+        if (c < cur_cost) {
+          order = std::move(cand);
+          cur_cost = c;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return cur_cost;
+}
+
+OptBound opt_cost_lower_bound(const RequestSet& reqs, const DistFn& graph_dist,
+                              std::int32_t exact_limit) {
+  OptBound b;
+  auto cO = make_cO(graph_dist);
+  auto cM = make_cM(graph_dist);
+  if (reqs.size() <= exact_limit) b.exact = min_order_cost_exact(reqs, cO);
+  b.mst_cm = request_mst_weight(reqs, cM);
+  Time bound = b.mst_cm / 12;  // Lemma 3.17: CM <= 12 CO for any ordering
+  if (b.exact >= 0) bound = std::max(bound, b.exact);
+  b.value = std::max<Time>(bound, 0);
+  return b;
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,54 @@
+// Machinery for bounding the optimal offline queuing cost (Section 3.3/3.5).
+//
+// The offline optimum min over orderings pi of sum cOpt(r_pi(i-1), r_pi(i))
+// is an asymmetric TSP path problem. We provide:
+//  * exact solutions (Held-Karp bitmask DP, |R| <= 18, and brute force for
+//    cross-checking),
+//  * the Manhattan-MST lower bound used in the proof of Theorem 4.1
+//    (an optimal Manhattan path is at least the MST weight, and Lemma 3.17
+//    relates Manhattan cost to cO cost: CM <= 12 CO for any ordering),
+//  * a greedy + 2-opt upper bound for large request sets.
+#pragma once
+
+#include <vector>
+
+#include "analysis/costs.hpp"
+#include "proto/request.hpp"
+
+namespace arrowdq {
+
+/// Exact min-cost ordering via Held-Karp over real requests; |R| <= 18
+/// (asserts). Returns the cost; optionally emits the minimizing order.
+Time min_order_cost_exact(const RequestSet& reqs, const CostFn& cost,
+                          std::vector<RequestId>* best_order = nullptr);
+
+/// Brute-force over all |R|! permutations; |R| <= 9 (asserts). For testing
+/// the DP.
+Time min_order_cost_brute(const RequestSet& reqs, const CostFn& cost);
+
+/// Weight of a minimum spanning tree of the complete request graph under the
+/// symmetric cost (intended: cM). Lower-bounds any Hamiltonian path under
+/// the same cost.
+Time request_mst_weight(const RequestSet& reqs, const CostFn& cost);
+
+/// Greedy NN order improved by 2-opt-style segment reversals until no
+/// improving move (or `max_passes`). Upper-bounds the optimum.
+Time min_order_cost_2opt(const RequestSet& reqs, const CostFn& cost, int max_passes = 8);
+
+/// Composite lower bound on costOpt (total latency of the optimal offline
+/// algorithm, in ticks):
+///   max( min_pi sum cOpt   [exact, if |R| <= exact_limit],
+///        MST(cM over dG) / 12,                          [Lemma 3.17]
+///        (3/2) t_last                                   [Lemma 3.16 spirit]
+///        ... all of which are valid lower bounds after the Lemma 3.11
+///        time-compaction normalization the paper assumes).
+struct OptBound {
+  Time exact = -1;       // -1 when |R| too large for the DP
+  Time mst_cm = 0;       // MST weight under cM (graph distances)
+  Time value = 0;        // the composite lower bound in ticks
+};
+
+OptBound opt_cost_lower_bound(const RequestSet& reqs, const DistFn& graph_dist,
+                              std::int32_t exact_limit = 14);
+
+}  // namespace arrowdq

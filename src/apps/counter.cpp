@@ -1,0 +1,40 @@
+#include "apps/counter.hpp"
+
+#include <algorithm>
+
+#include "arrow/arrow.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+CounterResult counter_from_outcome(const Tree& tree, const RequestSet& requests,
+                                   const QueuingOutcome& outcome) {
+  auto order = outcome.order();
+  CounterResult res;
+  res.value.assign(static_cast<std::size_t>(requests.size()) + 1, 0);
+  res.received_at.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);
+
+  Time token_ready = 0;
+  NodeId token_node = requests.root();
+  std::int64_t next_value = 1;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    RequestId id = order[i];
+    const auto& c = outcome.completion(id);
+    const Request& r = requests.by_id(id);
+    Time sent = std::max(token_ready, c.completed_at);
+    Time arrived = sent + units_to_ticks(tree.distance(token_node, r.node));
+    res.value[static_cast<std::size_t>(id)] = next_value++;
+    res.received_at[static_cast<std::size_t>(id)] = arrived;
+    res.makespan = std::max(res.makespan, arrived);
+    token_ready = arrived;
+    token_node = r.node;
+  }
+  return res;
+}
+
+CounterResult run_counter(const Tree& tree, const RequestSet& requests) {
+  auto outcome = run_arrow(tree, requests);
+  return counter_from_outcome(tree, requests, outcome);
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,28 @@
+// Distributed counting via the queue (Section 1: "it can be used in
+// distributed counting by passing an integer counter down the queue").
+// Request i's counter value is simply its position in the total order.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct CounterResult {
+  /// value[id] = counter value handed to request id (1-based; 0 unused).
+  std::vector<std::int64_t> value;
+  /// received_at[id] = time the counter token reached the request (ticks).
+  std::vector<Time> received_at;
+  Time makespan = 0;
+};
+
+CounterResult run_counter(const Tree& tree, const RequestSet& requests);
+
+CounterResult counter_from_outcome(const Tree& tree, const RequestSet& requests,
+                                   const QueuingOutcome& outcome);
+
+}  // namespace arrowdq

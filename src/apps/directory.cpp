@@ -1,0 +1,42 @@
+#include "apps/directory.hpp"
+
+#include <algorithm>
+
+#include "arrow/arrow.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+DirectoryResult directory_from_outcome(const Tree& tree, const RequestSet& requests,
+                                       const QueuingOutcome& outcome, Time use_ticks) {
+  ARROWDQ_ASSERT(use_ticks >= 0);
+  auto order = outcome.order();
+  DirectoryResult res;
+  res.object_at.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);
+
+  Time object_free = 0;  // object initially free at the root at t = 0
+  NodeId object_node = requests.root();
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    RequestId id = order[i];
+    const auto& c = outcome.completion(id);
+    const Request& r = requests.by_id(id);
+    // The holder ships the object when it is done using it and knows the
+    // successor (the completion event).
+    Time ship = std::max(object_free, c.completed_at);
+    Weight hop = tree.distance(object_node, r.node);
+    Time arrive = ship + units_to_ticks(hop);
+    res.object_at[static_cast<std::size_t>(id)] = arrive;
+    res.object_travel += hop;
+    res.makespan = std::max(res.makespan, arrive + use_ticks);
+    object_free = arrive + use_ticks;
+    object_node = r.node;
+  }
+  return res;
+}
+
+DirectoryResult run_directory(const Tree& tree, const RequestSet& requests, Time use_ticks) {
+  auto outcome = run_arrow(tree, requests);
+  return directory_from_outcome(tree, requests, outcome, use_ticks);
+}
+
+}  // namespace arrowdq

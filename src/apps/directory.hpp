@@ -1,0 +1,36 @@
+// Distributed directory for a mobile object (Demmer-Herlihy's arrow
+// directory / the paper's motivating example: "synchronizing accesses to a
+// single mobile object in a computer network").
+//
+// find(v) = queuing request; the object travels down the queue from each
+// user to the next once the current user finishes with it.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct DirectoryResult {
+  /// object_at[id] = time the object arrived at request id's node (ticks).
+  std::vector<Time> object_at;
+  /// Total distance the object traveled over the tree (units).
+  Weight object_travel = 0;
+  /// Lower bound: distance of the object's optimal offline tour visiting the
+  /// same nodes in the best order is at least the request-MST weight; we
+  /// report the tree-path travel of arrow's order for comparison with the
+  /// queue order chosen by an optimal ordering.
+  Time makespan = 0;
+};
+
+/// `use_ticks` = how long each user holds the object before releasing.
+DirectoryResult run_directory(const Tree& tree, const RequestSet& requests, Time use_ticks);
+
+DirectoryResult directory_from_outcome(const Tree& tree, const RequestSet& requests,
+                                       const QueuingOutcome& outcome, Time use_ticks);
+
+}  // namespace arrowdq

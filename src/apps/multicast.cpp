@@ -1,0 +1,57 @@
+#include "apps/multicast.hpp"
+
+#include <algorithm>
+
+#include "arrow/arrow.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+MulticastResult multicast_from_outcome(const Tree& tree, const RequestSet& requests,
+                                       const QueuingOutcome& outcome) {
+  auto order = outcome.order();
+  auto n = static_cast<std::size_t>(tree.node_count());
+  MulticastResult res;
+
+  // Token movement mirrors the mutex layer with zero hold time.
+  Time token_ready = 0;
+  NodeId token_node = requests.root();
+  double latency_sum = 0.0;
+  std::int64_t latency_count = 0;
+  std::vector<Time> last_delivered(n, 0);  // enforce per-node in-order delivery
+
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    RequestId id = order[i];
+    const auto& c = outcome.completion(id);
+    const Request& r = requests.by_id(id);
+    Time token_sent = std::max(token_ready, c.completed_at);
+    Time stamped_at = token_sent + units_to_ticks(tree.distance(token_node, r.node));
+    token_ready = stamped_at;
+    token_node = r.node;
+    res.stamped.push_back(id);
+
+    std::vector<Time> row(n, 0);
+    for (NodeId u = 0; u < tree.node_count(); ++u) {
+      Time arrive = stamped_at + units_to_ticks(tree.distance(r.node, u));
+      // A node holds back any message that would overtake a lower sequence
+      // number (FIFO broadcast + sequence gate).
+      Time deliver = std::max(arrive, last_delivered[static_cast<std::size_t>(u)]);
+      row[static_cast<std::size_t>(u)] = deliver;
+      last_delivered[static_cast<std::size_t>(u)] = deliver;
+      res.makespan = std::max(res.makespan, deliver);
+      latency_sum += ticks_to_units_d(deliver - r.time);
+      ++latency_count;
+    }
+    res.deliver.push_back(std::move(row));
+  }
+  if (latency_count > 0)
+    res.avg_delivery_latency_units = latency_sum / static_cast<double>(latency_count);
+  return res;
+}
+
+MulticastResult run_ordered_multicast(const Tree& tree, const RequestSet& requests) {
+  auto outcome = run_arrow(tree, requests);
+  return multicast_from_outcome(tree, requests, outcome);
+}
+
+}  // namespace arrowdq

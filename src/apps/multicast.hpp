@@ -1,0 +1,34 @@
+// Totally ordered multicast on top of the arrow queue (Herlihy, Tirthapura,
+// Wattenhofer, "Ordered multicast and distributed swap", OSR 2001).
+//
+// Every multicast message is a queuing request. A sequencer token carrying
+// the next sequence number travels down the queue; when request a receives
+// the token it stamps its message with the sequence number and broadcasts it
+// over the spanning tree. Every node delivers messages in sequence-number
+// order, so all nodes observe the same total order.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct MulticastResult {
+  /// stamped[seq] = request id with sequence number seq (seq from 0).
+  std::vector<RequestId> stamped;
+  /// deliver[seq][node] = delivery time (ticks) of that message at node.
+  std::vector<std::vector<Time>> deliver;
+  Time makespan = 0;
+  double avg_delivery_latency_units = 0.0;  // mean over (message, node)
+};
+
+MulticastResult run_ordered_multicast(const Tree& tree, const RequestSet& requests);
+
+MulticastResult multicast_from_outcome(const Tree& tree, const RequestSet& requests,
+                                       const QueuingOutcome& outcome);
+
+}  // namespace arrowdq

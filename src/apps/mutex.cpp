@@ -1,0 +1,61 @@
+#include "apps/mutex.hpp"
+
+#include <algorithm>
+
+#include "arrow/arrow.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+MutexResult mutex_from_outcome(const Tree& tree, const RequestSet& requests,
+                               const QueuingOutcome& outcome, Time cs_ticks) {
+  ARROWDQ_ASSERT(cs_ticks >= 0);
+  auto order = outcome.order();
+  MutexResult res;
+  res.acquire.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);
+  res.release.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);
+
+  // The virtual root request holds a zero-length critical section at t = 0.
+  res.acquire[0] = 0;
+  res.release[0] = 0;
+  Time prev_release = 0;
+  NodeId prev_node = requests.root();
+
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    RequestId id = order[i];
+    const auto& c = outcome.completion(id);
+    const Request& r = requests.by_id(id);
+    // The predecessor can forward the token once (a) it released and (b) it
+    // learned its successor — which is exactly the completion event of `id`.
+    Time send_at = std::max(prev_release, c.completed_at);
+    Weight hop = tree.distance(prev_node, r.node);
+    Time grant = send_at + units_to_ticks(hop);
+    res.acquire[static_cast<std::size_t>(id)] = grant;
+    res.release[static_cast<std::size_t>(id)] = grant + cs_ticks;
+    res.token_travel += hop;
+    prev_release = grant + cs_ticks;
+    prev_node = r.node;
+  }
+  res.makespan = prev_release;
+
+  // Verify mutual exclusion: critical sections, in queue order, must not
+  // overlap.
+  res.mutual_exclusion = true;
+  Time last_release = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    Time a = res.acquire[static_cast<std::size_t>(order[i])];
+    if (a < last_release) {
+      res.mutual_exclusion = false;
+      break;
+    }
+    last_release = res.release[static_cast<std::size_t>(order[i])];
+  }
+  return res;
+}
+
+MutexResult run_mutex(const Tree& tree, const RequestSet& requests, Time cs_ticks) {
+  auto outcome = run_arrow(tree, requests);
+  return mutex_from_outcome(tree, requests, outcome, cs_ticks);
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,42 @@
+// Distributed mutual exclusion on top of the arrow queue (the application
+// the protocol was invented for — Raymond 1989).
+//
+// lock() = issue a queuing request; the lock token travels down the queue:
+// when the holder of request p releases and knows its successor a (which the
+// arrow protocol delivered to p's node), it sends the token along the tree
+// path to a's node. The token starts free at the root at time 0.
+//
+// The token-passing layer is computed analytically from the arrow outcome:
+// grant(a) = max(release(p), successor-known(p)) + dT(node(p), node(a)).
+// This is exact for the synchronous model because token transfer messages
+// do not interact with queue() messages.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct MutexResult {
+  /// Indexed by request id (0 unused); times in ticks.
+  std::vector<Time> acquire;
+  std::vector<Time> release;
+  Time makespan = 0;            // release time of the last holder
+  bool mutual_exclusion = false;  // no two critical sections overlap
+  /// Total distance the token traveled (units).
+  Weight token_travel = 0;
+};
+
+/// Run arrow on (tree, requests) and pass the lock token down the resulting
+/// queue; each holder keeps the lock for cs_ticks.
+MutexResult run_mutex(const Tree& tree, const RequestSet& requests, Time cs_ticks);
+
+/// Same, but layered on a precomputed arrow outcome.
+MutexResult mutex_from_outcome(const Tree& tree, const RequestSet& requests,
+                               const QueuingOutcome& outcome, Time cs_ticks);
+
+}  // namespace arrowdq

@@ -1,0 +1,84 @@
+#include "apps/token_sim.hpp"
+
+#include <algorithm>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+namespace {
+struct TokenMsg {
+  NodeId destination = kNoNode;
+  std::size_t order_index = 0;  // which queue position the token is heading to
+};
+}  // namespace
+
+TokenSimResult simulate_token_passing(const Tree& tree, const RequestSet& requests,
+                                      const QueuingOutcome& outcome, Time hold_ticks,
+                                      LatencyModel& latency) {
+  ARROWDQ_ASSERT(hold_ticks >= 0);
+  auto order = outcome.order();
+
+  TokenSimResult res;
+  res.granted.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);
+
+  Graph tree_graph = tree.as_graph();
+  Simulator sim;
+  Network<TokenMsg> net(tree_graph, sim, latency);
+
+  // The token's position and the queue index it has served so far.
+  NodeId token_node = requests.root();
+
+  // Forwarding logic: when the token is free at `token_node` having served
+  // order[i], dispatch it toward order[i+1] once that request's completion
+  // time has passed.
+  std::function<void(std::size_t)> dispatch_next = [&](std::size_t served) {
+    if (served + 1 >= order.size()) return;
+    RequestId next_id = order[served + 1];
+    const auto& c = outcome.completion(next_id);
+    NodeId dest = requests.by_id(next_id).node;
+    Time start = std::max(sim.now(), c.completed_at);
+    sim.at(start, [&, served, dest]() {
+      if (token_node == dest) {
+        // Local handoff (repeated requests from one node).
+        RequestId id = order[served + 1];
+        res.granted[static_cast<std::size_t>(id)] = sim.now();
+        res.makespan = std::max(res.makespan, sim.now() + hold_ticks);
+        sim.at(sim.now() + hold_ticks, [&, served]() { dispatch_next(served + 1); });
+        return;
+      }
+      // First hop along the tree path.
+      auto path = tree.path(token_node, dest);
+      ARROWDQ_ASSERT(path.size() >= 2);
+      res.token_travel += tree_graph.edge_weight(path[0], path[1]);
+      ++res.token_messages;
+      net.send(path[0], path[1], TokenMsg{dest, served + 1});
+    });
+  };
+
+  net.set_handler([&](NodeId /*from*/, NodeId at, const TokenMsg& m) {
+    if (at != m.destination) {
+      // Continue along the tree path toward the destination.
+      auto path = tree.path(at, m.destination);
+      ARROWDQ_ASSERT(path.size() >= 2);
+      res.token_travel += tree_graph.edge_weight(path[0], path[1]);
+      ++res.token_messages;
+      net.send(path[0], path[1], TokenMsg{m.destination, m.order_index});
+      return;
+    }
+    // Token arrived at the requester.
+    token_node = at;
+    RequestId id = order[m.order_index];
+    res.granted[static_cast<std::size_t>(id)] = sim.now();
+    res.makespan = std::max(res.makespan, sim.now() + hold_ticks);
+    sim.at(sim.now() + hold_ticks, [&, m]() { dispatch_next(m.order_index); });
+  });
+
+  dispatch_next(0);
+  sim.run();
+  return res;
+}
+
+}  // namespace arrowdq

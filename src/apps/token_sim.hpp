@@ -1,0 +1,43 @@
+// Message-driven token circulation on top of an arrow execution.
+//
+// The mutex/counter/directory layers in this package compute token handoffs
+// analytically from the queuing outcome (grant = max(release, successor
+// known) + dT). This module *simulates* the same thing with real messages
+// through the Network — the token is an actual message that travels the
+// tree path hop by hop — and so validates the analytic layering: in the
+// synchronous model the two must agree exactly (tests assert this).
+//
+// It also supports asynchronous latency models, where the analytic layer is
+// only an upper bound.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "sim/latency.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct TokenSimResult {
+  /// granted[id] = time the token reached request id's node (ticks).
+  std::vector<Time> granted;
+  /// Total tree distance the token traveled (units).
+  Weight token_travel = 0;
+  /// Total token messages (one per tree edge traversed).
+  std::uint64_t token_messages = 0;
+  Time makespan = 0;
+};
+
+/// Simulate the token traveling down the queue of `outcome`, holding for
+/// `hold_ticks` at every request. The handoff from the holder of request p
+/// to its successor a starts at max(release(p), completed_at(a)) — the
+/// holder must both be done and know its successor — and the token then
+/// travels the tree path hop by hop under `latency`.
+TokenSimResult simulate_token_passing(const Tree& tree, const RequestSet& requests,
+                                      const QueuingOutcome& outcome, Time hold_ticks,
+                                      LatencyModel& latency);
+
+}  // namespace arrowdq

@@ -1,0 +1,104 @@
+#include "arrow/arrow.hpp"
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+ArrowEngine::ArrowEngine(const Tree& tree, LatencyModel& latency)
+    : tree_(tree), latency_(latency), tree_graph_(tree.as_graph()) {}
+
+QueuingOutcome ArrowEngine::run(const RequestSet& requests) {
+  ARROWDQ_ASSERT(requests.root() >= 0 && requests.root() < tree_.node_count());
+  auto n = static_cast<std::size_t>(tree_.node_count());
+
+  // Initial configuration: all pointers lead to the root (Figure 1); the
+  // root is the sink holding the virtual request r0.
+  // Rebuild the tree rooted at the request root so parent pointers point the
+  // right way regardless of how the caller rooted T.
+  const Tree rooted =
+      tree_.root() == requests.root() ? tree_ : tree_.rerooted(requests.root());
+  link_.assign(n, kNoNode);
+  last_req_.assign(n, kNoRequest);
+  for (NodeId v = 0; v < tree_.node_count(); ++v)
+    link_[static_cast<std::size_t>(v)] = v == requests.root() ? v : rooted.parent(v);
+  last_req_[static_cast<std::size_t>(requests.root())] = kRootRequest;
+
+  sim_ = Simulator{};
+  messages_ = 0;
+  Network<ArrowMsg> net(tree_graph_, sim_, latency_);
+  net.set_service_time(service_time_);
+
+  QueuingOutcome out(requests.size());
+  net.set_handler([this, &net, &out](NodeId from, NodeId to, const ArrowMsg& msg) {
+    receive(net, from, to, msg, out);
+  });
+
+  for (const Request& r : requests.real()) {
+    sim_.at(r.time, [this, &net, r, &out]() { issue(net, r, out); });
+  }
+
+  sim_.run();
+  messages_ = net.stats().edge_messages;
+  ARROWDQ_ASSERT_MSG(out.is_complete(), "arrow did not complete all requests");
+  return out;
+}
+
+void ArrowEngine::issue(Network<ArrowMsg>& net, const Request& r, QueuingOutcome& out) {
+  NodeId v = r.node;
+  auto vi = static_cast<std::size_t>(v);
+  if (link_[vi] == v) {
+    // v is the sink: queue behind v's previous request locally, no messages.
+    RequestId pred = last_req_[vi];
+    ARROWDQ_ASSERT(pred != kNoRequest);
+    last_req_[vi] = r.id;
+    out.record(Completion{r.id, pred, sim_.now(), 0, 0});
+    return;
+  }
+  NodeId target = link_[vi];
+  last_req_[vi] = r.id;
+  link_[vi] = v;
+  net.send(v, target,
+           ArrowMsg{r.id, 1, tree_graph_.edge_weight(v, target)});
+}
+
+void ArrowEngine::receive(Network<ArrowMsg>& net, NodeId from, NodeId at, const ArrowMsg& msg,
+                          QueuingOutcome& out) {
+  auto ui = static_cast<std::size_t>(at);
+  NodeId next = link_[ui];
+  link_[ui] = from;  // path reversal
+  if (next != at) {
+    net.send(at, next,
+             ArrowMsg{msg.req, msg.hops + 1, msg.dist + tree_graph_.edge_weight(at, next)});
+    return;
+  }
+  // `at` is the sink: msg.req is queued behind at's last issued request.
+  RequestId pred = last_req_[ui];
+  ARROWDQ_ASSERT_MSG(pred != kNoRequest, "sink without an id — broken initial state");
+  out.record(Completion{msg.req, pred, sim_.now(), msg.hops, msg.dist});
+}
+
+NodeId ArrowEngine::sink_node() const {
+  NodeId sink = kNoNode;
+  for (NodeId v = 0; v < static_cast<NodeId>(link_.size()); ++v) {
+    if (link_[static_cast<std::size_t>(v)] == v) {
+      ARROWDQ_ASSERT_MSG(sink == kNoNode, "multiple sinks at quiescence");
+      sink = v;
+    }
+  }
+  ARROWDQ_ASSERT_MSG(sink != kNoNode, "no sink at quiescence");
+  return sink;
+}
+
+QueuingOutcome run_arrow(const Tree& tree, const RequestSet& requests, LatencyModel& latency) {
+  ArrowEngine engine(tree, latency);
+  auto out = engine.run(requests);
+  out.validate(requests);
+  return out;
+}
+
+QueuingOutcome run_arrow(const Tree& tree, const RequestSet& requests) {
+  SynchronousLatency sync;
+  return run_arrow(tree, requests, sync);
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,84 @@
+// The arrow distributed queuing protocol (Raymond 1989; Demmer-Herlihy 1998),
+// exactly as described in Section 2 of the paper.
+//
+// State per node v:
+//   link(v) — a tree neighbour or v itself; v is a *sink* iff link(v) == v.
+//   id(v)   — the id of the last queuing request issued by v (⊥ if none;
+//             the root starts holding the virtual request r0).
+//
+// Issuing a request a at v (atomic):   receiving queue(a) at u from w (atomic):
+//   id(v) <- a                           next <- link(u); link(u) <- w
+//   send queue(a) to link(v)             if next != u: forward queue(a) to next
+//   link(v) <- v                         else: a is queued behind id(u)
+//
+// Degenerate case: if v is itself the sink when it issues, the request is
+// queued behind v's previous request locally with zero messages — this is
+// why Figure 11 reports *less than one* hop per request under contention.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "sim/latency.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// The wire message: queue(a) plus traversal accounting carried for
+/// measurement only (a real deployment sends just the request id).
+struct ArrowMsg {
+  RequestId req = kNoRequest;
+  std::int32_t hops = 0;  // tree edges traversed so far
+  Weight dist = 0;        // weighted distance traversed so far (units)
+};
+
+/// One-shot arrow execution: issue a fixed request set, run to quiescence,
+/// return the queuing outcome.
+class ArrowEngine {
+ public:
+  /// `tree` is the pre-selected spanning tree T; `latency` decides the
+  /// synchronous/asynchronous model. Both must outlive the engine.
+  ArrowEngine(const Tree& tree, LatencyModel& latency);
+
+  /// Serial per-node message processing cost (0 = the paper's free local
+  /// processing).
+  void set_service_time(Time ticks) { service_time_ = ticks; }
+
+  QueuingOutcome run(const RequestSet& requests);
+
+  /// Post-run pointer state (index = node, value = link target).
+  const std::vector<NodeId>& links() const { return link_; }
+  /// Post-run node that is the unique sink (the queue's tail location).
+  NodeId sink_node() const;
+  /// Messages sent during the last run.
+  std::uint64_t messages_sent() const { return messages_; }
+  Simulator& sim() { return sim_; }
+
+ private:
+  void issue(Network<ArrowMsg>& net, const Request& r, QueuingOutcome& out);
+  void receive(Network<ArrowMsg>& net, NodeId from, NodeId at, const ArrowMsg& msg,
+               QueuingOutcome& out);
+
+  const Tree& tree_;
+  LatencyModel& latency_;
+  Time service_time_ = 0;
+  Graph tree_graph_;
+  Simulator sim_;
+  std::vector<NodeId> link_;
+  std::vector<RequestId> last_req_;
+  std::uint64_t messages_ = 0;
+};
+
+/// Convenience: run arrow once on (tree, requests) under the given latency
+/// model; validates the outcome before returning it.
+QueuingOutcome run_arrow(const Tree& tree, const RequestSet& requests, LatencyModel& latency);
+
+/// Synchronous-model convenience overload.
+QueuingOutcome run_arrow(const Tree& tree, const RequestSet& requests);
+
+}  // namespace arrowdq

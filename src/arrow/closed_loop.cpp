@@ -1,0 +1,144 @@
+#include "arrow/closed_loop.hpp"
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+namespace {
+
+enum class MsgKind : std::uint8_t { kQueue, kNotify };
+
+struct LoopMsg {
+  MsgKind kind = MsgKind::kQueue;
+  RequestId req = kNoRequest;
+  NodeId requester = kNoNode;  // issuer of `req` (for the reply)
+  std::int32_t hops = 0;
+};
+
+/// Closed-loop arrow driver. The protocol core mirrors ArrowEngine; requests
+/// are generated on the fly, one outstanding per node.
+class Driver {
+ public:
+  Driver(const Tree& tree, LatencyModel& latency, const ClosedLoopConfig& config)
+      : tree_(tree),
+        config_(config),
+        graph_(tree.as_graph()),
+        net_(graph_, sim_, latency),
+        link_(static_cast<std::size_t>(tree.node_count())),
+        last_req_(static_cast<std::size_t>(tree.node_count()), kNoRequest),
+        issued_(static_cast<std::size_t>(tree.node_count()), 0),
+        issue_time_(static_cast<std::size_t>(tree.node_count()), 0) {
+    net_.set_service_time(config.service_time);
+    net_.set_handler([this](NodeId from, NodeId to, const LoopMsg& m) { receive(from, to, m); });
+    NodeId root = tree.root();
+    for (NodeId v = 0; v < tree.node_count(); ++v)
+      link_[static_cast<std::size_t>(v)] = v == root ? v : tree.parent(v);
+    last_req_[static_cast<std::size_t>(root)] = kRootRequest;
+  }
+
+  ClosedLoopResult run() {
+    for (NodeId v = 0; v < tree_.node_count(); ++v)
+      sim_.at(0, [this, v]() { issue(v); });
+    sim_.run();
+    ClosedLoopResult res;
+    res.makespan = sim_.now();
+    res.total_requests = static_cast<std::int64_t>(tree_.node_count()) *
+                         config_.requests_per_node;
+    res.tree_messages = net_.stats().edge_messages;
+    res.notify_messages = net_.stats().direct_messages;
+    res.avg_hops_per_request =
+        res.total_requests == 0
+            ? 0.0
+            : static_cast<double>(res.tree_messages) / static_cast<double>(res.total_requests);
+    res.avg_round_latency_units = latencies_.count() == 0
+                                      ? 0.0
+                                      : latencies_.mean() / static_cast<double>(kTicksPerUnit);
+    return res;
+  }
+
+ private:
+  Time notify_latency(NodeId from, NodeId to) const {
+    if (config_.notify_latency) return config_.notify_latency(from, to);
+    return kTicksPerUnit;  // complete graph, unit pairwise latency
+  }
+
+  void issue(NodeId v) {
+    auto vi = static_cast<std::size_t>(v);
+    if (issued_[vi] >= config_.requests_per_node) return;
+    ++issued_[vi];
+    ++next_id_;
+    RequestId a = next_id_;
+    issue_time_[vi] = sim_.now();
+    if (link_[vi] == v) {
+      RequestId pred = last_req_[vi];
+      ARROWDQ_ASSERT(pred != kNoRequest);
+      last_req_[vi] = a;
+      // Predecessor found locally: the reply is local too (zero latency).
+      round_done(v);
+      return;
+    }
+    NodeId target = link_[vi];
+    last_req_[vi] = a;
+    link_[vi] = v;
+    net_.send(v, target, LoopMsg{MsgKind::kQueue, a, v, 1});
+  }
+
+  void receive(NodeId from, NodeId at, const LoopMsg& m) {
+    if (m.kind == MsgKind::kNotify) {
+      round_done(at);
+      return;
+    }
+    auto ui = static_cast<std::size_t>(at);
+    NodeId next = link_[ui];
+    link_[ui] = from;
+    if (next != at) {
+      net_.send(at, next, LoopMsg{MsgKind::kQueue, m.req, m.requester, m.hops + 1});
+      return;
+    }
+    // Sink found; return the predecessor identity to the requester.
+    ARROWDQ_ASSERT(last_req_[ui] != kNoRequest);
+    if (m.requester == at) {
+      round_done(at);
+    } else {
+      net_.send_with_latency(at, m.requester, notify_latency(at, m.requester),
+                             LoopMsg{MsgKind::kNotify, m.req, m.requester, 0});
+    }
+  }
+
+  void round_done(NodeId v) {
+    latencies_.add(static_cast<double>(sim_.now() - issue_time_[static_cast<std::size_t>(v)]));
+    // Re-issue through the event loop (not recursively) so long local-only
+    // streaks do not grow the call stack. Preparing the next request costs
+    // one service interval of local CPU time — without this, a node holding
+    // the tail would complete its whole budget of local requests in zero
+    // simulated time, which no real processor can do.
+    sim_.in(config_.service_time, [this, v]() { issue(v); });
+  }
+
+  const Tree& tree_;
+  const ClosedLoopConfig& config_;
+  Graph graph_;
+  Simulator sim_;
+  Network<LoopMsg> net_;
+  std::vector<NodeId> link_;
+  std::vector<RequestId> last_req_;
+  std::vector<std::int64_t> issued_;
+  std::vector<Time> issue_time_;
+  StatAccumulator latencies_;
+  RequestId next_id_ = kRootRequest;
+};
+
+}  // namespace
+
+ClosedLoopResult run_arrow_closed_loop(const Tree& tree, LatencyModel& latency,
+                                       const ClosedLoopConfig& config) {
+  ARROWDQ_ASSERT(config.requests_per_node >= 0);
+  Driver driver(tree, latency, config);
+  return driver.run();
+}
+
+}  // namespace arrowdq

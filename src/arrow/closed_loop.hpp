@@ -1,0 +1,50 @@
+// Closed-loop experiment driver reproducing Section 5's measurement:
+// "Each processor issued the next queuing request immediately after it
+//  learnt about the completion of its previous request", with completion
+// defined as "the identity of the predecessor was returned to the processor".
+//
+// Per round, a processor v issues queue(a); the queue message finds the sink
+// w (zero messages if v is itself the sink); w then returns the predecessor
+// identity to v as a direct message; on receipt v issues its next request.
+//
+// Figure 10 plots the total makespan for `requests_per_node` rounds per
+// processor as the node count grows; Figure 11 plots the average number of
+// tree messages (hops) per queuing operation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/tree.hpp"
+#include "sim/latency.hpp"
+#include "support/stats.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct ClosedLoopConfig {
+  std::int64_t requests_per_node = 1000;
+  /// Serial per-node message processing cost in ticks. Section 5 ran on real
+  /// CPUs whose message handling serializes; 0 reproduces the cost-free
+  /// local processing of the theoretical model.
+  Time service_time = 0;
+  /// Latency (ticks) of the direct predecessor-identity reply from the sink
+  /// back to the requester (dG in the underlying network). Defaults to one
+  /// unit for every pair, matching the complete-graph SP2 setup.
+  std::function<Time(NodeId, NodeId)> notify_latency;
+};
+
+struct ClosedLoopResult {
+  Time makespan = 0;                   // ticks until every node finished
+  std::int64_t total_requests = 0;
+  std::uint64_t tree_messages = 0;     // queue() messages over tree edges
+  std::uint64_t notify_messages = 0;   // predecessor-identity replies
+  double avg_hops_per_request = 0.0;   // Figure 11's metric
+  double avg_round_latency_units = 0.0;  // mean issue->reply time per request
+};
+
+/// Run the closed-loop workload with the arrow protocol on spanning tree T.
+ClosedLoopResult run_arrow_closed_loop(const Tree& tree, LatencyModel& latency,
+                                       const ClosedLoopConfig& config);
+
+}  // namespace arrowdq

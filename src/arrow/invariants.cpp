@@ -1,0 +1,52 @@
+#include "arrow/invariants.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+LinkStateReport check_link_state(const std::vector<NodeId>& links, const Tree& tree) {
+  LinkStateReport rep;
+  auto n = static_cast<NodeId>(links.size());
+  ARROWDQ_ASSERT(n == tree.node_count());
+
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId l = links[static_cast<std::size_t>(v)];
+    if (l == v) {
+      ++rep.sink_count;
+      if (rep.sink == kNoNode) rep.sink = v;
+      continue;
+    }
+    bool neighbour = false;
+    if (l >= 0 && l < n) {
+      auto nb = tree.neighbors(v);
+      neighbour = std::find(nb.begin(), nb.end(), l) != nb.end();
+    }
+    if (!neighbour) ++rep.illegal_pointers;
+  }
+
+  if (rep.sink_count == 1 && rep.illegal_pointers == 0) {
+    // Follow each chain with a step budget of n; count failures to reach.
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId cur = v;
+      NodeId steps = 0;
+      while (cur != rep.sink && steps <= n) {
+        cur = links[static_cast<std::size_t>(cur)];
+        ++steps;
+      }
+      if (cur != rep.sink) ++rep.unreachable;
+    }
+  } else {
+    rep.unreachable = n;  // not meaningful without a unique sink
+  }
+
+  rep.valid = rep.sink_count == 1 && rep.illegal_pointers == 0 && rep.unreachable == 0;
+  return rep;
+}
+
+bool links_form_in_tree(const std::vector<NodeId>& links, const Tree& tree) {
+  return check_link_state(links, tree).valid;
+}
+
+}  // namespace arrowdq

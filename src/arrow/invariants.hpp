@@ -1,0 +1,31 @@
+// Structural invariants of the arrow pointer state.
+//
+// At quiescence (no messages in flight) the link pointers must form an
+// "in-tree": exactly one sink, and following pointers from any node reaches
+// it without cycles. During execution these can be transiently violated
+// (a reversal in progress splits the tree), so the checks are meant for
+// quiescent states and for the self-stabilization layer.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct LinkStateReport {
+  bool valid = false;
+  NodeId sink = kNoNode;      // unique sink if valid
+  int sink_count = 0;
+  int illegal_pointers = 0;   // link not a tree neighbour nor self
+  int unreachable = 0;        // nodes whose pointer chain does not reach the sink
+};
+
+/// Full check of a link assignment against the tree topology.
+LinkStateReport check_link_state(const std::vector<NodeId>& links, const Tree& tree);
+
+/// True iff every pointer chain leads to a unique sink.
+bool links_form_in_tree(const std::vector<NodeId>& links, const Tree& tree);
+
+}  // namespace arrowdq

@@ -1,0 +1,75 @@
+#include "arrow/stabilize.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+SelfStabilizer::SelfStabilizer(const Tree& tree, NodeId anchor)
+    : tree_(tree), anchored_(tree.rerooted(anchor)), anchor_(anchor) {
+  ARROWDQ_ASSERT(anchor >= 0 && anchor < tree.node_count());
+}
+
+int SelfStabilizer::round(std::vector<NodeId>& links, std::vector<NodeId>& h) const {
+  auto n = tree_.node_count();
+  ARROWDQ_ASSERT(static_cast<NodeId>(links.size()) == n);
+  ARROWDQ_ASSERT(static_cast<NodeId>(h.size()) == n);
+  // Synchronous semantics: all checks read the previous round's state.
+  const std::vector<NodeId> links_prev = links;
+  const std::vector<NodeId> h_prev = h;
+  int corrections = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    auto vi = static_cast<std::size_t>(v);
+    NodeId l = links_prev[vi];
+    bool ok;
+    if (l == v) {
+      ok = v == anchor_ && h_prev[vi] == 0;
+    } else if (l < 0 || l >= n) {
+      ok = false;
+    } else {
+      auto nb = tree_.neighbors(v);
+      bool neighbour = std::find(nb.begin(), nb.end(), l) != nb.end();
+      ok = neighbour && h_prev[vi] == h_prev[static_cast<std::size_t>(l)] + 1;
+    }
+    if (!ok) {
+      links[vi] = v == anchor_ ? v : anchored_.parent(v);
+      h[vi] = anchored_.depth(v);
+      ++corrections;
+    }
+  }
+  return corrections;
+}
+
+StabilizeResult SelfStabilizer::stabilize(std::vector<NodeId>& links, std::vector<NodeId>& h,
+                                          int max_rounds) const {
+  StabilizeResult res;
+  for (int r = 0; r < max_rounds; ++r) {
+    int c = round(links, h);
+    ++res.rounds;
+    res.corrections += c;
+    if (c == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+std::vector<NodeId> SelfStabilizer::estimate_hops(const std::vector<NodeId>& links) const {
+  auto n = tree_.node_count();
+  std::vector<NodeId> h(static_cast<std::size_t>(n), n);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId cur = v;
+    NodeId steps = 0;
+    while (steps <= n && cur >= 0 && cur < n &&
+           links[static_cast<std::size_t>(cur)] != cur) {
+      cur = links[static_cast<std::size_t>(cur)];
+      ++steps;
+    }
+    if (steps <= n && cur >= 0 && cur < n) h[static_cast<std::size_t>(v)] = steps;
+  }
+  return h;
+}
+
+}  // namespace arrowdq

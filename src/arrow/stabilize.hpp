@@ -1,0 +1,58 @@
+// Self-stabilizing repair of corrupted arrow pointer state.
+//
+// Herlihy & Tirthapura (DISC 2001) showed the arrow protocol can be made
+// self-stabilizing with "simple local checking and correction actions". We
+// reproduce that layer in simplified form: each node keeps a hop-count
+// estimate h(v) of its distance to the sink; one synchronous round has every
+// node locally verify
+//   (1) link(v) is a tree neighbour or v itself, and
+//   (2) if link(v) == v then v is the designated anchor, else
+//       h(v) == h(link(v)) + 1,
+// and on failure reset (link(v), h(v)) to the tree parent toward the anchor
+// and its depth. Any illegal configuration (cycles, multiple sinks, dangling
+// pointers) violates a local check somewhere, and corrected nodes are stable,
+// so the system converges to the legal "all arrows toward the anchor" state
+// within O(depth) rounds of the first full correction wave.
+//
+// Simplification vs. the paper: recovery re-centers the queue tail at the
+// fixed anchor instead of preserving a surviving tail; queuing resumes
+// correctly for all requests issued after stabilization.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct StabilizeResult {
+  int rounds = 0;        // synchronous rounds until no check failed
+  int corrections = 0;   // total local resets performed
+  bool converged = false;
+};
+
+class SelfStabilizer {
+ public:
+  /// `anchor` is the node recovery converges to (usually the tree root).
+  SelfStabilizer(const Tree& tree, NodeId anchor);
+
+  /// One synchronous round of local check-and-correct over `links` and hop
+  /// estimates `h` (both indexed by node). Returns corrections made.
+  int round(std::vector<NodeId>& links, std::vector<NodeId>& h) const;
+
+  /// Run rounds until a full round makes no correction (or max_rounds).
+  StabilizeResult stabilize(std::vector<NodeId>& links, std::vector<NodeId>& h,
+                            int max_rounds) const;
+
+  /// Convenience: derive initial hop estimates by following each pointer
+  /// chain for at most n steps (unreachable/cyclic chains get n).
+  std::vector<NodeId> estimate_hops(const std::vector<NodeId>& links) const;
+
+ private:
+  const Tree& tree_;
+  Tree anchored_;  // tree re-rooted at the anchor (parent = direction to reset to)
+  NodeId anchor_;
+};
+
+}  // namespace arrowdq

@@ -1,0 +1,175 @@
+#include "baseline/centralized.hpp"
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace arrowdq {
+
+DistTicksFn apsp_dist_fn(const AllPairs& apsp) {
+  return [&apsp](NodeId u, NodeId v) { return units_to_ticks(apsp.dist(u, v)); };
+}
+
+DistTicksFn unit_dist_fn() {
+  return [](NodeId u, NodeId v) { return u == v ? Time{0} : kTicksPerUnit; };
+}
+
+namespace {
+
+enum class Kind : std::uint8_t { kRequest, kReply };
+
+struct CentralMsg {
+  Kind kind = Kind::kRequest;
+  RequestId req = kNoRequest;
+  RequestId pred = kNoRequest;
+  NodeId requester = kNoNode;
+};
+
+/// Shared machinery: a star-shaped protocol where every request goes to the
+/// center and a reply returns. Only send_with_latency is used, so the graph
+/// passed to Network is a placeholder for node count / service state.
+class CentralCore {
+ public:
+  CentralCore(NodeId node_count, const DistTicksFn& dist, const CentralizedConfig& config)
+      : placeholder_(make_path(node_count)),
+        dummy_latency_(),
+        net_(placeholder_, sim_, dummy_latency_),
+        dist_(dist),
+        config_(config) {
+    ARROWDQ_ASSERT(config.center >= 0 && config.center < node_count);
+    net_.set_service_time(config.service_time);
+  }
+
+  Simulator& sim() { return sim_; }
+  Network<CentralMsg>& net() { return net_; }
+  RequestId tail() const { return tail_; }
+
+  /// Processes a request at the center: returns the predecessor and advances
+  /// the tail.
+  RequestId enqueue(RequestId req) {
+    RequestId pred = tail_;
+    tail_ = req;
+    return pred;
+  }
+
+  Time dist(NodeId u, NodeId v) const { return u == v ? Time{0} : dist_(u, v); }
+  const CentralizedConfig& config() const { return config_; }
+
+ private:
+  Graph placeholder_;
+  SynchronousLatency dummy_latency_;
+  Simulator sim_;
+  Network<CentralMsg> net_;
+  DistTicksFn dist_;
+  CentralizedConfig config_;
+  RequestId tail_ = kRootRequest;
+};
+
+}  // namespace
+
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
+                               const DistTicksFn& dist, const CentralizedConfig& config) {
+  CentralCore core(node_count, dist, config);
+  QueuingOutcome out(requests.size());
+  const NodeId center = config.center;
+  std::vector<Time> issue_time(static_cast<std::size_t>(requests.size()) + 1, 0);
+  std::vector<Weight> travel(static_cast<std::size_t>(requests.size()) + 1, 0);
+
+  core.net().set_handler([&](NodeId /*from*/, NodeId at, const CentralMsg& m) {
+    if (m.kind == Kind::kRequest) {
+      ARROWDQ_ASSERT(at == center);
+      RequestId pred = core.enqueue(m.req);
+      if (m.requester == center) {
+        out.record(Completion{m.req, pred, core.sim().now(),
+                              /*hops=*/1,
+                              static_cast<Weight>(travel[static_cast<std::size_t>(m.req)])});
+      } else {
+        core.net().send_with_latency(center, m.requester, core.dist(center, m.requester),
+                                     CentralMsg{Kind::kReply, m.req, pred, m.requester});
+      }
+    } else {
+      out.record(Completion{m.req, m.pred, core.sim().now(),
+                            /*hops=*/2,
+                            static_cast<Weight>(2 * travel[static_cast<std::size_t>(m.req)])});
+    }
+  });
+
+  for (const Request& r : requests.real()) {
+    ARROWDQ_ASSERT(r.node >= 0 && r.node < node_count);
+    issue_time[static_cast<std::size_t>(r.id)] = r.time;
+    core.sim().at(r.time, [&core, &out, r, center]() {
+      if (r.node == center) {
+        RequestId pred = core.enqueue(r.id);
+        out.record(Completion{r.id, pred, core.sim().now(), 0, 0});
+        return;
+      }
+      Time d = core.dist(r.node, center);
+      core.net().send_with_latency(r.node, center, d,
+                                   CentralMsg{Kind::kRequest, r.id, kNoRequest, r.node});
+    });
+    travel[static_cast<std::size_t>(r.id)] =
+        ticks_to_units(core.dist(r.node, center));
+  }
+
+  core.sim().run();
+  ARROWDQ_ASSERT_MSG(out.is_complete(), "centralized protocol did not complete all requests");
+  return out;
+}
+
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
+                                                  std::int64_t requests_per_node,
+                                                  const DistTicksFn& dist,
+                                                  const CentralizedConfig& config) {
+  CentralCore core(node_count, dist, config);
+  const NodeId center = config.center;
+  std::vector<std::int64_t> issued(static_cast<std::size_t>(node_count), 0);
+  std::vector<Time> issue_time(static_cast<std::size_t>(node_count), 0);
+  StatAccumulator latencies;
+  RequestId next_id = kRootRequest;
+
+  // Forward declaration via std::function so the handler can re-issue.
+  std::function<void(NodeId)> issue = [&](NodeId v) {
+    auto vi = static_cast<std::size_t>(v);
+    if (issued[vi] >= requests_per_node) return;
+    ++issued[vi];
+    issue_time[vi] = core.sim().now();
+    RequestId a = ++next_id;
+    if (v == center) {
+      core.enqueue(a);
+      latencies.add(0.0);
+      core.sim().in(config.service_time, [&issue, v]() { issue(v); });
+      return;
+    }
+    core.net().send_with_latency(v, center, core.dist(v, center),
+                                 CentralMsg{Kind::kRequest, a, kNoRequest, v});
+  };
+
+  core.net().set_handler([&](NodeId /*from*/, NodeId at, const CentralMsg& m) {
+    if (m.kind == Kind::kRequest) {
+      RequestId pred = core.enqueue(m.req);
+      core.net().send_with_latency(center, m.requester, core.dist(center, m.requester),
+                                   CentralMsg{Kind::kReply, m.req, pred, m.requester});
+    } else {
+      auto vi = static_cast<std::size_t>(at);
+      latencies.add(static_cast<double>(core.sim().now() - issue_time[vi]));
+      core.sim().in(config.service_time, [&issue, at]() { issue(at); });
+    }
+  });
+
+  for (NodeId v = 0; v < node_count; ++v) core.sim().at(0, [&issue, v]() { issue(v); });
+  core.sim().run();
+
+  CentralizedLoopResult res;
+  res.makespan = core.sim().now();
+  res.total_requests = static_cast<std::int64_t>(node_count) * requests_per_node;
+  res.messages = core.net().stats().direct_messages;
+  res.avg_round_latency_units =
+      latencies.count() == 0 ? 0.0 : latencies.mean() / static_cast<double>(kTicksPerUnit);
+  return res;
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,58 @@
+// The centralized queuing protocol of Section 5:
+// "A globally known central node always stored the current tail of the total
+//  order. Every queuing request was completed using only two messages, one
+//  to the central node, and one back."
+//
+// Messages travel shortest paths of the underlying graph G (latency dG). A
+// request from the center itself completes locally with zero messages. The
+// per-node serial service time is what makes the center a bottleneck at
+// scale — with free local processing (service 0) the protocol's total
+// latency is flat, with service > 0 it degrades linearly in the node count,
+// which is exactly the behaviour Figure 10 shows on the SP2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// Pairwise latency oracle in ticks.
+using DistTicksFn = std::function<Time(NodeId, NodeId)>;
+
+/// dG-based oracle from a precomputed APSP (must outlive the returned fn).
+DistTicksFn apsp_dist_fn(const AllPairs& apsp);
+
+/// Complete-graph oracle: one unit between any two distinct nodes.
+DistTicksFn unit_dist_fn();
+
+struct CentralizedConfig {
+  NodeId center = 0;
+  Time service_time = 0;  // serial per-node message processing cost (ticks)
+};
+
+/// One-shot execution. Completion is recorded when the center's reply (the
+/// predecessor's identity) reaches the requester, matching Section 5's
+/// completion definition.
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
+                               const DistTicksFn& dist, const CentralizedConfig& config);
+
+struct CentralizedLoopResult {
+  Time makespan = 0;
+  std::int64_t total_requests = 0;
+  std::uint64_t messages = 0;
+  double avg_round_latency_units = 0.0;
+};
+
+/// Closed-loop driver matching run_arrow_closed_loop: every node performs
+/// `requests_per_node` rounds, re-issuing when the reply arrives.
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count, std::int64_t requests_per_node,
+                                                  const DistTicksFn& dist,
+                                                  const CentralizedConfig& config);
+
+}  // namespace arrowdq

@@ -1,0 +1,47 @@
+// Pointer-forwarding queuing protocols on a complete communication graph:
+// the Naimi-Trehel-Arnold (NTA) / Li-Hudak Ivy family discussed in the
+// paper's related-work section.
+//
+// Unlike arrow, these protocols assume a completely connected network: a
+// node's pointer may name *any* node, and a find message hops directly
+// between arbitrary nodes. Two pointer-update rules are provided:
+//
+//  * kCompressToRequester ("Ivy/NTA"): every node visited by find(a, v)
+//    redirects its pointer straight to the requester v — the "path
+//    shortcutting" for which Ginat, Sleator and Tarjan proved an amortized
+//    Θ(log n) bound on pointer chases per request.
+//
+//  * kReverseToSender ("arrow-without-a-tree"): each visited node points
+//    back at the hop predecessor, i.e. plain path reversal. This ablation
+//    shows the compression is what buys the logarithmic behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/centralized.hpp"  // DistTicksFn
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+enum class ForwardingMode : std::uint8_t {
+  kCompressToRequester,
+  kReverseToSender,
+};
+
+struct PointerForwardingConfig {
+  ForwardingMode mode = ForwardingMode::kCompressToRequester;
+  Time service_time = 0;
+  /// Initial owner (all pointers initially lead here), default node 0.
+  NodeId initial_owner = 0;
+};
+
+/// One-shot execution on `node_count` nodes with pairwise latency `dist`.
+/// Completion per Definition 3.2: recorded when the find message reaches the
+/// node holding the predecessor request.
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      const DistTicksFn& dist,
+                                      const PointerForwardingConfig& config);
+
+}  // namespace arrowdq

@@ -1,0 +1,36 @@
+// Probability-aware tree selection (Peleg-Reshef, ICALP 1999).
+//
+// If the probability distribution p of the origin of the next queuing
+// operation is known, the sequential-case overhead of the arrow protocol is
+// minimized by a tree minimizing the expected communication cost
+//   E[dT] = sum_{u,v} p(u) p(v) dT(u, v),
+// and Peleg-Reshef show a tree within 1.5x of optimal exists. We provide the
+// classic practical approximation: the shortest-path tree rooted at the
+// p-weighted median (the node minimizing sum_u p(u) dG(root, u)), plus the
+// exact expected-cost evaluator so benchmarks can compare strategies.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+
+namespace arrowdq {
+
+/// E[dT(u, v)] for u, v drawn independently from `probs` (size n, sums to
+/// ~1; we normalize defensively).
+double expected_comm_cost(const Tree& tree, const std::vector<double>& probs);
+
+/// The p-weighted median of the graph: argmin_v sum_u p(u) dG(v, u).
+NodeId weighted_median(const Graph& g, const std::vector<double>& probs);
+
+/// Shortest-path tree rooted at the p-weighted median.
+Tree weighted_median_spt(const Graph& g, const std::vector<double>& probs);
+
+/// Uniform distribution helper.
+std::vector<double> uniform_probs(NodeId n);
+
+/// Hotspot distribution: `hot` gets mass `hot_mass`, rest uniform.
+std::vector<double> hotspot_probs(NodeId n, NodeId hot, double hot_mass);
+
+}  // namespace arrowdq

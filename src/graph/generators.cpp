@@ -1,0 +1,182 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+Graph make_path(NodeId n, Weight weight) {
+  ARROWDQ_ASSERT(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, weight);
+  return g;
+}
+
+Graph make_ring(NodeId n, Weight weight) {
+  ARROWDQ_ASSERT(n >= 3);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, weight);
+  return g;
+}
+
+Graph make_star(NodeId n, Weight weight) {
+  ARROWDQ_ASSERT(n >= 1);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i, weight);
+  return g;
+}
+
+Graph make_complete(NodeId n, Weight weight) {
+  ARROWDQ_ASSERT(n >= 1);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j, weight);
+  return g;
+}
+
+Graph make_grid(NodeId rows, NodeId cols, Weight weight) {
+  ARROWDQ_ASSERT(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), weight);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), weight);
+    }
+  return g;
+}
+
+Graph make_torus(NodeId rows, NodeId cols, Weight weight) {
+  ARROWDQ_ASSERT(rows >= 3 && cols >= 3);
+  Graph g(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r)
+    for (NodeId c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols), weight);
+      g.add_edge(id(r, c), id((r + 1) % rows, c), weight);
+    }
+  return g;
+}
+
+Graph make_balanced_kary_tree(NodeId n, NodeId k, Weight weight) {
+  ARROWDQ_ASSERT(n >= 1 && k >= 1);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge((i - 1) / k, i, weight);
+  return g;
+}
+
+Graph make_caterpillar(NodeId spine, NodeId legs, Weight weight) {
+  ARROWDQ_ASSERT(spine >= 1 && legs >= 0);
+  Graph g(spine * (1 + legs));
+  for (NodeId i = 0; i + 1 < spine; ++i) g.add_edge(i, i + 1, weight);
+  for (NodeId i = 0; i < spine; ++i)
+    for (NodeId l = 0; l < legs; ++l) g.add_edge(i, spine + i * legs + l, weight);
+  return g;
+}
+
+Graph make_erdos_renyi(NodeId n, double p, Rng& rng) {
+  ARROWDQ_ASSERT(n >= 1);
+  double p_min = n > 1 ? 1.2 * std::log(static_cast<double>(n)) / static_cast<double>(n) : 0.0;
+  p = std::clamp(p, p_min, 1.0);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Graph g(n);
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = i + 1; j < n; ++j)
+        if (rng.next_bool(p)) g.add_edge(i, j, 1);
+    if (g.is_connected()) return g;
+  }
+  // With p >= 1.2 ln n / n, 1000 consecutive disconnected samples is
+  // astronomically unlikely; fall back to a connected backbone plus noise.
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 1);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 2; j < n; ++j)
+      if (rng.next_bool(p)) g.add_edge(i, j, 1);
+  return g;
+}
+
+Graph make_random_geometric(NodeId n, double radius, Rng& rng, Weight weight_scale) {
+  ARROWDQ_ASSERT(n >= 1);
+  ARROWDQ_ASSERT(weight_scale >= 1);
+  for (int attempt = 0;; ++attempt) {
+    std::vector<double> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
+    for (NodeId i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = rng.next_double();
+      y[static_cast<std::size_t>(i)] = rng.next_double();
+    }
+    Graph g(n);
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = i + 1; j < n; ++j) {
+        double dx = x[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(j)];
+        double dy = y[static_cast<std::size_t>(i)] - y[static_cast<std::size_t>(j)];
+        double d = std::sqrt(dx * dx + dy * dy);
+        if (d <= radius) {
+          auto w = static_cast<Weight>(
+              std::max(1.0, std::ceil(d * static_cast<double>(weight_scale))));
+          g.add_edge(i, j, w);
+        }
+      }
+    if (g.is_connected()) return g;
+    if (attempt % 10 == 9) radius = std::min(1.5, radius * 1.25);  // widen until connected
+  }
+}
+
+Graph make_random_tree(NodeId n, Rng& rng, Weight weight) {
+  ARROWDQ_ASSERT(n >= 1);
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1, weight);
+    return g;
+  }
+  // Decode a random Pruefer sequence of length n-2.
+  std::vector<NodeId> pruefer(static_cast<std::size_t>(n - 2));
+  for (auto& p : pruefer) p = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+  std::vector<NodeId> deg(static_cast<std::size_t>(n), 1);
+  for (NodeId p : pruefer) ++deg[static_cast<std::size_t>(p)];
+  // Min-leaf extraction via a pointer sweep (classic O(n) decode).
+  NodeId ptr = 0;
+  while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (NodeId p : pruefer) {
+    g.add_edge(leaf, p, weight);
+    if (--deg[static_cast<std::size_t>(p)] == 1 && p < ptr) {
+      leaf = p;
+    } else {
+      ++ptr;
+      while (deg[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  g.add_edge(leaf, n - 1, weight);
+  return g;
+}
+
+Graph make_hypercube(int dimensions, Weight weight) {
+  ARROWDQ_ASSERT(dimensions >= 0 && dimensions <= 20);
+  auto n = static_cast<NodeId>(NodeId{1} << dimensions);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v)
+    for (int b = 0; b < dimensions; ++b) {
+      NodeId u = v ^ (NodeId{1} << b);
+      if (v < u) g.add_edge(v, u, weight);
+    }
+  return g;
+}
+
+Graph make_lollipop(NodeId clique, NodeId tail, Weight weight) {
+  ARROWDQ_ASSERT(clique >= 1 && tail >= 0);
+  Graph g(clique + tail);
+  for (NodeId i = 0; i < clique; ++i)
+    for (NodeId j = i + 1; j < clique; ++j) g.add_edge(i, j, weight);
+  for (NodeId i = 0; i < tail; ++i) {
+    NodeId from = i == 0 ? clique - 1 : clique + i - 1;
+    g.add_edge(from, clique + i, weight);
+  }
+  return g;
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,62 @@
+// Graph family generators used by the experiments.
+//
+// All generators produce connected graphs with unit edge weights unless a
+// weight parameter is provided. Randomized generators take an explicit seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace arrowdq {
+
+/// Path v0 - v1 - ... - v(n-1).
+Graph make_path(NodeId n, Weight weight = 1);
+
+/// Cycle of n >= 3 nodes.
+Graph make_ring(NodeId n, Weight weight = 1);
+
+/// Star with center 0 and n-1 leaves.
+Graph make_star(NodeId n, Weight weight = 1);
+
+/// Complete graph K_n. This is the topology of Section 5's experiments:
+/// "we could treat the network as a complete graph with all edges having the
+/// same weight".
+Graph make_complete(NodeId n, Weight weight = 1);
+
+/// rows x cols grid, 4-neighbour connectivity.
+Graph make_grid(NodeId rows, NodeId cols, Weight weight = 1);
+
+/// rows x cols torus (grid with wraparound), rows, cols >= 3.
+Graph make_torus(NodeId rows, NodeId cols, Weight weight = 1);
+
+/// Perfectly balanced k-ary tree with n nodes: parent(i) = (i-1)/k.
+/// k = 2 gives the "perfectly balanced binary tree (log2 n depth)" used as
+/// the spanning tree in Section 5.
+Graph make_balanced_kary_tree(NodeId n, NodeId k = 2, Weight weight = 1);
+
+/// Caterpillar: a path spine of `spine` nodes, each with `legs` leaf nodes.
+Graph make_caterpillar(NodeId spine, NodeId legs, Weight weight = 1);
+
+/// Erdos-Renyi G(n, p), resampled (with fresh randomness) until connected.
+/// p is clamped up to (1+eps) ln n / n if too small to avoid livelock.
+Graph make_erdos_renyi(NodeId n, double p, Rng& rng);
+
+/// Random geometric graph: n points uniform in the unit square, edges between
+/// points at Euclidean distance <= radius, integer weights = ceil(dist *
+/// weight_scale). Resampled until connected (radius clamped up if needed).
+Graph make_random_geometric(NodeId n, double radius, Rng& rng, Weight weight_scale = 16);
+
+/// Uniformly random labelled tree via a random Pruefer sequence.
+Graph make_random_tree(NodeId n, Rng& rng, Weight weight = 1);
+
+/// A "lollipop": clique of size k attached to a path of length n - k.
+/// High-stretch stress topology for spanning-tree ablations.
+Graph make_lollipop(NodeId clique, NodeId tail, Weight weight = 1);
+
+/// d-dimensional hypercube with 2^d nodes; edges join nodes whose labels
+/// differ in one bit. Classic message-passing machine topology.
+Graph make_hypercube(int dimensions, Weight weight = 1);
+
+}  // namespace arrowdq

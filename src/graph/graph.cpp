@@ -1,0 +1,74 @@
+#include "graph/graph.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+Graph::Graph(NodeId n) : adj_(static_cast<std::size_t>(n)) { ARROWDQ_ASSERT(n >= 0); }
+
+void Graph::add_edge(NodeId u, NodeId v, Weight weight) {
+  ARROWDQ_ASSERT(u >= 0 && u < node_count());
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  ARROWDQ_ASSERT_MSG(u != v, "self-loops are not allowed");
+  ARROWDQ_ASSERT_MSG(weight > 0, "edge weights are positive latencies");
+  adj_[static_cast<std::size_t>(u)].push_back({v, weight});
+  adj_[static_cast<std::size_t>(v)].push_back({u, weight});
+  edges_.push_back({u, v, weight});
+}
+
+std::span<const HalfEdge> Graph::neighbors(NodeId v) const {
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+NodeId Graph::degree(NodeId v) const {
+  return static_cast<NodeId>(neighbors(v).size());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  for (const auto& he : neighbors(u))
+    if (he.to == v) return true;
+  return false;
+}
+
+Weight Graph::edge_weight(NodeId u, NodeId v) const {
+  for (const auto& he : neighbors(u))
+    if (he.to == v) return he.weight;
+  ARROWDQ_ASSERT_MSG(false, "edge_weight: edge does not exist");
+  return 0;
+}
+
+Weight Graph::total_weight() const {
+  Weight total = 0;
+  for (const auto& e : edges_) total += e.weight;
+  return total;
+}
+
+bool Graph::is_connected() const {
+  if (node_count() == 0) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(node_count()), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  NodeId visited = 1;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (const auto& he : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(he.to)]) {
+        seen[static_cast<std::size_t>(he.to)] = true;
+        ++visited;
+        stack.push_back(he.to);
+      }
+    }
+  }
+  return visited == node_count();
+}
+
+bool Graph::is_tree() const {
+  return node_count() > 0 && edge_count() == static_cast<std::size_t>(node_count()) - 1 &&
+         is_connected();
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,60 @@
+// Undirected weighted graph representing the communication network G = (V, E).
+//
+// Edge weights are communication latencies in whole time units (the paper's
+// synchronous model uses unit latency; generators default to weight 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// A directed half-edge in the adjacency list.
+struct HalfEdge {
+  NodeId to;
+  Weight weight;
+};
+
+/// An undirected edge (u < v is not enforced; stored as given).
+struct Edge {
+  NodeId u;
+  NodeId v;
+  Weight weight;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId n);
+
+  NodeId node_count() const { return static_cast<NodeId>(adj_.size()); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds an undirected edge {u, v} with the given weight (> 0); u != v.
+  void add_edge(NodeId u, NodeId v, Weight weight = 1);
+
+  std::span<const HalfEdge> neighbors(NodeId v) const;
+  std::span<const Edge> edges() const { return edges_; }
+
+  NodeId degree(NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const;
+  /// Weight of edge {u, v}; asserts the edge exists.
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// Sum of all edge weights.
+  Weight total_weight() const;
+
+  bool is_connected() const;
+
+  /// True iff the graph is a tree (connected, |E| = |V| - 1).
+  bool is_tree() const;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adj_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace arrowdq

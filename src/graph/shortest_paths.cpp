@@ -1,0 +1,117 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+namespace {
+struct HeapItem {
+  Weight dist;
+  NodeId node;
+  bool operator>(const HeapItem& o) const {
+    return dist != o.dist ? dist > o.dist : node > o.node;
+  }
+};
+}  // namespace
+
+std::vector<Weight> sssp_with_parents(const Graph& g, NodeId source,
+                                      std::vector<NodeId>& parents) {
+  ARROWDQ_ASSERT(source >= 0 && source < g.node_count());
+  std::vector<Weight> dist(static_cast<std::size_t>(g.node_count()), kUnreachable);
+  parents.assign(static_cast<std::size_t>(g.node_count()), kNoNode);
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[static_cast<std::size_t>(v)]) continue;  // stale entry
+    for (const auto& he : g.neighbors(v)) {
+      Weight nd = d + he.weight;
+      auto& cur = dist[static_cast<std::size_t>(he.to)];
+      if (cur == kUnreachable || nd < cur) {
+        cur = nd;
+        parents[static_cast<std::size_t>(he.to)] = v;
+        heap.push({nd, he.to});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<Weight> sssp(const Graph& g, NodeId source) {
+  std::vector<NodeId> parents;
+  return sssp_with_parents(g, source, parents);
+}
+
+std::vector<Weight> bfs_hops(const Graph& g, NodeId source) {
+  ARROWDQ_ASSERT(source >= 0 && source < g.node_count());
+  std::vector<Weight> dist(static_cast<std::size_t>(g.node_count()), kUnreachable);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (const auto& he : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(he.to)] == kUnreachable) {
+        dist[static_cast<std::size_t>(he.to)] = dist[static_cast<std::size_t>(v)] + 1;
+        q.push(he.to);
+      }
+    }
+  }
+  return dist;
+}
+
+AllPairs::AllPairs(const Graph& g) {
+  dist_.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) dist_.push_back(sssp(g, v));
+}
+
+Weight AllPairs::dist(NodeId u, NodeId v) const {
+  ARROWDQ_ASSERT(u >= 0 && u < node_count());
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  return dist_[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+}
+
+Weight AllPairs::diameter() const {
+  Weight best = 0;
+  for (const auto& row : dist_)
+    for (Weight d : row) {
+      ARROWDQ_ASSERT_MSG(d != kUnreachable, "diameter of a disconnected graph");
+      best = std::max(best, d);
+    }
+  return best;
+}
+
+Weight AllPairs::radius() const {
+  Weight best = kUnreachable;
+  for (const auto& row : dist_) {
+    Weight ecc = 0;
+    for (Weight d : row) {
+      ARROWDQ_ASSERT_MSG(d != kUnreachable, "radius of a disconnected graph");
+      ecc = std::max(ecc, d);
+    }
+    if (best == kUnreachable || ecc < best) best = ecc;
+  }
+  return best;
+}
+
+NodeId AllPairs::center() const {
+  Weight best = kUnreachable;
+  NodeId center = kNoNode;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    Weight ecc = 0;
+    for (Weight d : dist_[static_cast<std::size_t>(v)]) ecc = std::max(ecc, d);
+    if (best == kUnreachable || ecc < best) {
+      best = ecc;
+      center = v;
+    }
+  }
+  return center;
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,48 @@
+// Single-source and all-pairs shortest paths on the network graph.
+//
+// Distances are in whole time units (Weight). The analysis uses dG for the
+// optimal offline algorithm's message latencies and dT (tree distances,
+// provided by Tree) for the arrow protocol.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+inline constexpr Weight kUnreachable = -1;
+
+/// Dijkstra from source; returns distances (kUnreachable where no path).
+std::vector<Weight> sssp(const Graph& g, NodeId source);
+
+/// Dijkstra from source, also emitting the shortest-path parent of each node
+/// (kNoNode for the source / unreachable nodes).
+std::vector<Weight> sssp_with_parents(const Graph& g, NodeId source,
+                                      std::vector<NodeId>& parents);
+
+/// Unweighted BFS hop counts (ignores weights).
+std::vector<Weight> bfs_hops(const Graph& g, NodeId source);
+
+/// All-pairs shortest paths (n Dijkstra runs). Suitable for the n <= a few
+/// thousand graphs used in experiments; result[u][v] is dG(u, v).
+class AllPairs {
+ public:
+  explicit AllPairs(const Graph& g);
+
+  Weight dist(NodeId u, NodeId v) const;
+  NodeId node_count() const { return static_cast<NodeId>(dist_.size()); }
+
+  /// Maximum finite pairwise distance (graph diameter); asserts connectivity.
+  Weight diameter() const;
+  /// Minimum over u of max over v of dist (graph radius).
+  Weight radius() const;
+  /// A node achieving the radius (a center of the graph).
+  NodeId center() const;
+
+ private:
+  std::vector<std::vector<Weight>> dist_;
+};
+
+}  // namespace arrowdq

@@ -1,0 +1,42 @@
+// Spanning-tree construction strategies for the arrow protocol.
+//
+// The paper (Section 1.1) surveys tree choices: Demmer & Herlihy suggested a
+// minimum spanning tree, Peleg & Reshef a minimum communication spanning
+// tree, and Section 5's experiments use a perfectly balanced binary tree on a
+// complete graph. We provide all of these plus a shortest-path (BFS/Dijkstra)
+// tree; the tree-choice ablation benchmark compares them.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "support/random.hpp"
+
+namespace arrowdq {
+
+/// Shortest-path tree from `root` (Dijkstra parents). For unit weights this
+/// is the BFS tree.
+Tree shortest_path_tree(const Graph& g, NodeId root);
+
+/// Kruskal minimum spanning tree, rooted at `root`.
+Tree kruskal_mst(const Graph& g, NodeId root);
+
+/// Prim minimum spanning tree grown from `root`.
+Tree prim_mst(const Graph& g, NodeId root);
+
+/// The balanced binary overlay used in Section 5: node i's tree parent is
+/// (i-1)/2. Only valid when g contains all such edges (e.g. a complete
+/// graph); weights are taken from g.
+Tree balanced_binary_overlay(const Graph& g, NodeId root = 0);
+
+/// A uniformly random spanning tree via random edge order Kruskal
+/// (not Wilson-uniform, but unbiased enough for ablation baselines).
+Tree random_spanning_tree(const Graph& g, NodeId root, Rng& rng);
+
+/// Greedy approximation of a minimum *communication* spanning tree
+/// (Hu 1974; suggested for arrow by Peleg & Reshef): picks the shortest-path
+/// tree rooted at the graph median, the node minimizing the sum of distances
+/// to all other nodes. Exact MCT is NP-hard; the median SPT is the classic
+/// 2-approximation for uniform communication requirements.
+Tree median_spt(const Graph& g);
+
+}  // namespace arrowdq

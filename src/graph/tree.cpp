@@ -1,0 +1,201 @@
+#include "graph/tree.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+Tree::Tree(std::vector<NodeId> parent, std::vector<Weight> weight_to_parent, NodeId root)
+    : parent_(std::move(parent)), wparent_(std::move(weight_to_parent)), root_(root) {
+  auto n = static_cast<NodeId>(parent_.size());
+  ARROWDQ_ASSERT(n >= 1);
+  ARROWDQ_ASSERT(wparent_.size() == parent_.size());
+  ARROWDQ_ASSERT(root_ >= 0 && root_ < n);
+  ARROWDQ_ASSERT_MSG(parent_[static_cast<std::size_t>(root_)] == kNoNode,
+                     "root's parent must be kNoNode");
+
+  children_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root_) continue;
+    NodeId p = parent_[static_cast<std::size_t>(v)];
+    ARROWDQ_ASSERT_MSG(p >= 0 && p < n && p != v, "invalid parent pointer");
+    children_[static_cast<std::size_t>(p)].push_back(v);
+  }
+
+  // BFS from the root to compute depths; also validates that the parent
+  // structure is a single tree (every node reached exactly once).
+  depth_.assign(static_cast<std::size_t>(n), -1);
+  dist_root_.assign(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(root_);
+  depth_[static_cast<std::size_t>(root_)] = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    NodeId v = order[i];
+    for (NodeId c : children_[static_cast<std::size_t>(v)]) {
+      ARROWDQ_ASSERT_MSG(depth_[static_cast<std::size_t>(c)] == -1, "cycle in parent array");
+      depth_[static_cast<std::size_t>(c)] = depth_[static_cast<std::size_t>(v)] + 1;
+      ARROWDQ_ASSERT_MSG(wparent_[static_cast<std::size_t>(c)] > 0, "edge weights are positive");
+      dist_root_[static_cast<std::size_t>(c)] =
+          dist_root_[static_cast<std::size_t>(v)] + wparent_[static_cast<std::size_t>(c)];
+      order.push_back(c);
+    }
+  }
+  ARROWDQ_ASSERT_MSG(order.size() == static_cast<std::size_t>(n),
+                     "parent array does not describe a single connected tree");
+
+  // Binary lifting table. up_[0][v] = parent(v) (root maps to itself).
+  int levels = 1;
+  while ((NodeId{1} << levels) < n) ++levels;
+  up_.assign(static_cast<std::size_t>(levels), std::vector<NodeId>(static_cast<std::size_t>(n)));
+  for (NodeId v = 0; v < n; ++v)
+    up_[0][static_cast<std::size_t>(v)] = v == root_ ? root_ : parent_[static_cast<std::size_t>(v)];
+  for (int k = 1; k < levels; ++k)
+    for (NodeId v = 0; v < n; ++v)
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
+          up_[static_cast<std::size_t>(k - 1)]
+             [static_cast<std::size_t>(up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(v)])];
+}
+
+Tree Tree::from_parents(std::vector<NodeId> parent, NodeId root) {
+  std::vector<Weight> w(parent.size(), 1);
+  return Tree(std::move(parent), std::move(w), root);
+}
+
+NodeId Tree::parent(NodeId v) const {
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  return parent_[static_cast<std::size_t>(v)];
+}
+
+Weight Tree::weight_to_parent(NodeId v) const {
+  ARROWDQ_ASSERT(v >= 0 && v < node_count() && v != root_);
+  return wparent_[static_cast<std::size_t>(v)];
+}
+
+std::span<const NodeId> Tree::children(NodeId v) const {
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  return children_[static_cast<std::size_t>(v)];
+}
+
+std::vector<NodeId> Tree::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  if (v != root_) out.push_back(parent(v));
+  for (NodeId c : children(v)) out.push_back(c);
+  return out;
+}
+
+NodeId Tree::degree(NodeId v) const {
+  return static_cast<NodeId>(children(v).size()) + (v == root_ ? 0 : 1);
+}
+
+NodeId Tree::depth(NodeId v) const {
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  return depth_[static_cast<std::size_t>(v)];
+}
+
+Weight Tree::dist_to_root(NodeId v) const {
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  return dist_root_[static_cast<std::size_t>(v)];
+}
+
+NodeId Tree::ancestor_at_depth(NodeId v, NodeId target_depth) const {
+  NodeId delta = depth(v) - target_depth;
+  ARROWDQ_ASSERT(delta >= 0);
+  for (std::size_t k = 0; delta != 0; ++k, delta >>= 1)
+    if (delta & 1) v = up_[k][static_cast<std::size_t>(v)];
+  return v;
+}
+
+NodeId Tree::lca(NodeId u, NodeId v) const {
+  if (depth(u) > depth(v)) std::swap(u, v);
+  v = ancestor_at_depth(v, depth(u));
+  if (u == v) return u;
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    if (up_[k][static_cast<std::size_t>(u)] != up_[k][static_cast<std::size_t>(v)]) {
+      u = up_[k][static_cast<std::size_t>(u)];
+      v = up_[k][static_cast<std::size_t>(v)];
+    }
+  }
+  return up_[0][static_cast<std::size_t>(u)];
+}
+
+Weight Tree::distance(NodeId u, NodeId v) const {
+  NodeId a = lca(u, v);
+  return dist_to_root(u) + dist_to_root(v) - 2 * dist_to_root(a);
+}
+
+NodeId Tree::hop_distance(NodeId u, NodeId v) const {
+  NodeId a = lca(u, v);
+  return depth(u) + depth(v) - 2 * depth(a);
+}
+
+std::vector<NodeId> Tree::path(NodeId u, NodeId v) const {
+  NodeId a = lca(u, v);
+  std::vector<NodeId> up_part;
+  for (NodeId x = u; x != a; x = parent(x)) up_part.push_back(x);
+  up_part.push_back(a);
+  std::vector<NodeId> down_part;
+  for (NodeId x = v; x != a; x = parent(x)) down_part.push_back(x);
+  up_part.insert(up_part.end(), down_part.rbegin(), down_part.rend());
+  return up_part;
+}
+
+std::pair<NodeId, NodeId> Tree::diameter_endpoints() const {
+  // Double sweep: farthest node from the root, then farthest from that.
+  auto farthest = [this](NodeId from) {
+    NodeId best = from;
+    Weight best_d = 0;
+    for (NodeId v = 0; v < node_count(); ++v) {
+      Weight d = distance(from, v);
+      if (d > best_d) {
+        best_d = d;
+        best = v;
+      }
+    }
+    return best;
+  };
+  NodeId a = farthest(root_);
+  NodeId b = farthest(a);
+  return {a, b};
+}
+
+Weight Tree::diameter() const {
+  auto [a, b] = diameter_endpoints();
+  return distance(a, b);
+}
+
+Graph Tree::as_graph() const {
+  Graph g(node_count());
+  for (NodeId v = 0; v < node_count(); ++v)
+    if (v != root_) g.add_edge(v, parent(v), weight_to_parent(v));
+  return g;
+}
+
+Tree Tree::rerooted(NodeId new_root) const {
+  ARROWDQ_ASSERT(new_root >= 0 && new_root < node_count());
+  auto n = static_cast<std::size_t>(node_count());
+  std::vector<NodeId> np(n, kNoNode);
+  std::vector<Weight> nw(n, 1);
+  // Walk the path new_root -> old root, flipping parent pointers along it.
+  NodeId prev = kNoNode;
+  Weight prev_w = 0;
+  for (NodeId x = new_root; x != kNoNode;) {
+    NodeId next = parent_[static_cast<std::size_t>(x)];
+    Weight next_w = x == root_ ? 0 : wparent_[static_cast<std::size_t>(x)];
+    np[static_cast<std::size_t>(x)] = prev;
+    nw[static_cast<std::size_t>(x)] = prev == kNoNode ? 1 : prev_w;
+    prev = x;
+    prev_w = next_w;
+    x = next;
+  }
+  // All other nodes keep their parent.
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (np[static_cast<std::size_t>(v)] != kNoNode || v == new_root) continue;
+    np[static_cast<std::size_t>(v)] = parent_[static_cast<std::size_t>(v)];
+    nw[static_cast<std::size_t>(v)] = wparent_[static_cast<std::size_t>(v)];
+  }
+  return Tree(std::move(np), std::move(nw), new_root);
+}
+
+}  // namespace arrowdq

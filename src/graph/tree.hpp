@@ -1,0 +1,77 @@
+// Rooted spanning tree T with O(log n) distance queries.
+//
+// The arrow protocol operates entirely on T: link pointers point to tree
+// neighbours, queue() messages travel tree paths, and the analysis cost cT
+// uses tree distances dT(u, v). Tree supports LCA via binary lifting so
+// dT(u, v) = dist_to_root(u) + dist_to_root(v) - 2 * dist_to_root(lca(u, v))
+// is answered in O(log n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+class Tree {
+ public:
+  /// Build from a parent array: parent[root] == kNoNode, every other node's
+  /// parent is its tree neighbour toward the root. weight_to_parent[v] is the
+  /// latency of edge {v, parent[v]} (ignored at the root).
+  Tree(std::vector<NodeId> parent, std::vector<Weight> weight_to_parent, NodeId root);
+
+  /// Convenience: unit weights.
+  static Tree from_parents(std::vector<NodeId> parent, NodeId root);
+
+  NodeId node_count() const { return static_cast<NodeId>(parent_.size()); }
+  NodeId root() const { return root_; }
+  NodeId parent(NodeId v) const;
+  Weight weight_to_parent(NodeId v) const;
+  std::span<const NodeId> children(NodeId v) const;
+
+  /// Tree neighbours of v (parent + children). Order: parent first.
+  std::vector<NodeId> neighbors(NodeId v) const;
+  NodeId degree(NodeId v) const;
+
+  /// Hop depth (root = 0).
+  NodeId depth(NodeId v) const;
+  /// Weighted distance to root.
+  Weight dist_to_root(NodeId v) const;
+
+  NodeId lca(NodeId u, NodeId v) const;
+
+  /// Weighted tree distance dT(u, v).
+  Weight distance(NodeId u, NodeId v) const;
+  /// Hop count of the tree path u -> v.
+  NodeId hop_distance(NodeId u, NodeId v) const;
+
+  /// The node sequence of the tree path u -> v (inclusive of both ends).
+  std::vector<NodeId> path(NodeId u, NodeId v) const;
+
+  /// Weighted diameter of the tree (max pairwise dT).
+  Weight diameter() const;
+  /// Endpoints of a diameter path.
+  std::pair<NodeId, NodeId> diameter_endpoints() const;
+
+  /// The tree as a Graph (n-1 edges).
+  Graph as_graph() const;
+
+  /// Re-root the same undirected tree at a new root.
+  Tree rerooted(NodeId new_root) const;
+
+ private:
+  NodeId ancestor_at_depth(NodeId v, NodeId target_depth) const;
+
+  std::vector<NodeId> parent_;
+  std::vector<Weight> wparent_;
+  NodeId root_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<NodeId> depth_;
+  std::vector<Weight> dist_root_;
+  std::vector<std::vector<NodeId>> up_;  // binary lifting table
+};
+
+}  // namespace arrowdq

@@ -1,0 +1,117 @@
+#include "graph/tree_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/metrics.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+namespace {
+
+double objective_value(const AllPairs& apsp, const Tree& t, StretchObjective obj) {
+  auto rep = stretch_exact(apsp, t);
+  return obj == StretchObjective::kMax ? rep.max_stretch : rep.avg_stretch;
+}
+
+/// The edge set of a tree as (u, v, w) with u/v in graph ids.
+std::vector<Edge> tree_edges(const Tree& t) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(t.node_count()) - 1);
+  for (NodeId v = 0; v < t.node_count(); ++v)
+    if (v != t.root()) edges.push_back({v, t.parent(v), t.weight_to_parent(v)});
+  return edges;
+}
+
+/// Build a Tree from an edge list (must form a spanning tree), rooted at 0.
+Tree tree_from_edges(NodeId n, const std::vector<Edge>& edges, NodeId root) {
+  std::vector<std::vector<HalfEdge>> adj(static_cast<std::size_t>(n));
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(e.u)].push_back({e.v, e.weight});
+    adj[static_cast<std::size_t>(e.v)].push_back({e.u, e.weight});
+  }
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), kNoNode);
+  std::vector<Weight> wpar(static_cast<std::size_t>(n), 1);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> stack{root};
+  seen[static_cast<std::size_t>(root)] = true;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (const auto& he : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(he.to)]) {
+        seen[static_cast<std::size_t>(he.to)] = true;
+        parent[static_cast<std::size_t>(he.to)] = v;
+        wpar[static_cast<std::size_t>(he.to)] = he.weight;
+        stack.push_back(he.to);
+      }
+    }
+  }
+  return Tree(std::move(parent), std::move(wpar), root);
+}
+
+}  // namespace
+
+TreeSearchResult improve_tree_stretch(const Graph& g, const Tree& seed,
+                                      const TreeSearchOptions& options, Rng& rng) {
+  ARROWDQ_ASSERT(g.node_count() == seed.node_count());
+  AllPairs apsp(g);
+
+  Tree current = seed;
+  double cur_obj = objective_value(apsp, current, options.objective);
+
+  TreeSearchResult result{current, cur_obj, cur_obj, 0, 0};
+
+  int stale = 0;
+  std::vector<Edge> all_edges(g.edges().begin(), g.edges().end());
+  for (int it = 0; it < options.max_iterations && stale < options.patience; ++it) {
+    ++result.examined_swaps;
+    // Pick a random non-tree edge to insert.
+    const Edge& insert =
+        all_edges[static_cast<std::size_t>(rng.next_below(all_edges.size()))];
+    // Skip if already a tree edge (parent relation either way).
+    auto is_tree_edge = [&](NodeId a, NodeId b) {
+      return (a != current.root() && current.parent(a) == b) ||
+             (b != current.root() && current.parent(b) == a);
+    };
+    if (is_tree_edge(insert.u, insert.v)) {
+      ++stale;
+      continue;
+    }
+    // The cycle closed by `insert` is the tree path u..v; removing any edge
+    // on it keeps a spanning tree. Pick a random one.
+    auto path = current.path(insert.u, insert.v);
+    ARROWDQ_ASSERT(path.size() >= 2);
+    auto k = static_cast<std::size_t>(rng.next_below(path.size() - 1));
+    NodeId a = path[k], b = path[k + 1];
+
+    // Rebuild the edge list with the swap applied.
+    std::vector<Edge> edges = tree_edges(current);
+    bool removed = false;
+    for (auto& e : edges) {
+      if ((e.u == a && e.v == b) || (e.u == b && e.v == a)) {
+        e = insert;
+        removed = true;
+        break;
+      }
+    }
+    ARROWDQ_ASSERT(removed);
+    Tree candidate = tree_from_edges(g.node_count(), edges, current.root());
+    double cand_obj = objective_value(apsp, candidate, options.objective);
+    if (cand_obj < cur_obj) {
+      current = std::move(candidate);
+      cur_obj = cand_obj;
+      ++result.improving_swaps;
+      stale = 0;
+    } else {
+      ++stale;
+    }
+  }
+
+  result.tree = current;
+  result.final_objective = cur_obj;
+  return result;
+}
+
+}  // namespace arrowdq

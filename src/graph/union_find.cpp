@@ -1,0 +1,33 @@
+#include "graph/union_find.hpp"
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+UnionFind::UnionFind(NodeId n)
+    : parent_(static_cast<std::size_t>(n)), rank_(static_cast<std::size_t>(n), 0), sets_(n) {
+  for (NodeId i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+}
+
+NodeId UnionFind::find(NodeId x) {
+  ARROWDQ_ASSERT(x >= 0 && static_cast<std::size_t>(x) < parent_.size());
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    auto& p = parent_[static_cast<std::size_t>(x)];
+    p = parent_[static_cast<std::size_t>(p)];  // path halving
+    x = p;
+  }
+  return x;
+}
+
+bool UnionFind::unite(NodeId x, NodeId y) {
+  NodeId rx = find(x), ry = find(y);
+  if (rx == ry) return false;
+  if (rank_[static_cast<std::size_t>(rx)] < rank_[static_cast<std::size_t>(ry)]) std::swap(rx, ry);
+  parent_[static_cast<std::size_t>(ry)] = rx;
+  if (rank_[static_cast<std::size_t>(rx)] == rank_[static_cast<std::size_t>(ry)])
+    ++rank_[static_cast<std::size_t>(rx)];
+  --sets_;
+  return true;
+}
+
+}  // namespace arrowdq

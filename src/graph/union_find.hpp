@@ -1,0 +1,27 @@
+// Disjoint-set forest with union by rank and path halving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n);
+
+  NodeId find(NodeId x);
+  /// Returns true if x and y were in different sets (and merges them).
+  bool unite(NodeId x, NodeId y);
+  bool same(NodeId x, NodeId y) { return find(x) == find(y); }
+  NodeId set_count() const { return sets_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::int8_t> rank_;
+  NodeId sets_;
+};
+
+}  // namespace arrowdq

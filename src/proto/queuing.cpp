@@ -1,0 +1,87 @@
+#include "proto/queuing.hpp"
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+QueuingOutcome::QueuingOutcome(std::int32_t request_count)
+    : completions_(static_cast<std::size_t>(request_count) + 1),
+      successor_(static_cast<std::size_t>(request_count) + 1, kNoRequest) {
+  ARROWDQ_ASSERT(request_count >= 0);
+}
+
+void QueuingOutcome::record(const Completion& c) {
+  ARROWDQ_ASSERT(c.request >= 1 &&
+                 static_cast<std::size_t>(c.request) < completions_.size());
+  ARROWDQ_ASSERT(c.predecessor >= 0 &&
+                 static_cast<std::size_t>(c.predecessor) < completions_.size());
+  auto& slot = completions_[static_cast<std::size_t>(c.request)];
+  ARROWDQ_ASSERT_MSG(slot.request == kNoRequest, "request completed twice");
+  slot = c;
+  auto& succ = successor_[static_cast<std::size_t>(c.predecessor)];
+  ARROWDQ_ASSERT_MSG(succ == kNoRequest, "two requests queued behind the same predecessor");
+  succ = c.request;
+  ++recorded_;
+}
+
+bool QueuingOutcome::is_complete() const { return recorded_ == request_count(); }
+
+const Completion& QueuingOutcome::completion(RequestId id) const {
+  ARROWDQ_ASSERT(id >= 1 && static_cast<std::size_t>(id) < completions_.size());
+  const auto& c = completions_[static_cast<std::size_t>(id)];
+  ARROWDQ_ASSERT_MSG(c.request != kNoRequest, "request never completed");
+  return c;
+}
+
+std::vector<RequestId> QueuingOutcome::order() const {
+  std::vector<RequestId> out;
+  out.reserve(completions_.size());
+  RequestId cur = kRootRequest;
+  out.push_back(cur);
+  while (successor_[static_cast<std::size_t>(cur)] != kNoRequest) {
+    cur = successor_[static_cast<std::size_t>(cur)];
+    out.push_back(cur);
+  }
+  ARROWDQ_ASSERT_MSG(out.size() == completions_.size(),
+                     "successor chain does not cover all requests");
+  return out;
+}
+
+Time QueuingOutcome::total_latency(const RequestSet& reqs) const {
+  ARROWDQ_ASSERT(reqs.size() == request_count());
+  Time total = 0;
+  for (RequestId id = 1; id <= request_count(); ++id) {
+    const auto& c = completion(id);
+    ARROWDQ_ASSERT(c.completed_at != kTimeNever);
+    Time latency = c.completed_at - reqs.by_id(id).time;
+    ARROWDQ_ASSERT(latency >= 0);
+    total += latency;
+  }
+  return total;
+}
+
+std::int64_t QueuingOutcome::total_hops() const {
+  std::int64_t total = 0;
+  for (RequestId id = 1; id <= request_count(); ++id) total += completion(id).hops;
+  return total;
+}
+
+Weight QueuingOutcome::total_distance() const {
+  Weight total = 0;
+  for (RequestId id = 1; id <= request_count(); ++id) total += completion(id).distance;
+  return total;
+}
+
+void QueuingOutcome::validate(const RequestSet& reqs) const {
+  ARROWDQ_ASSERT(reqs.size() == request_count());
+  ARROWDQ_ASSERT_MSG(is_complete(), "not all requests completed");
+  auto chain = order();  // asserts permutation structure internally
+  ARROWDQ_ASSERT(chain.front() == kRootRequest);
+  // Completion time of each request must not precede its issue time.
+  for (RequestId id = 1; id <= request_count(); ++id) {
+    const auto& c = completion(id);
+    ARROWDQ_ASSERT(c.completed_at >= reqs.by_id(id).time);
+  }
+}
+
+}  // namespace arrowdq

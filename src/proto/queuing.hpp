@@ -1,0 +1,56 @@
+// The result of running a queuing protocol on a request set, plus validation
+// and cost extraction shared by the arrow protocol and all baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/request.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// Per-request completion record (Definitions 3.2/3.3).
+struct Completion {
+  RequestId request = kNoRequest;
+  RequestId predecessor = kNoRequest;  // the request it was queued behind
+  Time completed_at = kTimeNever;      // when the predecessor's node was informed
+  std::int32_t hops = 0;               // messages the find/queue traversal used
+  Weight distance = 0;                 // weighted length of the traversal (units)
+};
+
+class QueuingOutcome {
+ public:
+  explicit QueuingOutcome(std::int32_t request_count);
+
+  void record(const Completion& c);
+  bool is_complete() const;
+
+  std::int32_t request_count() const { return static_cast<std::int32_t>(completions_.size()) - 1; }
+  const Completion& completion(RequestId id) const;
+
+  /// The total order as request ids starting from the root request 0.
+  /// Asserts the successor records chain into a full permutation.
+  std::vector<RequestId> order() const;
+
+  /// Total latency (Definition 3.3): sum over requests of
+  /// (completed_at - issue time), in ticks.
+  Time total_latency(const RequestSet& reqs) const;
+
+  /// Sum of hops over all requests.
+  std::int64_t total_hops() const;
+  /// Sum of weighted traversal distances (units).
+  Weight total_distance() const;
+
+  /// Validates against a request set: every real request completed, each
+  /// predecessor used exactly once, order reachable from r0. Aborts on
+  /// violation (these are protocol-correctness invariants).
+  void validate(const RequestSet& reqs) const;
+
+ private:
+  std::vector<Completion> completions_;  // indexed by request id; [0] unused
+  std::vector<RequestId> successor_;     // successor[p] = q iff q queued behind p
+  std::int32_t recorded_ = 0;
+};
+
+}  // namespace arrowdq

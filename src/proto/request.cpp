@@ -1,0 +1,39 @@
+#include "proto/request.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+RequestSet::RequestSet(NodeId root, std::vector<std::pair<NodeId, Time>> items) : root_(root) {
+  ARROWDQ_ASSERT(root >= 0);
+  std::stable_sort(items.begin(), items.end(),
+                   [](const auto& a, const auto& b) { return a.second < b.second; });
+  reqs_.reserve(items.size() + 1);
+  reqs_.push_back(Request{kRootRequest, root, 0});
+  RequestId next = 1;
+  for (const auto& [node, t] : items) {
+    ARROWDQ_ASSERT_MSG(t >= 0, "request times are non-negative");
+    ARROWDQ_ASSERT(node >= 0);
+    reqs_.push_back(Request{next++, node, t});
+  }
+}
+
+const Request& RequestSet::by_id(RequestId id) const {
+  ARROWDQ_ASSERT(id >= 0 && static_cast<std::size_t>(id) < reqs_.size());
+  return reqs_[static_cast<std::size_t>(id)];
+}
+
+Time RequestSet::last_issue_time() const {
+  return reqs_.size() > 1 ? reqs_.back().time : 0;
+}
+
+RequestSet RequestSet::from_units(NodeId root, std::vector<std::pair<NodeId, Weight>> items) {
+  std::vector<std::pair<NodeId, Time>> ticks;
+  ticks.reserve(items.size());
+  for (const auto& [node, t] : items) ticks.emplace_back(node, units_to_ticks(t));
+  return RequestSet(root, std::move(ticks));
+}
+
+}  // namespace arrowdq

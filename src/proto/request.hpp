@@ -1,0 +1,55 @@
+// Queuing requests and request sets.
+//
+// A request is the pair (v, t) of Section 3.1: node v asks to join the total
+// order at time t. Requests are indexed 1..|R| in non-decreasing time order
+// (ties broken by insertion order, exactly the paper's indexing convention);
+// index 0 is reserved for the virtual root request r0 = (root, 0).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct Request {
+  RequestId id = kNoRequest;
+  NodeId node = kNoNode;
+  Time time = 0;  // issue time in ticks
+};
+
+/// An immutable, validated set of queuing requests for one execution.
+class RequestSet {
+ public:
+  /// Build from (node, issue-time-in-ticks) pairs; sorts by time (stable) and
+  /// assigns ids 1..n. `root` is the initial sink; the virtual root request
+  /// r0 = (root, 0) is stored at index 0.
+  RequestSet(NodeId root, std::vector<std::pair<NodeId, Time>> items);
+
+  NodeId root() const { return root_; }
+
+  /// Number of real requests |R| (excludes r0).
+  std::int32_t size() const { return static_cast<std::int32_t>(reqs_.size()) - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Requests indexed by id; id 0 is r0.
+  const Request& by_id(RequestId id) const;
+  /// All requests including r0 at index 0, in id (= time) order.
+  std::span<const Request> all() const { return reqs_; }
+  /// Real requests only (ids 1..n).
+  std::span<const Request> real() const { return {reqs_.data() + 1, reqs_.size() - 1}; }
+
+  /// Largest issue time among real requests (t_|R| in the paper); 0 if empty.
+  Time last_issue_time() const;
+
+  /// Convenience: build with times given in whole units instead of ticks.
+  static RequestSet from_units(NodeId root, std::vector<std::pair<NodeId, Weight>> items);
+
+ private:
+  NodeId root_;
+  std::vector<Request> reqs_;
+};
+
+}  // namespace arrowdq

@@ -1,0 +1,80 @@
+// Message latency models.
+//
+// Synchronous model (Section 3.1): every unit-weight edge delivers in exactly
+// one time unit. Asynchronous model (Section 3.8): delays are arbitrary but
+// normalized so the slowest message between adjacent nodes takes one unit;
+// we provide randomized models whose per-message delay is uniform or
+// heavy-tailed within (0, 1] units per unit of edge weight.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "support/random.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Latency in ticks for one message across edge (from, to) of the given
+  /// weight (in units). Must be >= 1 tick.
+  virtual Time sample(NodeId from, NodeId to, Weight weight) = 0;
+
+  /// A human-readable name for benchmark output.
+  virtual const char* name() const = 0;
+};
+
+/// Synchronous: exactly weight * kTicksPerUnit.
+class SynchronousLatency final : public LatencyModel {
+ public:
+  Time sample(NodeId, NodeId, Weight weight) override;
+  const char* name() const override { return "synchronous"; }
+};
+
+/// Constant fraction of the synchronous latency (0 < fraction <= 1):
+/// models a uniformly fast asynchronous network.
+class ScaledLatency final : public LatencyModel {
+ public:
+  explicit ScaledLatency(double fraction);
+  Time sample(NodeId, NodeId, Weight weight) override;
+  const char* name() const override { return "scaled"; }
+
+ private:
+  double fraction_;
+};
+
+/// Uniform in [min_fraction, 1] of the synchronous latency per message.
+class UniformAsyncLatency final : public LatencyModel {
+ public:
+  UniformAsyncLatency(std::uint64_t seed, double min_fraction = 0.05);
+  Time sample(NodeId, NodeId, Weight weight) override;
+  const char* name() const override { return "uniform-async"; }
+
+ private:
+  Rng rng_;
+  double min_fraction_;
+};
+
+/// Heavy-tailed: latency = clamp(exp-distributed, (0,1]) of synchronous;
+/// most messages fast, occasional slow ones — the adversarial flavour of
+/// Section 3.8 where the "1" normalization is achieved by the slowest link.
+class TruncatedExpLatency final : public LatencyModel {
+ public:
+  TruncatedExpLatency(std::uint64_t seed, double mean_fraction = 0.3);
+  Time sample(NodeId, NodeId, Weight weight) override;
+  const char* name() const override { return "trunc-exp"; }
+
+ private:
+  Rng rng_;
+  double mean_fraction_;
+};
+
+std::unique_ptr<LatencyModel> make_synchronous();
+std::unique_ptr<LatencyModel> make_scaled(double fraction);
+std::unique_ptr<LatencyModel> make_uniform_async(std::uint64_t seed, double min_fraction = 0.05);
+std::unique_ptr<LatencyModel> make_truncated_exp(std::uint64_t seed, double mean_fraction = 0.3);
+
+}  // namespace arrowdq

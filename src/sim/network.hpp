@@ -1,0 +1,129 @@
+// Point-to-point FIFO message network over a graph, driven by the simulator.
+//
+// Guarantees, matching the paper's model:
+//  * FIFO links: messages on the same directed edge are delivered in send
+//    order even under randomized latencies (later sends are clamped to not
+//    overtake earlier ones).
+//  * Atomic handlers: a node's handler for one message runs to completion at
+//    a single simulated instant.
+//  * Optional serial per-node service time: each node processes messages one
+//    at a time, each occupying the node for `service_time` ticks. The
+//    theoretical model of Section 3.1 has free local processing
+//    (service_time = 0, the default); the Section 5 experiment reproduction
+//    sets it > 0 to model a real CPU's serial message handling, which is
+//    what makes the centralized protocol's home node a bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/latency.hpp"
+#include "sim/simulator.hpp"
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+struct NetworkStats {
+  std::uint64_t edge_messages = 0;    // messages sent over graph edges
+  std::uint64_t direct_messages = 0;  // messages sent via send_with_latency
+  Time total_edge_latency = 0;        // sum of sampled edge latencies (ticks)
+};
+
+template <typename M>
+class Network {
+ public:
+  /// Handler invoked when a message is processed at its destination.
+  using Handler = std::function<void(NodeId from, NodeId to, const M& msg)>;
+
+  Network(const Graph& graph, Simulator& sim, LatencyModel& latency)
+      : graph_(graph),
+        sim_(sim),
+        latency_(latency),
+        busy_until_(static_cast<std::size_t>(graph.node_count()), 0) {}
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Serial processing cost per message at every node, in ticks.
+  void set_service_time(Time ticks) {
+    ARROWDQ_ASSERT(ticks >= 0);
+    service_time_ = ticks;
+  }
+  Time service_time() const { return service_time_; }
+
+  const Graph& graph() const { return graph_; }
+  Simulator& sim() { return sim_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Send over graph edge {from, to}; latency sampled from the model and
+  /// clamped for FIFO.
+  void send(NodeId from, NodeId to, M msg) {
+    ARROWDQ_ASSERT_MSG(graph_.has_edge(from, to), "send over a non-edge");
+    Weight w = graph_.edge_weight(from, to);
+    Time lat = latency_.sample(from, to, w);
+    ARROWDQ_ASSERT(lat >= 1);
+    Time deliver = sim_.now() + lat;
+    // FIFO clamp: never deliver before an earlier message on this edge.
+    auto key = edge_key(from, to);
+    auto [it, inserted] = fifo_.try_emplace(key, deliver);
+    if (!inserted) {
+      if (deliver < it->second) deliver = it->second;
+      it->second = deliver;
+    }
+    ++stats_.edge_messages;
+    stats_.total_edge_latency += lat;
+    schedule_processing(from, to, deliver, std::move(msg));
+  }
+
+  /// Send with an explicit latency (ticks), e.g. along a shortest path of
+  /// the underlying graph rather than a single edge. Not FIFO-clamped
+  /// against edge traffic (it does not traverse a single link).
+  void send_with_latency(NodeId from, NodeId to, Time latency, M msg) {
+    ARROWDQ_ASSERT(latency >= 0);
+    ++stats_.direct_messages;
+    schedule_processing(from, to, sim_.now() + latency, std::move(msg));
+  }
+
+ private:
+  static std::uint64_t edge_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  void schedule_processing(NodeId from, NodeId to, Time deliver, M msg) {
+    if (service_time_ == 0) {
+      sim_.at(deliver, [this, from, to, m = std::move(msg)]() {
+        ARROWDQ_ASSERT_MSG(handler_, "no handler installed");
+        handler_(from, to, m);
+      });
+      return;
+    }
+    // Serial node: arrival waits for the node to be free, then occupies it
+    // for service_time_ ticks; the handler fires when processing finishes.
+    sim_.at(deliver, [this, from, to, m = std::move(msg)]() mutable {
+      auto& busy = busy_until_[static_cast<std::size_t>(to)];
+      Time start = std::max(sim_.now(), busy);
+      Time done = start + service_time_;
+      busy = done;
+      sim_.at(done, [this, from, to, m2 = std::move(m)]() {
+        ARROWDQ_ASSERT_MSG(handler_, "no handler installed");
+        handler_(from, to, m2);
+      });
+    });
+  }
+
+  const Graph& graph_;
+  Simulator& sim_;
+  LatencyModel& latency_;
+  Handler handler_;
+  Time service_time_ = 0;
+  std::vector<Time> busy_until_;
+  std::unordered_map<std::uint64_t, Time> fifo_;
+  NetworkStats stats_;
+};
+
+}  // namespace arrowdq

@@ -1,0 +1,121 @@
+// Intrusive-free pairing heap keyed by (time, sequence), as an alternative
+// to std::priority_queue for the simulator's event queue.
+//
+// The binary-heap std::priority_queue is the default; this pairing heap has
+// O(1) amortized insert (vs O(log n)) which pays off for the bursty insert
+// patterns of closed-loop workloads. bench_micro compares both; the
+// simulator can be instantiated with either via EventQueue's template
+// parameter. The implementation stores nodes in a std::vector pool with
+// index links, so it is allocation-free after reserve() and trivially
+// destructible.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// Min-heap over (time, seq) keys with an attached payload T.
+template <typename T>
+class PairingHeap {
+ public:
+  struct Key {
+    Time t;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const { return t != o.t ? t < o.t : seq < o.seq; }
+  };
+
+  bool empty() const { return root_ == kNil; }
+  std::size_t size() const { return size_; }
+
+  void reserve(std::size_t n) { nodes_.reserve(n); }
+
+  void push(Key key, T value) {
+    std::int32_t idx;
+    if (free_ != kNil) {
+      idx = free_;
+      free_ = nodes_[static_cast<std::size_t>(idx)].sibling;
+      nodes_[static_cast<std::size_t>(idx)] =
+          Node{key, std::move(value), kNil, kNil};
+    } else {
+      idx = static_cast<std::int32_t>(nodes_.size());
+      nodes_.push_back(Node{key, std::move(value), kNil, kNil});
+    }
+    root_ = root_ == kNil ? idx : meld(root_, idx);
+    ++size_;
+  }
+
+  const Key& top_key() const {
+    ARROWDQ_ASSERT(!empty());
+    return nodes_[static_cast<std::size_t>(root_)].key;
+  }
+
+  /// Removes and returns the minimum element's payload.
+  T pop() {
+    ARROWDQ_ASSERT(!empty());
+    std::int32_t old_root = root_;
+    T out = std::move(nodes_[static_cast<std::size_t>(old_root)].value);
+    root_ = merge_pairs(nodes_[static_cast<std::size_t>(old_root)].child);
+    // Recycle the node.
+    nodes_[static_cast<std::size_t>(old_root)].sibling = free_;
+    free_ = old_root;
+    --size_;
+    return out;
+  }
+
+ private:
+  static constexpr std::int32_t kNil = -1;
+
+  struct Node {
+    Key key{};
+    T value{};
+    std::int32_t child = kNil;
+    std::int32_t sibling = kNil;
+  };
+
+  std::int32_t meld(std::int32_t a, std::int32_t b) {
+    if (nodes_[static_cast<std::size_t>(b)].key < nodes_[static_cast<std::size_t>(a)].key)
+      std::swap(a, b);
+    // b becomes a's first child.
+    nodes_[static_cast<std::size_t>(b)].sibling = nodes_[static_cast<std::size_t>(a)].child;
+    nodes_[static_cast<std::size_t>(a)].child = b;
+    return a;
+  }
+
+  std::int32_t merge_pairs(std::int32_t first) {
+    // Two-pass pairing, iterative to avoid deep recursion on long sibling
+    // lists. Pass 1: meld adjacent pairs left to right. Pass 2: meld the
+    // results right to left.
+    std::vector<std::int32_t>& melded = scratch_;
+    melded.clear();
+    while (first != kNil) {
+      std::int32_t a = first;
+      std::int32_t b = nodes_[static_cast<std::size_t>(a)].sibling;
+      if (b == kNil) {
+        nodes_[static_cast<std::size_t>(a)].sibling = kNil;
+        melded.push_back(a);
+        break;
+      }
+      first = nodes_[static_cast<std::size_t>(b)].sibling;
+      nodes_[static_cast<std::size_t>(a)].sibling = kNil;
+      nodes_[static_cast<std::size_t>(b)].sibling = kNil;
+      melded.push_back(meld(a, b));
+    }
+    if (melded.empty()) return kNil;
+    std::int32_t result = melded.back();
+    for (std::size_t i = melded.size() - 1; i-- > 0;) result = meld(melded[i], result);
+    return result;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> scratch_;
+  std::int32_t root_ = kNil;
+  std::int32_t free_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace arrowdq

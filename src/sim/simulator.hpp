@@ -1,0 +1,62 @@
+// Deterministic discrete-event simulator.
+//
+// Events are (time, sequence) ordered: ties at equal time execute in the
+// order they were scheduled, so a run is a pure function of its inputs and
+// seeds. This is what lets the test suite assert exact integer costs against
+// the paper's lemmas.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time t >= now().
+  void at(Time t, Action fn);
+
+  /// Schedule `fn` at now() + delay, delay >= 0.
+  void in(Time delay, Action fn);
+
+  /// Execute the single earliest event. Returns false if none pending.
+  bool step();
+
+  /// Run until the event queue drains; returns events executed.
+  std::uint64_t run();
+
+  /// Run while the earliest event time is <= t_end; returns events executed.
+  /// Afterwards now() == t_end if the queue drained earlier than t_end.
+  std::uint64_t run_until(Time t_end);
+
+  bool idle() const { return heap_.empty(); }
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace arrowdq

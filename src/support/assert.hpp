@@ -1,0 +1,28 @@
+// Lightweight always-on assertion for protocol invariants.
+//
+// Protocol-level invariants (single sink at quiescence, FIFO delivery, valid
+// permutation orders) are cheap relative to simulation work and guard against
+// silent corruption, so they stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arrowdq::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "arrowdq invariant violated: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+}  // namespace arrowdq::detail
+
+#define ARROWDQ_ASSERT(expr)                                                \
+  do {                                                                      \
+    if (!(expr)) ::arrowdq::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ARROWDQ_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                     \
+    if (!(expr)) ::arrowdq::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,69 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  ARROWDQ_ASSERT(hi > lo);
+  ARROWDQ_ASSERT(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::ostringstream out;
+  std::int64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    auto bar = static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                        static_cast<double>(peak) * static_cast<double>(width));
+    out << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") " << std::string(bar, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+void LogHistogram::add(std::int64_t x) {
+  ARROWDQ_ASSERT(x >= 0);
+  std::size_t k = 0;
+  while ((std::int64_t{1} << (k + 1)) <= x) ++k;
+  if (k >= counts_.size()) counts_.resize(k + 1, 0);
+  ++counts_[k];
+  ++total_;
+}
+
+std::string LogHistogram::ascii(std::size_t width) const {
+  std::ostringstream out;
+  std::int64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    auto bar = static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                        static_cast<double>(peak) * static_cast<double>(width));
+    out << "[2^" << i << ") " << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,48 @@
+// Fixed-bucket and log-scale histograms for latency / hop distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arrowdq {
+
+/// Linear-bucket histogram over [lo, hi); out-of-range samples clamp into the
+/// first / last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::int64_t total() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::int64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Render an ASCII bar chart, one line per non-empty bucket.
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Power-of-two bucket histogram for non-negative integer samples
+/// (bucket k holds values in [2^k, 2^(k+1))); bucket 0 holds {0, 1}.
+class LogHistogram {
+ public:
+  void add(std::int64_t x);
+  std::int64_t total() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::int64_t bucket(std::size_t i) const { return counts_.at(i); }
+
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace arrowdq

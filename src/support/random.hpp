@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in arrowdq (graph generators, asynchronous
+// latency models, workload generators) takes an explicit 64-bit seed and
+// derives its stream from this generator, so any run can be replayed
+// bit-identically. We implement xoshiro256** (Blackman & Vigna) seeded via
+// splitmix64, the recommended seeding procedure; <random> engines are avoided
+// because their distributions are not reproducible across standard library
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// splitmix64 step: used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of a single value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method, so results are exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// true with probability p.
+  bool next_bool(double p = 0.5);
+
+  /// Exponentially distributed double with rate lambda (> 0).
+  double next_exponential(double lambda);
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng split();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random permutation of 0..n-1.
+  std::vector<std::int32_t> permutation(std::int32_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace arrowdq

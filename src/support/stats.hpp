@@ -1,0 +1,60 @@
+// Streaming statistics accumulators used by benchmarks and experiment
+// harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arrowdq {
+
+/// Single-pass accumulator: count, min, max, mean, variance (Welford).
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+  void reset();
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Retains all samples; supports exact quantiles. Use for per-request latency
+/// distributions where |R| is bounded by the experiment size.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile by linear interpolation; q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace arrowdq

@@ -1,0 +1,96 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include <cstdio>
+#include <cstdlib>
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  ARROWDQ_ASSERT(!columns_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  ARROWDQ_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+  ARROWDQ_ASSERT_MSG(rows_.back().size() < columns_.size(), "row has too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream s;
+  s << std::fixed << std::setprecision(precision) << value;
+  return cell(s.str());
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::string v = c < cells.size() ? cells[c] : "";
+      out << std::setw(static_cast<int>(widths[c])) << v;
+      if (c + 1 < columns_.size()) out << "  ";
+    }
+    out << "\n";
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << columns_[c];
+    if (c + 1 < columns_.size()) out << ",";
+  }
+  out << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out << r[c];
+      if (c + 1 < r.size()) out << ",";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const { out << render(); }
+
+void emit_table(const Table& table, const std::string& artifact) {
+  std::fputs(table.render().c_str(), stdout);
+  const char* dir = std::getenv("ARROWDQ_CSV_DIR");
+  if (!dir || !*dir) return;
+  std::string path = std::string(dir) + "/" + artifact + ".csv";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::string csv = table.csv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::fprintf(stdout, "[csv written to %s]\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,47 @@
+// Fixed-width table / CSV emission for benchmark output.
+//
+// Every bench binary regenerates one paper artifact as rows of a table; this
+// helper keeps the column formatting consistent and can mirror the rows into
+// a CSV file for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arrowdq {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(std::int64_t value);
+  Table& cell(double value, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& column_names() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Render with padded columns and a header rule.
+  std::string render() const;
+  /// Write RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string csv() const;
+  /// Print render() to the stream.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print the table to stdout; additionally, when the ARROWDQ_CSV_DIR
+/// environment variable is set, mirror the rows to
+/// "$ARROWDQ_CSV_DIR/<artifact>.csv" for plotting. Used by every bench
+/// binary so paper artifacts can be regenerated as data files.
+void emit_table(const Table& table, const std::string& artifact);
+
+}  // namespace arrowdq

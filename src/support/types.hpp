@@ -1,0 +1,58 @@
+// Core scalar types shared by every arrowdq module.
+//
+// The simulator measures time in integer "ticks". One abstract time unit of
+// the paper's model (the latency of one unit-weight edge in the synchronous
+// model, or the maximum message delay in the asynchronous model of Section
+// 3.8) equals kTicksPerUnit ticks. Using a fixed-point representation keeps
+// every cost computation exact: the lemma checks in the test suite are
+// integer comparisons with no floating-point tolerance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace arrowdq {
+
+/// Index of a node (processor) in the network graph. Nodes are dense
+/// integers `0 .. n-1`.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = -1;
+
+/// Simulated time in ticks (see kTicksPerUnit).
+using Time = std::int64_t;
+
+/// Number of ticks per abstract time unit. A power of two so scaling is a
+/// shift and exactly representable.
+inline constexpr Time kTicksPerUnit = 1024;
+
+/// Sentinel for "never" / unset time.
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+/// Identifier of a queuing request. Request 0 is reserved for the virtual
+/// root request r0 = (root, 0) of the paper; real requests are 1..|R|.
+using RequestId = std::int32_t;
+
+/// The virtual root request id.
+inline constexpr RequestId kRootRequest = 0;
+
+/// Sentinel for "no request" (the paper's "⊥" id value).
+inline constexpr RequestId kNoRequest = -1;
+
+/// Edge weight in the network graph, in abstract time units (the latency of
+/// sending one message across the edge in the synchronous model).
+using Weight = std::int64_t;
+
+/// Convert whole time units to ticks.
+constexpr Time units_to_ticks(Weight units) { return static_cast<Time>(units) * kTicksPerUnit; }
+
+/// Convert ticks to (truncated) whole units.
+constexpr Weight ticks_to_units(Time ticks) { return static_cast<Weight>(ticks / kTicksPerUnit); }
+
+/// Convert ticks to fractional units (for reporting only).
+constexpr double ticks_to_units_d(Time ticks) {
+  return static_cast<double>(ticks) / static_cast<double>(kTicksPerUnit);
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,95 @@
+#include "workload/workloads.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace arrowdq {
+
+RequestSet one_shot_burst(const std::vector<NodeId>& nodes, NodeId root) {
+  std::vector<std::pair<NodeId, Time>> items;
+  items.reserve(nodes.size());
+  for (NodeId v : nodes) items.emplace_back(v, 0);
+  return RequestSet(root, std::move(items));
+}
+
+RequestSet one_shot_all(NodeId n, NodeId root) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) nodes.push_back(v);
+  return one_shot_burst(nodes, root);
+}
+
+RequestSet sequential_random(NodeId n, NodeId root, int count, Weight gap_units, Rng& rng) {
+  ARROWDQ_ASSERT(count >= 0 && gap_units >= 0);
+  std::vector<std::pair<NodeId, Time>> items;
+  items.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    items.emplace_back(v, units_to_ticks(gap_units) * i);
+  }
+  return RequestSet(root, std::move(items));
+}
+
+namespace {
+RequestSet poisson_impl(NodeId n, NodeId root, int count, double rate_per_unit, NodeId hot_node,
+                        double hot_probability, Rng& rng) {
+  ARROWDQ_ASSERT(count >= 0);
+  ARROWDQ_ASSERT(rate_per_unit > 0.0);
+  std::vector<std::pair<NodeId, Time>> items;
+  items.reserve(static_cast<std::size_t>(count));
+  double t_units = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t_units += rng.next_exponential(rate_per_unit);
+    NodeId v;
+    if (hot_node != kNoNode && rng.next_bool(hot_probability)) {
+      v = hot_node;
+    } else {
+      v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    }
+    auto ticks = static_cast<Time>(std::llround(t_units * static_cast<double>(kTicksPerUnit)));
+    items.emplace_back(v, ticks);
+  }
+  return RequestSet(root, std::move(items));
+}
+}  // namespace
+
+RequestSet poisson_uniform(NodeId n, NodeId root, int count, double rate_per_unit, Rng& rng) {
+  return poisson_impl(n, root, count, rate_per_unit, kNoNode, 0.0, rng);
+}
+
+RequestSet poisson_hotspot(NodeId n, NodeId root, int count, double rate_per_unit,
+                           NodeId hot_node, double hot_probability, Rng& rng) {
+  ARROWDQ_ASSERT(hot_node >= 0 && hot_node < n);
+  ARROWDQ_ASSERT(hot_probability >= 0.0 && hot_probability <= 1.0);
+  return poisson_impl(n, root, count, rate_per_unit, hot_node, hot_probability, rng);
+}
+
+RequestSet bursty(NodeId n, NodeId root, int bursts, int burst_size, Weight burst_gap_units,
+                  Rng& rng) {
+  ARROWDQ_ASSERT(bursts >= 0 && burst_size >= 0 && burst_gap_units >= 0);
+  std::vector<std::pair<NodeId, Time>> items;
+  items.reserve(static_cast<std::size_t>(bursts) * static_cast<std::size_t>(burst_size));
+  for (int b = 0; b < bursts; ++b) {
+    Time t = units_to_ticks(burst_gap_units) * b;
+    for (int i = 0; i < burst_size; ++i) {
+      auto v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+      items.emplace_back(v, t);
+    }
+  }
+  return RequestSet(root, std::move(items));
+}
+
+RequestSet localized_burst(NodeId lo, NodeId hi, NodeId root, int count, Rng& rng) {
+  ARROWDQ_ASSERT(lo <= hi);
+  std::vector<std::pair<NodeId, Time>> items;
+  items.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    auto v = static_cast<NodeId>(lo + static_cast<NodeId>(rng.next_below(span)));
+    items.emplace_back(v, 0);
+  }
+  return RequestSet(root, std::move(items));
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,46 @@
+// Request-set generators spanning the paper's load regimes:
+// the sequential case of Demmer-Herlihy (requests spaced farther apart than
+// the tree diameter), the fully concurrent one-shot case of Herlihy-
+// Tirthapura-Wattenhofer, and the general dynamic case (Poisson arrivals,
+// bursts, hotspots) this paper analyzes.
+#pragma once
+
+#include <vector>
+
+#include "proto/request.hpp"
+#include "support/random.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// All nodes in `nodes` request at t = 0 (the one-shot concurrent case).
+RequestSet one_shot_burst(const std::vector<NodeId>& nodes, NodeId root);
+
+/// Every node 0..n-1 requests at t = 0.
+RequestSet one_shot_all(NodeId n, NodeId root);
+
+/// `count` requests from uniformly random nodes, consecutive issue times
+/// separated by `gap_units` (choose gap >= tree diameter for the sequential
+/// regime where no two requests are concurrently active).
+RequestSet sequential_random(NodeId n, NodeId root, int count, Weight gap_units, Rng& rng);
+
+/// Poisson arrivals: `count` requests with Exp(rate_per_unit) inter-arrival
+/// times (in units) from uniformly random nodes. Higher rate = higher
+/// contention.
+RequestSet poisson_uniform(NodeId n, NodeId root, int count, double rate_per_unit, Rng& rng);
+
+/// Poisson arrivals with a hotspot: a fraction `hot_probability` of requests
+/// come from the single node `hot_node`, the rest uniform.
+RequestSet poisson_hotspot(NodeId n, NodeId root, int count, double rate_per_unit,
+                           NodeId hot_node, double hot_probability, Rng& rng);
+
+/// `bursts` bursts of `burst_size` simultaneous requests from random nodes,
+/// bursts separated by `burst_gap_units`.
+RequestSet bursty(NodeId n, NodeId root, int bursts, int burst_size, Weight burst_gap_units,
+                  Rng& rng);
+
+/// Requests restricted to random nodes of a sub-range [lo, hi] (locality
+/// study: all activity in one region of the tree).
+RequestSet localized_burst(NodeId lo, NodeId hi, NodeId root, int count, Rng& rng);
+
+}  // namespace arrowdq

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "analysis/competitive.hpp"
+#include "analysis/costs.hpp"
+#include "analysis/nn_tsp.hpp"
+#include "analysis/optimal.hpp"
+#include "arrow/arrow.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+namespace {
+
+Tree path_tree(NodeId n) { return shortest_path_tree(make_path(n), 0); }
+
+TEST(Costs, CtDefinitionBranches) {
+  Tree t = path_tree(10);
+  auto dT = tree_dist_ticks(t);
+  Request ri{1, 2, units_to_ticks(5)};
+  Request rj{2, 6, units_to_ticks(1)};
+  // d = tj - ti + dT = (1 - 5 + 4) units = 0 -> cT = 0 (d >= 0 branch).
+  EXPECT_EQ(cost_cT(ri, rj, dT), 0);
+  // Reverse: d = (5 - 1 + 4) = 8 units.
+  EXPECT_EQ(cost_cT(rj, ri, dT), units_to_ticks(8));
+  // d < 0 branch: rj2 much earlier.
+  Request rj2{3, 3, 0};
+  // d = 0 - 5 + 1 = -4 < 0 -> cT = ti - tj + dT = 5 + 1 = 6 units.
+  EXPECT_EQ(cost_cT(ri, rj2, dT), units_to_ticks(6));
+}
+
+TEST(Costs, CoDefinition) {
+  Tree t = path_tree(10);
+  auto dT = tree_dist_ticks(t);
+  Request ri{1, 0, units_to_ticks(9)};
+  Request rj{2, 4, units_to_ticks(2)};
+  // max(dT = 4, ti - tj = 7) = 7 units.
+  EXPECT_EQ(cost_cO(ri, rj, dT), units_to_ticks(7));
+  // Other direction: max(4, -7) = 4 units.
+  EXPECT_EQ(cost_cO(rj, ri, dT), units_to_ticks(4));
+}
+
+TEST(Costs, OrderCostSumsConsecutivePairs) {
+  Tree t = path_tree(5);
+  auto rs = RequestSet::from_units(0, {{4, 0}, {2, 0}});
+  auto cM = make_cM(tree_dist_ticks(t));
+  std::vector<RequestId> order{0, 1, 2};
+  // r0 at node0 t0; r1 at node4; r2 at node2.
+  EXPECT_EQ(order_cost(order, rs, cM), units_to_ticks(4 + 2));
+}
+
+TEST(NnTsp, GreedyOrderIsNnOrder) {
+  Rng rng(1);
+  Tree t = path_tree(12);
+  auto rs = poisson_uniform(12, 0, 15, 0.7, rng);
+  auto cT = make_cT(tree_dist_ticks(t));
+  auto order = nn_order(rs, cT);
+  EXPECT_TRUE(is_nn_order(order, rs, cT));
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(rs.size()) + 1);
+  EXPECT_EQ(order.front(), kRootRequest);
+}
+
+TEST(NnTsp, RejectsNonNnOrder) {
+  Tree t = path_tree(10);
+  // Root at 0; requests at nodes 1 and 9, both at time 0. NN must take node
+  // 1 first.
+  auto rs = RequestSet::from_units(0, {{1, 0}, {9, 0}});
+  auto cT = make_cT(tree_dist_ticks(t));
+  std::vector<RequestId> bad{0, 2, 1};
+  EXPECT_FALSE(is_nn_order(bad, rs, cT));
+  std::vector<RequestId> good{0, 1, 2};
+  EXPECT_TRUE(is_nn_order(good, rs, cT));
+}
+
+TEST(NnTsp, EdgeStats) {
+  Tree t = path_tree(10);
+  auto rs = RequestSet::from_units(0, {{0, 0}, {3, 0}, {9, 0}});
+  auto cT = make_cT(tree_dist_ticks(t));
+  auto order = nn_order(rs, cT);  // 0 -> node0 (0) -> node3 (3) -> node9 (6)
+  auto stats = nn_edge_stats(order, rs, cT);
+  EXPECT_EQ(stats.zero_edges, 1);
+  EXPECT_EQ(stats.min_nonzero_edge, units_to_ticks(3));
+  EXPECT_EQ(stats.max_edge, units_to_ticks(6));
+}
+
+TEST(NnTsp, Theorem318FactorValues) {
+  EXPECT_DOUBLE_EQ(theorem318_factor(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(theorem318_factor(8, 8), 1.5);       // single class
+  EXPECT_DOUBLE_EQ(theorem318_factor(16, 1), 1.5 * 5);  // ratio 16 -> 5 classes
+  EXPECT_DOUBLE_EQ(theorem318_factor(15, 1), 1.5 * 4);
+}
+
+TEST(Optimal, HeldKarpMatchesBruteForce) {
+  Rng rng(2);
+  Tree t = path_tree(10);
+  for (int it = 0; it < 8; ++it) {
+    Rng wrng = rng.split();
+    auto rs = poisson_uniform(10, 0, 7, 0.5, wrng);
+    auto cO = make_cO(tree_dist_ticks(t));
+    EXPECT_EQ(min_order_cost_exact(rs, cO), min_order_cost_brute(rs, cO)) << "iter " << it;
+  }
+}
+
+TEST(Optimal, HeldKarpEmitsConsistentOrder) {
+  Rng rng(3);
+  Tree t = path_tree(9);
+  auto rs = poisson_uniform(9, 0, 8, 0.5, rng);
+  auto cO = make_cO(tree_dist_ticks(t));
+  std::vector<RequestId> order;
+  Time best = min_order_cost_exact(rs, cO, &order);
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(rs.size()) + 1);
+  EXPECT_EQ(order.front(), kRootRequest);
+  EXPECT_EQ(order_cost(order, rs, cO), best);
+}
+
+TEST(Optimal, ExactNeverExceedsGreedyImproved) {
+  Rng rng(4);
+  Tree t = path_tree(12);
+  for (int it = 0; it < 6; ++it) {
+    Rng wrng = rng.split();
+    auto rs = poisson_uniform(12, 0, 10, 0.6, wrng);
+    auto cO = make_cO(tree_dist_ticks(t));
+    Time exact = min_order_cost_exact(rs, cO);
+    Time improved = min_order_cost_2opt(rs, cO);
+    EXPECT_LE(exact, improved);
+    // The improver starts from NN, so it is at most the NN path cost.
+    Time nn = order_cost(nn_order(rs, cO), rs, cO);
+    EXPECT_LE(improved, nn);
+  }
+}
+
+TEST(Optimal, MstLowerBoundsHamiltonianPath) {
+  Rng rng(5);
+  Tree t = path_tree(11);
+  for (int it = 0; it < 6; ++it) {
+    Rng wrng = rng.split();
+    auto rs = poisson_uniform(11, 0, 9, 0.7, wrng);
+    auto cM = make_cM(tree_dist_ticks(t));
+    Time mst = request_mst_weight(rs, cM);
+    Time best_path = min_order_cost_exact(rs, cM);
+    EXPECT_LE(mst, best_path) << "iter " << it;
+  }
+}
+
+TEST(Optimal, EmptyAndSingletonCases) {
+  Tree t = path_tree(4);
+  auto cO = make_cO(tree_dist_ticks(t));
+  RequestSet empty(0, {});
+  EXPECT_EQ(min_order_cost_exact(empty, cO), 0);
+  EXPECT_EQ(request_mst_weight(empty, cO), 0);
+  auto one = RequestSet::from_units(0, {{3, 0}});
+  EXPECT_EQ(min_order_cost_exact(one, cO), units_to_ticks(3));
+}
+
+TEST(Optimal, OptBoundComposition) {
+  Rng rng(6);
+  Graph g = make_grid(3, 3);
+  Tree t = shortest_path_tree(g, 0);
+  auto rs = poisson_uniform(9, 0, 8, 0.5, rng);
+  AllPairs apsp(g);
+  auto bound = opt_cost_lower_bound(rs, graph_dist_ticks(apsp), 10);
+  EXPECT_GE(bound.exact, 0);
+  EXPECT_EQ(bound.value, std::max(bound.exact, bound.mst_cm / 12));
+  // The bound must actually lower-bound arrow's cost / s-ish quantities:
+  // at minimum it cannot exceed the exact optimum when that is available.
+  EXPECT_LE(bound.value, std::max(bound.exact, bound.value));
+}
+
+TEST(Competitive, ReportFieldsConsistent) {
+  Rng rng(7);
+  Graph g = make_grid(3, 4);
+  Tree t = shortest_path_tree(g, 0);
+  auto rs = poisson_uniform(12, 0, 9, 0.6, rng);
+  auto out = run_arrow(t, rs);
+  auto rep = analyze_competitive(g, t, rs, out, 10);
+  EXPECT_TRUE(rep.lemma310_exact);
+  EXPECT_EQ(rep.cost_arrow, out.total_latency(rs));
+  EXPECT_GE(rep.ratio, 1.0 - 1e-9);  // arrow can't beat the true lower bound
+  EXPECT_GE(rep.stretch, 1.0);
+  EXPECT_GT(rep.s_log_d, 0.0);
+  EXPECT_EQ(rep.tree_diameter, t.diameter());
+}
+
+TEST(Competitive, SequentialCaseRatioAtMostStretchTimesConstant) {
+  // Demmer-Herlihy: in the sequential case arrow's competitive ratio is s.
+  // With stretch 1 (tree = graph) sequential arrow should be near-optimal.
+  Rng rng(8);
+  Graph g = make_path(10);
+  Tree t = shortest_path_tree(g, 0);
+  auto rs = sequential_random(10, 0, 8, /*gap=*/20, rng);
+  auto out = run_arrow(t, rs);
+  AllPairs apsp(g);
+  auto cOpt = make_cO(graph_dist_ticks(apsp));
+  Time opt = min_order_cost_exact(rs, cOpt);
+  if (opt > 0) {
+    double ratio = static_cast<double>(out.total_latency(rs)) / static_cast<double>(opt);
+    EXPECT_LE(ratio, 1.0 + 1e-9);  // stretch-1 sequential: arrow is optimal
+  }
+}
+
+}  // namespace
+}  // namespace arrowdq

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "apps/counter.hpp"
+#include "apps/directory.hpp"
+#include "apps/multicast.hpp"
+#include "apps/mutex.hpp"
+#include "arrow/arrow.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+namespace {
+
+struct AppFixture : public ::testing::Test {
+  Graph g = make_grid(4, 4);
+  Tree t = shortest_path_tree(g, 0);
+  Rng rng{31337};
+  RequestSet reqs = poisson_uniform(16, 0, 25, 0.8, rng);
+};
+
+TEST_F(AppFixture, MutexMutualExclusionHolds) {
+  auto m = run_mutex(t, reqs, units_to_ticks(2));
+  EXPECT_TRUE(m.mutual_exclusion);
+  EXPECT_GT(m.makespan, 0);
+}
+
+TEST_F(AppFixture, MutexEveryRequestAcquires) {
+  auto m = run_mutex(t, reqs, units_to_ticks(1));
+  for (RequestId id = 1; id <= reqs.size(); ++id) {
+    EXPECT_NE(m.acquire[static_cast<std::size_t>(id)], kTimeNever);
+    EXPECT_EQ(m.release[static_cast<std::size_t>(id)] -
+                  m.acquire[static_cast<std::size_t>(id)],
+              units_to_ticks(1));
+    // Can't acquire before asking.
+    EXPECT_GE(m.acquire[static_cast<std::size_t>(id)], reqs.by_id(id).time);
+  }
+}
+
+TEST_F(AppFixture, MutexZeroHoldStillExclusive) {
+  auto m = run_mutex(t, reqs, 0);
+  EXPECT_TRUE(m.mutual_exclusion);
+}
+
+TEST_F(AppFixture, MutexTokenTravelMatchesOrderDistances) {
+  auto outcome = run_arrow(t, reqs);
+  auto m = mutex_from_outcome(t, reqs, outcome, 0);
+  auto order = outcome.order();
+  Weight expect = 0;
+  for (std::size_t i = 1; i < order.size(); ++i)
+    expect += t.distance(reqs.by_id(order[i - 1]).node, reqs.by_id(order[i]).node);
+  EXPECT_EQ(m.token_travel, expect);
+}
+
+TEST_F(AppFixture, MulticastAllNodesSameOrder) {
+  auto mc = run_ordered_multicast(t, reqs);
+  ASSERT_EQ(mc.stamped.size(), static_cast<std::size_t>(reqs.size()));
+  // Delivery times strictly respect sequence order at every node.
+  for (NodeId u = 0; u < t.node_count(); ++u) {
+    for (std::size_t seq = 1; seq < mc.deliver.size(); ++seq) {
+      EXPECT_GE(mc.deliver[seq][static_cast<std::size_t>(u)],
+                mc.deliver[seq - 1][static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+TEST_F(AppFixture, MulticastStampsAreAPermutation) {
+  auto mc = run_ordered_multicast(t, reqs);
+  std::set<RequestId> ids(mc.stamped.begin(), mc.stamped.end());
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(reqs.size()));
+}
+
+TEST_F(AppFixture, MulticastDeliveryAfterPublish) {
+  auto mc = run_ordered_multicast(t, reqs);
+  for (std::size_t seq = 0; seq < mc.stamped.size(); ++seq) {
+    Time publish = reqs.by_id(mc.stamped[seq]).time;
+    for (NodeId u = 0; u < t.node_count(); ++u)
+      EXPECT_GE(mc.deliver[seq][static_cast<std::size_t>(u)], publish);
+  }
+}
+
+TEST_F(AppFixture, CounterValuesAreABijection) {
+  auto c = run_counter(t, reqs);
+  std::set<std::int64_t> values;
+  for (RequestId id = 1; id <= reqs.size(); ++id)
+    values.insert(c.value[static_cast<std::size_t>(id)]);
+  EXPECT_EQ(values.size(), static_cast<std::size_t>(reqs.size()));
+  EXPECT_EQ(*values.begin(), 1);
+  EXPECT_EQ(*values.rbegin(), reqs.size());
+}
+
+TEST_F(AppFixture, CounterValuesFollowQueueOrder) {
+  auto outcome = run_arrow(t, reqs);
+  auto c = counter_from_outcome(t, reqs, outcome);
+  auto order = outcome.order();
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_EQ(c.value[static_cast<std::size_t>(order[i])], static_cast<std::int64_t>(i));
+}
+
+TEST_F(AppFixture, CounterTokenTimesMonotoneAlongQueue) {
+  auto outcome = run_arrow(t, reqs);
+  auto c = counter_from_outcome(t, reqs, outcome);
+  auto order = outcome.order();
+  Time prev = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    Time at = c.received_at[static_cast<std::size_t>(order[i])];
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+}
+
+TEST_F(AppFixture, DirectoryObjectVisitsEveryRequester) {
+  auto d = run_directory(t, reqs, units_to_ticks(1));
+  for (RequestId id = 1; id <= reqs.size(); ++id)
+    EXPECT_NE(d.object_at[static_cast<std::size_t>(id)], kTimeNever);
+}
+
+TEST_F(AppFixture, DirectoryTravelEqualsMutexTokenTravel) {
+  auto outcome = run_arrow(t, reqs);
+  auto d = directory_from_outcome(t, reqs, outcome, 0);
+  auto m = mutex_from_outcome(t, reqs, outcome, 0);
+  EXPECT_EQ(d.object_travel, m.token_travel);
+}
+
+TEST(AppsLocality, ArrowOrderTravelsNoMoreThanFifoOnClusteredLoad) {
+  // The motivating example from Section 1: for clustered requesters, arrow's
+  // nearest-neighbour order keeps the object inside the cluster instead of
+  // ping-ponging, so object travel is at most the FIFO order's travel.
+  Graph g = make_path(32);
+  Tree t = shortest_path_tree(g, 0);
+  Rng rng(17);
+  auto reqs = localized_burst(24, 31, 0, 16, rng);
+  auto outcome = run_arrow(t, reqs);
+  auto d = directory_from_outcome(t, reqs, outcome, 0);
+  Weight fifo = 0;
+  NodeId at = 0;
+  for (const auto& r : reqs.real()) {
+    fifo += t.distance(at, r.node);
+    at = r.node;
+  }
+  EXPECT_LE(d.object_travel, fifo);
+}
+
+}  // namespace
+}  // namespace arrowdq

@@ -1,0 +1,78 @@
+// Lemma 3.20 property tests: asynchronous executions are NN paths under the
+// execution cost c'T, and the inequality chain 0 <= c'T <= cT <= cM holds.
+#include <gtest/gtest.h>
+
+#include "analysis/async_nn.hpp"
+#include "arrow/arrow.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/latency.hpp"
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+namespace {
+
+class AsyncNnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncNnSweep, UniformAsyncExecutionIsNnUnderCtPrime) {
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7 + 3);
+  Graph g = (seed % 2 == 0) ? make_grid(4, 5) : make_random_tree(20, rng);
+  Tree t = shortest_path_tree(g, 0);
+  Rng wrng = rng.split();
+  auto reqs = poisson_uniform(g.node_count(), 0, 30, 0.8, wrng);
+
+  auto lat = make_uniform_async(static_cast<std::uint64_t>(seed) + 42, 0.05);
+  auto out = run_arrow(t, reqs, *lat);
+  auto rep = check_async_nn(t, reqs, out);
+  EXPECT_TRUE(rep.chain_holds) << "seed " << seed;
+  EXPECT_TRUE(rep.is_nn) << "seed " << seed << " violations " << rep.violations;
+}
+
+TEST_P(AsyncNnSweep, HeavyTailedAsyncExecutionIsNnUnderCtPrime) {
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 13 + 5);
+  Graph g = make_torus(4, 4);
+  Tree t = shortest_path_tree(g, 0);
+  Rng wrng = rng.split();
+  auto reqs = bursty(16, 0, 4, 6, 6, wrng);
+
+  auto lat = make_truncated_exp(static_cast<std::uint64_t>(seed) + 77, 0.25);
+  auto out = run_arrow(t, reqs, *lat);
+  auto rep = check_async_nn(t, reqs, out);
+  EXPECT_TRUE(rep.chain_holds) << "seed " << seed;
+  EXPECT_TRUE(rep.is_nn) << "seed " << seed << " violations " << rep.violations;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncNnSweep, ::testing::Range(0, 12));
+
+TEST(AsyncNn, SynchronousExecutionSatisfiesItToo) {
+  // The synchronous model is a special case of the asynchronous one; the
+  // c'T-based check must accept synchronous executions.
+  Rng rng(1);
+  Graph g = make_grid(5, 4);
+  Tree t = shortest_path_tree(g, 0);
+  auto reqs = poisson_uniform(20, 0, 25, 1.0, rng);
+  auto out = run_arrow(t, reqs);
+  auto rep = check_async_nn(t, reqs, out);
+  EXPECT_TRUE(rep.is_nn);
+  EXPECT_TRUE(rep.chain_holds);
+}
+
+TEST(AsyncNn, EmptyAndSingleton) {
+  Tree t = shortest_path_tree(make_path(4), 0);
+  RequestSet empty(0, {});
+  auto out_e = run_arrow(t, empty);
+  auto rep_e = check_async_nn(t, empty, out_e);
+  EXPECT_TRUE(rep_e.is_nn);
+
+  auto one = RequestSet::from_units(0, {{2, 0}});
+  auto out_1 = run_arrow(t, one);
+  auto rep_1 = check_async_nn(t, one, out_1);
+  EXPECT_TRUE(rep_1.is_nn);
+  EXPECT_TRUE(rep_1.chain_holds);
+}
+
+}  // namespace
+}  // namespace arrowdq

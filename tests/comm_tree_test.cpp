@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "graph/comm_tree.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+
+namespace arrowdq {
+namespace {
+
+TEST(CommTree, UniformProbsSumToOne) {
+  auto p = uniform_probs(8);
+  double sum = 0.0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(CommTree, HotspotProbsShape) {
+  auto p = hotspot_probs(10, 3, 0.7);
+  EXPECT_DOUBLE_EQ(p[3], 0.7);
+  double sum = 0.0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(p[0], 0.3 / 9.0, 1e-12);
+}
+
+TEST(CommTree, WeightedMedianOfPathWithUniformProbs) {
+  Graph g = make_path(9);
+  EXPECT_EQ(weighted_median(g, uniform_probs(9)), 4);
+}
+
+TEST(CommTree, WeightedMedianFollowsTheHotspot) {
+  Graph g = make_path(9);
+  EXPECT_EQ(weighted_median(g, hotspot_probs(9, 7, 0.95)), 7);
+}
+
+TEST(CommTree, ExpectedCostOfPathTree) {
+  // Two nodes, unit edge, uniform probs: E[dT] over independent (u,v) pairs
+  // = 2 * (1/2)(1/2) * 1 = 0.5.
+  Graph g = make_path(2);
+  Tree t = shortest_path_tree(g, 0);
+  EXPECT_NEAR(expected_comm_cost(t, uniform_probs(2)), 0.5, 1e-12);
+}
+
+TEST(CommTree, HotspotTreeBeatsAntipodalTreeOnExpectedCost) {
+  // On a ring, rooting the SPT at the hotspot yields lower expected cost
+  // than rooting it at the antipode (the antipodal tree puts the cut next
+  // to the hotspot).
+  Graph g = make_ring(12);
+  auto probs = hotspot_probs(12, 0, 0.8);
+  Tree at_hotspot = shortest_path_tree(g, 0);
+  Tree at_antipode = shortest_path_tree(g, 6);
+  EXPECT_LT(expected_comm_cost(at_hotspot, probs),
+            expected_comm_cost(at_antipode, probs));
+}
+
+TEST(CommTree, WeightedMedianSptIsNeverWorseThanWorstRoot) {
+  Rng rng(5);
+  Graph g = make_random_geometric(20, 0.35, rng);
+  auto probs = hotspot_probs(20, 11, 0.6);
+  Tree chosen = weighted_median_spt(g, probs);
+  double chosen_cost = expected_comm_cost(chosen, probs);
+  // Compare against every single-root SPT; the weighted-median SPT must be
+  // within the best 50% (it optimizes the root, not the full tree).
+  int better = 0, total = 0;
+  for (NodeId r = 0; r < 20; ++r) {
+    double c = expected_comm_cost(shortest_path_tree(g, r), probs);
+    if (c < chosen_cost - 1e-9) ++better;
+    ++total;
+  }
+  EXPECT_LE(better, total / 2);
+}
+
+TEST(CommTree, UnnormalizedProbsAreNormalized) {
+  Graph g = make_path(3);
+  Tree t = shortest_path_tree(g, 0);
+  std::vector<double> p{2.0, 2.0, 2.0};  // sums to 6, not 1
+  auto u = uniform_probs(3);
+  EXPECT_NEAR(expected_comm_cost(t, p), expected_comm_cost(t, u), 1e-12);
+}
+
+}  // namespace
+}  // namespace arrowdq

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "sim/pairing_heap.hpp"
+#include "support/random.hpp"
+
+namespace arrowdq {
+namespace {
+
+using Heap = PairingHeap<int>;
+using Key = Heap::Key;
+
+TEST(PairingHeapTest, EmptyAndSingle) {
+  Heap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  h.push({5, 0}, 42);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.top_key().t, 5);
+  EXPECT_EQ(h.pop(), 42);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(PairingHeapTest, OrdersByTimeThenSeq) {
+  Heap h;
+  h.push({10, 2}, 1);
+  h.push({10, 1}, 2);
+  h.push({5, 9}, 3);
+  h.push({10, 0}, 4);
+  EXPECT_EQ(h.pop(), 3);
+  EXPECT_EQ(h.pop(), 4);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 1);
+}
+
+TEST(PairingHeapTest, MatchesStdPriorityQueueOnRandomStream) {
+  struct Ref {
+    Time t;
+    std::uint64_t seq;
+    int v;
+    bool operator>(const Ref& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  Heap h;
+  std::priority_queue<Ref, std::vector<Ref>, std::greater<>> ref;
+  Rng rng(2);
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 5000; ++round) {
+    if (!h.empty() && rng.next_bool(0.45)) {
+      ASSERT_EQ(h.pop(), ref.top().v);
+      ref.pop();
+    } else {
+      auto t = static_cast<Time>(rng.next_below(1000));
+      int v = static_cast<int>(rng.next());
+      h.push({t, seq}, v);
+      ref.push({t, seq, v});
+      ++seq;
+    }
+    ASSERT_EQ(h.size(), ref.size());
+  }
+  while (!h.empty()) {
+    ASSERT_EQ(h.pop(), ref.top().v);
+    ref.pop();
+  }
+}
+
+TEST(PairingHeapTest, NodeRecyclingSurvivesChurn) {
+  Heap h;
+  std::uint64_t seq = 0;
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 100; ++i) h.push({static_cast<Time>(i), seq++}, i);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(h.pop(), i);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(PairingHeapTest, MonotoneDrainIsSorted) {
+  Heap h;
+  Rng rng(3);
+  for (std::uint64_t i = 0; i < 2000; ++i)
+    h.push({static_cast<Time>(rng.next_below(1 << 20)), i}, static_cast<int>(i));
+  Time prev = -1;
+  while (!h.empty()) {
+    Time t = h.top_key().t;
+    EXPECT_GE(t, prev);
+    prev = t;
+    h.pop();
+  }
+}
+
+TEST(PairingHeapTest, MoveOnlyPayload) {
+  PairingHeap<std::unique_ptr<int>> h;
+  h.push({1, 0}, std::make_unique<int>(7));
+  h.push({0, 1}, std::make_unique<int>(9));
+  EXPECT_EQ(*h.pop(), 9);
+  EXPECT_EQ(*h.pop(), 7);
+}
+
+}  // namespace
+}  // namespace arrowdq

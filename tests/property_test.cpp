@@ -1,0 +1,174 @@
+// Additional property sweeps: the Demmer-Herlihy sequential-case bounds,
+// LCA distance oracles against brute force, Held-Karp on asymmetric costs,
+// stabilization vs. the engine's initial state, and closed-loop vs. one-shot
+// consistency.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "analysis/costs.hpp"
+#include "analysis/optimal.hpp"
+#include "arrow/arrow.hpp"
+#include "arrow/stabilize.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+namespace {
+
+// Demmer-Herlihy (DISC 1998): in the sequential case (no two requests
+// concurrently active) every queuing operation takes at most D time and at
+// most D messages, D = tree diameter.
+class SequentialBoundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequentialBoundSweep, EveryOperationWithinDiameter) {
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 97 + 11);
+  Graph g;
+  switch (seed % 3) {
+    case 0: g = make_grid(5, 5); break;
+    case 1: g = make_random_tree(24, rng); break;
+    default: g = make_torus(4, 5); break;
+  }
+  Tree t = shortest_path_tree(g, 0);
+  Weight D = t.diameter();
+  Rng wrng = rng.split();
+  // Gap strictly larger than D guarantees sequential execution.
+  auto reqs = sequential_random(g.node_count(), 0, 15, D + 1, wrng);
+  auto out = run_arrow(t, reqs);
+  for (RequestId id = 1; id <= reqs.size(); ++id) {
+    const auto& c = out.completion(id);
+    EXPECT_LE(c.completed_at - reqs.by_id(id).time, units_to_ticks(D)) << "request " << id;
+    EXPECT_LE(c.hops, t.node_count() - 1);
+    EXPECT_LE(c.distance, D);
+  }
+  // Sequential case: arrow's order equals issue order.
+  auto order = out.order();
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_EQ(order[i], static_cast<RequestId>(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequentialBoundSweep, ::testing::Range(0, 9));
+
+// LCA-based tree distances must agree with BFS/Dijkstra on the tree graph.
+class TreeOracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeOracleSweep, DistancesMatchDijkstraOnTreeGraph) {
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) + 1234);
+  NodeId n = 10 + static_cast<NodeId>(rng.next_below(40));
+  Graph g = make_random_tree(n, rng);
+  // Randomize edge weights by rebuilding with random weights.
+  Graph wg(n);
+  for (const auto& e : g.edges())
+    wg.add_edge(e.u, e.v, 1 + static_cast<Weight>(rng.next_below(9)));
+  auto root = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+  Tree t = shortest_path_tree(wg, root);
+  for (NodeId u = 0; u < n; ++u) {
+    auto d = sssp(wg, u);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(t.distance(u, v), d[static_cast<std::size_t>(v)])
+          << "u=" << u << " v=" << v << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeOracleSweep, ::testing::Range(0, 8));
+
+// Held-Karp must handle asymmetric costs (cT / cO) correctly; brute force is
+// the ground truth.
+class AsymmetricDpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsymmetricDpSweep, HeldKarpMatchesBruteForceOnCt) {
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 5 + 2);
+  Graph g = make_random_tree(12, rng);
+  Tree t = shortest_path_tree(g, 0);
+  Rng wrng = rng.split();
+  auto reqs = poisson_uniform(12, 0, 7, 0.4 + 0.2 * (seed % 3), wrng);
+  for (const CostFn& cost :
+       {make_cT(tree_dist_ticks(t)), make_cO(tree_dist_ticks(t)), make_cM(tree_dist_ticks(t))}) {
+    EXPECT_EQ(min_order_cost_exact(reqs, cost), min_order_cost_brute(reqs, cost));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsymmetricDpSweep, ::testing::Range(0, 6));
+
+// After stabilization toward an anchor, the link state must equal the
+// ArrowEngine's initial configuration for a request set rooted there, so
+// queuing can resume as if freshly initialized.
+TEST(StabilizeIntegration, RepairedStateMatchesEngineInitialState) {
+  Rng rng(55);
+  Graph g = make_grid(4, 4);
+  Tree t = shortest_path_tree(g, 0);
+  const NodeId anchor = 5;
+
+  // Corrupt arbitrarily, then repair toward the anchor.
+  std::vector<NodeId> links(16), h(16);
+  for (NodeId v = 0; v < 16; ++v) {
+    links[static_cast<std::size_t>(v)] = static_cast<NodeId>(rng.next_below(16));
+    h[static_cast<std::size_t>(v)] = static_cast<NodeId>(rng.next_below(16));
+  }
+  SelfStabilizer stab(t, anchor);
+  auto res = stab.stabilize(links, h, 200);
+  ASSERT_TRUE(res.converged);
+
+  // The engine's initial links for root = anchor are "everyone points
+  // toward the anchor".
+  Tree rooted = t.rerooted(anchor);
+  for (NodeId v = 0; v < 16; ++v) {
+    NodeId expect = v == anchor ? v : rooted.parent(v);
+    EXPECT_EQ(links[static_cast<std::size_t>(v)], expect) << "node " << v;
+  }
+
+  // And a fresh run from that configuration behaves like a normal run with
+  // the anchor as root.
+  auto reqs = one_shot_all(16, anchor);
+  auto out = run_arrow(t, reqs);
+  out.validate(reqs);
+}
+
+// Closed-loop and one-shot engines share the protocol core; a closed loop
+// with one round per node on a quiet system must produce the same number of
+// tree messages as the equivalent staggered one-shot (sanity link between
+// the two drivers).
+TEST(DriverConsistency, SequentialClosedLoopMatchesOneShotHops) {
+  Graph g = make_path(6);
+  Tree t = shortest_path_tree(g, 0);
+  // One-shot staggered far apart: requests from nodes 1..5 sequentially.
+  std::vector<std::pair<NodeId, Weight>> items;
+  for (NodeId v = 1; v < 6; ++v) items.emplace_back(v, 100 * v);
+  auto reqs = RequestSet::from_units(0, items);
+  auto out = run_arrow(t, reqs);
+  // Sequential on a path rooted at 0: request from node v travels to the
+  // previous requester (v-1 for v >= 2, the root for v = 1).
+  EXPECT_EQ(out.completion(1).hops, 1);
+  for (RequestId id = 2; id <= 5; ++id) EXPECT_EQ(out.completion(id).hops, 1);
+  EXPECT_EQ(out.total_hops(), 5);
+}
+
+// The FIFO clamp must also order messages that the latency model would
+// otherwise reorder across a chain of hops (regression guard for the
+// network layer under the truncated-exponential model).
+TEST(NetworkChain, NoReorderingAcrossWholeChain) {
+  Graph g = make_path(8);
+  Tree t = shortest_path_tree(g, 0);
+  // Many concurrent requests from the far end; all queue() messages share
+  // edges, so any reordering would corrupt the queue (validate() catches
+  // double predecessors).
+  std::vector<std::pair<NodeId, Weight>> items;
+  for (int i = 0; i < 30; ++i) items.emplace_back(7, 0);
+  auto reqs = RequestSet::from_units(0, items);
+  auto lat = make_truncated_exp(31337, 0.2);
+  auto out = run_arrow(t, reqs, *lat);
+  out.validate(reqs);
+  // All 30 requests from node 7: exactly one paid the 7-hop walk, the rest
+  // completed locally behind one another.
+  EXPECT_EQ(out.total_hops(), 7);
+}
+
+}  // namespace
+}  // namespace arrowdq

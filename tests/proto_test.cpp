@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+
+namespace arrowdq {
+namespace {
+
+TEST(RequestSetTest, SortsByTimeAndAssignsIds) {
+  RequestSet rs(0, {{3, 500}, {1, 100}, {2, 300}});
+  EXPECT_EQ(rs.size(), 3);
+  EXPECT_EQ(rs.by_id(0).node, 0);
+  EXPECT_EQ(rs.by_id(0).time, 0);
+  EXPECT_EQ(rs.by_id(1).node, 1);
+  EXPECT_EQ(rs.by_id(1).time, 100);
+  EXPECT_EQ(rs.by_id(2).node, 2);
+  EXPECT_EQ(rs.by_id(3).node, 3);
+  EXPECT_EQ(rs.last_issue_time(), 500);
+}
+
+TEST(RequestSetTest, StableTieBreakPreservesInsertionOrder) {
+  RequestSet rs(0, {{5, 100}, {6, 100}, {7, 100}});
+  EXPECT_EQ(rs.by_id(1).node, 5);
+  EXPECT_EQ(rs.by_id(2).node, 6);
+  EXPECT_EQ(rs.by_id(3).node, 7);
+}
+
+TEST(RequestSetTest, FromUnitsScalesTimes) {
+  auto rs = RequestSet::from_units(0, {{1, 2}, {2, 5}});
+  EXPECT_EQ(rs.by_id(1).time, 2 * kTicksPerUnit);
+  EXPECT_EQ(rs.by_id(2).time, 5 * kTicksPerUnit);
+}
+
+TEST(RequestSetTest, EmptySet) {
+  RequestSet rs(3, {});
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.size(), 0);
+  EXPECT_EQ(rs.root(), 3);
+  EXPECT_EQ(rs.last_issue_time(), 0);
+  EXPECT_EQ(rs.all().size(), 1u);
+  EXPECT_EQ(rs.real().size(), 0u);
+}
+
+TEST(RequestSetTest, RealSpanExcludesRoot) {
+  RequestSet rs(0, {{1, 0}, {2, 0}});
+  auto real = rs.real();
+  EXPECT_EQ(real.size(), 2u);
+  EXPECT_EQ(real[0].id, 1);
+  EXPECT_EQ(real[1].id, 2);
+}
+
+TEST(QueuingOutcomeTest, RecordsAndChains) {
+  QueuingOutcome out(3);
+  EXPECT_FALSE(out.is_complete());
+  out.record({2, 0, 100, 1, 1});  // request 2 behind root
+  out.record({1, 2, 200, 2, 2});  // request 1 behind 2
+  out.record({3, 1, 300, 3, 3});
+  EXPECT_TRUE(out.is_complete());
+  auto order = out.order();
+  EXPECT_EQ(order, (std::vector<RequestId>{0, 2, 1, 3}));
+  EXPECT_EQ(out.total_hops(), 6);
+  EXPECT_EQ(out.total_distance(), 6);
+}
+
+TEST(QueuingOutcomeTest, TotalLatencySumsIssueToCompletion) {
+  RequestSet rs(0, {{1, 50}, {2, 80}});
+  QueuingOutcome out(2);
+  out.record({1, 0, 150, 1, 1});
+  out.record({2, 1, 200, 1, 1});
+  EXPECT_EQ(out.total_latency(rs), (150 - 50) + (200 - 80));
+  out.validate(rs);
+}
+
+TEST(QueuingOutcomeDeathTest, DoubleCompletionAborts) {
+  QueuingOutcome out(2);
+  out.record({1, 0, 10, 0, 0});
+  EXPECT_DEATH(out.record({1, 2, 20, 0, 0}), "completed twice");
+}
+
+TEST(QueuingOutcomeDeathTest, DuplicatePredecessorAborts) {
+  QueuingOutcome out(2);
+  out.record({1, 0, 10, 0, 0});
+  EXPECT_DEATH(out.record({2, 0, 20, 0, 0}), "same predecessor");
+}
+
+TEST(QueuingOutcomeDeathTest, IncompleteOrderAborts) {
+  QueuingOutcome out(2);
+  out.record({1, 0, 10, 0, 0});
+  EXPECT_DEATH(out.order(), "chain");
+}
+
+}  // namespace
+}  // namespace arrowdq

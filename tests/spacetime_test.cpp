@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bound.hpp"
+#include "adversary/spacetime.hpp"
+#include "arrow/arrow.hpp"
+
+namespace arrowdq {
+namespace {
+
+TEST(Spacetime, PlacesDotsAtNodeAndTime) {
+  auto rs = RequestSet::from_units(0, {{2, 0}, {4, 1}});
+  auto s = render_spacetime(5, rs, SpacetimeOptions{});
+  // Row t=0 has a dot in column 2; row t=1 in column 4.
+  EXPECT_NE(s.find("t=0\t..o.."), std::string::npos) << s;
+  EXPECT_NE(s.find("t=1\t....o"), std::string::npos) << s;
+}
+
+TEST(Spacetime, OrderLabelsModTen) {
+  auto rs = RequestSet::from_units(0, {{0, 0}, {1, 0}, {2, 0}});
+  auto out = run_arrow(Tree::from_parents({kNoNode, 0, 1}, 0), rs);
+  SpacetimeOptions opts;
+  opts.label_order = true;
+  auto s = render_spacetime(3, rs, out.order(), opts);
+  // Order along the path: requests at nodes 0,1,2 -> labels 1,2,3.
+  EXPECT_NE(s.find("123"), std::string::npos) << s;
+}
+
+TEST(Spacetime, CompressionKeepsGridBounded) {
+  auto inst = make_theorem41_instance(6);  // D = 64
+  SpacetimeOptions opts;
+  opts.node_step = 2;
+  opts.time_step = 1;
+  auto s = render_spacetime(static_cast<NodeId>(inst.diameter) + 1, inst.requests, opts);
+  // Each rendered row is "t=N\t" + 33 cells.
+  auto first_nl = s.find('\n');
+  auto second_nl = s.find('\n', first_nl + 1);
+  auto row = s.substr(first_nl + 1, second_nl - first_nl - 1);
+  auto tab = row.find('\t');
+  EXPECT_EQ(row.size() - tab - 1, 33u) << row;
+}
+
+TEST(Spacetime, EmptyRequestSetRendersHeaderOnly) {
+  RequestSet rs(0, {});
+  auto s = render_spacetime(4, rs, SpacetimeOptions{});
+  EXPECT_NE(s.find("path ->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arrowdq

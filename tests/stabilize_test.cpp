@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "arrow/invariants.hpp"
+#include "arrow/stabilize.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/random.hpp"
+
+namespace arrowdq {
+namespace {
+
+Tree grid_tree() { return shortest_path_tree(make_grid(4, 4), 0); }
+
+std::vector<NodeId> legal_links_toward(const Tree& t, NodeId sink) {
+  Tree rooted = t.rerooted(sink);
+  std::vector<NodeId> links(static_cast<std::size_t>(t.node_count()));
+  for (NodeId v = 0; v < t.node_count(); ++v)
+    links[static_cast<std::size_t>(v)] = v == sink ? v : rooted.parent(v);
+  return links;
+}
+
+TEST(Invariants, LegalStateAccepted) {
+  Tree t = grid_tree();
+  auto links = legal_links_toward(t, 5);
+  auto rep = check_link_state(links, t);
+  EXPECT_TRUE(rep.valid);
+  EXPECT_EQ(rep.sink, 5);
+  EXPECT_EQ(rep.sink_count, 1);
+}
+
+TEST(Invariants, DetectsMultipleSinks) {
+  Tree t = grid_tree();
+  auto links = legal_links_toward(t, 5);
+  links[10] = 10;  // second sink
+  auto rep = check_link_state(links, t);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_EQ(rep.sink_count, 2);
+}
+
+TEST(Invariants, DetectsIllegalPointer) {
+  Tree t = grid_tree();
+  auto links = legal_links_toward(t, 0);
+  links[3] = 12;  // not a tree neighbour of 3 in the grid SPT
+  auto rep = check_link_state(links, t);
+  if (rep.illegal_pointers == 0) GTEST_SKIP() << "12 happens to neighbour 3 in this tree";
+  EXPECT_FALSE(rep.valid);
+}
+
+TEST(Invariants, DetectsCycle) {
+  Tree t = shortest_path_tree(make_path(4), 0);
+  // 2-cycle between nodes 1 and 2; node 3 points into it; no sink.
+  std::vector<NodeId> links{1, 2, 1, 2};
+  auto rep = check_link_state(links, t);
+  EXPECT_FALSE(rep.valid);
+  EXPECT_EQ(rep.sink_count, 0);
+}
+
+TEST(Stabilize, LegalStateTowardAnchorIsFixpoint) {
+  Tree t = grid_tree();
+  SelfStabilizer stab(t, /*anchor=*/0);
+  auto links = legal_links_toward(t, 0);
+  auto h = stab.estimate_hops(links);
+  EXPECT_EQ(stab.round(links, h), 0);
+}
+
+TEST(Stabilize, RepairsCycles) {
+  Tree t = shortest_path_tree(make_path(6), 0);
+  SelfStabilizer stab(t, 0);
+  std::vector<NodeId> links{1, 2, 1, 4, 5, 4};  // two 2-cycles, no sink
+  auto h = stab.estimate_hops(links);
+  auto res = stab.stabilize(links, h, 100);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(links_form_in_tree(links, t));
+  EXPECT_EQ(check_link_state(links, t).sink, 0);
+}
+
+TEST(Stabilize, RepairsMultipleSinks) {
+  Tree t = grid_tree();
+  SelfStabilizer stab(t, 0);
+  auto links = legal_links_toward(t, 0);
+  links[7] = 7;
+  links[13] = 13;
+  auto h = stab.estimate_hops(links);
+  auto res = stab.stabilize(links, h, 100);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.corrections, 0);
+  EXPECT_TRUE(links_form_in_tree(links, t));
+}
+
+TEST(Stabilize, RepairsRandomCorruption) {
+  Rng rng(404);
+  Graph g = make_random_tree(24, rng);
+  Tree t = shortest_path_tree(g, 0);
+  SelfStabilizer stab(t, 0);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<NodeId> links(24);
+    std::vector<NodeId> h(24);
+    for (NodeId v = 0; v < 24; ++v) {
+      links[static_cast<std::size_t>(v)] = static_cast<NodeId>(rng.next_below(24));
+      h[static_cast<std::size_t>(v)] = static_cast<NodeId>(rng.next_below(24));
+    }
+    auto res = stab.stabilize(links, h, 200);
+    EXPECT_TRUE(res.converged) << "trial " << trial;
+    EXPECT_TRUE(links_form_in_tree(links, t)) << "trial " << trial;
+    EXPECT_EQ(check_link_state(links, t).sink, 0);
+  }
+}
+
+TEST(Stabilize, ConvergesWithinLinearRounds) {
+  Rng rng(405);
+  Graph g = make_path(32);
+  Tree t = shortest_path_tree(g, 0);
+  SelfStabilizer stab(t, 0);
+  std::vector<NodeId> links(32);
+  std::vector<NodeId> h(32, 0);
+  for (NodeId v = 0; v < 32; ++v)
+    links[static_cast<std::size_t>(v)] = static_cast<NodeId>(rng.next_below(32));
+  auto res = stab.stabilize(links, h, 3 * 32);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.rounds, 2 * 32 + 2);
+}
+
+}  // namespace
+}  // namespace arrowdq

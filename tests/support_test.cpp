@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/histogram.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+namespace {
+
+TEST(Types, TickConversionRoundTrips) {
+  EXPECT_EQ(units_to_ticks(0), 0);
+  EXPECT_EQ(units_to_ticks(1), kTicksPerUnit);
+  EXPECT_EQ(units_to_ticks(7), 7 * kTicksPerUnit);
+  EXPECT_EQ(ticks_to_units(units_to_ticks(123)), 123);
+  EXPECT_DOUBLE_EQ(ticks_to_units_d(kTicksPerUnit / 2), 0.5);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= v == -2;
+    hit_hi |= v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnit) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  auto p = rng.permutation(50);
+  std::set<std::int32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Stats, AccumulatorBasics) {
+  StatAccumulator s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  StatAccumulator a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  StatAccumulator a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  StatAccumulator c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 1);
+  EXPECT_DOUBLE_EQ(c.mean(), 3.0);
+}
+
+TEST(Stats, SampleSetQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Stats, SampleSetSingleElement) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.3), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);   // clamps into bucket 0
+  h.add(0.5);
+  h.add(9.99);
+  h.add(25.0);   // clamps into last bucket
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(9), 2);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(9), 10.0);
+}
+
+TEST(Histogram, AsciiRendersNonEmptyBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  h.add(1.2);
+  auto s = h.ascii(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(LogHistogram, PowerOfTwoBuckets) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1023);
+  EXPECT_EQ(h.total(), 6);
+  EXPECT_EQ(h.bucket(0), 2);  // {0, 1}
+  EXPECT_EQ(h.bucket(1), 2);  // {2, 3}
+  EXPECT_EQ(h.bucket(2), 1);  // {4..7}
+  EXPECT_EQ(h.bucket(9), 1);  // {512..1023}
+}
+
+TEST(Table, RenderAndCsv) {
+  Table t({"n", "cost"});
+  t.row().cell(std::int64_t{4}).cell(3.14159, 2);
+  t.row().cell(std::int64_t{8}).cell(2.0, 2);
+  auto text = t.render();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  auto csv = t.csv();
+  EXPECT_EQ(csv, "n,cost\n4,3.14\n8,2.00\n");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Mix64, StatelessAndStable) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+}  // namespace
+}  // namespace arrowdq

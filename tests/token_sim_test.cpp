@@ -1,0 +1,96 @@
+// The message-driven token simulation must agree exactly with the analytic
+// mutex/counter layers in the synchronous model, and bound them under
+// asynchronous delivery.
+#include <gtest/gtest.h>
+
+#include "apps/counter.hpp"
+#include "apps/mutex.hpp"
+#include "apps/token_sim.hpp"
+#include "arrow/arrow.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/latency.hpp"
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+namespace {
+
+class TokenSimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenSimSweep, SynchronousSimulationMatchesAnalyticMutex) {
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 17 + 1);
+  Graph g = (seed % 2 == 0) ? make_grid(4, 4) : make_random_tree(18, rng);
+  Tree t = shortest_path_tree(g, 0);
+  Rng wrng = rng.split();
+  auto reqs = poisson_uniform(g.node_count(), 0, 20, 0.7, wrng);
+  auto outcome = run_arrow(t, reqs);
+
+  const Time hold = units_to_ticks(2);
+  auto analytic = mutex_from_outcome(t, reqs, outcome, hold);
+  SynchronousLatency sync;
+  auto simulated = simulate_token_passing(t, reqs, outcome, hold, sync);
+
+  for (RequestId id = 1; id <= reqs.size(); ++id) {
+    EXPECT_EQ(simulated.granted[static_cast<std::size_t>(id)],
+              analytic.acquire[static_cast<std::size_t>(id)])
+        << "request " << id << " seed " << seed;
+  }
+  EXPECT_EQ(simulated.token_travel, analytic.token_travel);
+  EXPECT_EQ(simulated.makespan, analytic.makespan);
+}
+
+TEST_P(TokenSimSweep, AsyncTokenNeverSlowerThanAnalyticBound) {
+  // With message delays <= 1 unit per unit weight, every hop is at most as
+  // slow as synchronous, so grants can only be earlier.
+  int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 23 + 9);
+  Graph g = make_grid(4, 5);
+  Tree t = shortest_path_tree(g, 0);
+  Rng wrng = rng.split();
+  auto reqs = poisson_uniform(20, 0, 15, 0.5, wrng);
+  auto outcome = run_arrow(t, reqs);
+
+  const Time hold = units_to_ticks(1);
+  auto analytic = mutex_from_outcome(t, reqs, outcome, hold);
+  auto lat = make_uniform_async(static_cast<std::uint64_t>(seed) + 5, 0.1);
+  auto simulated = simulate_token_passing(t, reqs, outcome, hold, *lat);
+
+  for (RequestId id = 1; id <= reqs.size(); ++id) {
+    EXPECT_LE(simulated.granted[static_cast<std::size_t>(id)],
+              analytic.acquire[static_cast<std::size_t>(id)])
+        << "request " << id;
+    EXPECT_NE(simulated.granted[static_cast<std::size_t>(id)], kTimeNever);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSimSweep, ::testing::Range(0, 8));
+
+TEST(TokenSim, MessageCountEqualsHopCountOfTravel) {
+  Graph g = make_path(6);
+  Tree t = shortest_path_tree(g, 0);
+  auto reqs = RequestSet::from_units(0, {{5, 0}, {2, 30}});
+  auto outcome = run_arrow(t, reqs);
+  SynchronousLatency sync;
+  auto sim = simulate_token_passing(t, reqs, outcome, 0, sync);
+  // Token: 0 -> 5 (5 hops) -> 2 (3 hops) on a unit-weight path.
+  EXPECT_EQ(sim.token_messages, 8u);
+  EXPECT_EQ(sim.token_travel, 8);
+}
+
+TEST(TokenSim, RepeatedRequestsHandOffLocally) {
+  Graph g = make_path(4);
+  Tree t = shortest_path_tree(g, 0);
+  auto reqs = RequestSet::from_units(0, {{3, 0}, {3, 1}, {3, 2}});
+  auto outcome = run_arrow(t, reqs);
+  SynchronousLatency sync;
+  auto sim = simulate_token_passing(t, reqs, outcome, units_to_ticks(1), sync);
+  // One 3-hop trip, then two local handoffs.
+  EXPECT_EQ(sim.token_travel, 3);
+  for (RequestId id = 1; id <= 3; ++id)
+    EXPECT_NE(sim.granted[static_cast<std::size_t>(id)], kTimeNever);
+}
+
+}  // namespace
+}  // namespace arrowdq

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/tree_search.hpp"
+#include "support/random.hpp"
+
+namespace arrowdq {
+namespace {
+
+TEST(TreeSearch, NeverWorsensTheObjective) {
+  Rng rng(5);
+  Graph g = make_torus(4, 4);
+  Tree seed = shortest_path_tree(g, 0);
+  TreeSearchOptions opts;
+  opts.max_iterations = 120;
+  auto res = improve_tree_stretch(g, seed, opts, rng);
+  EXPECT_LE(res.final_objective, res.initial_objective + 1e-12);
+  EXPECT_GE(res.examined_swaps, 1);
+}
+
+TEST(TreeSearch, ResultIsStillASpanningTree) {
+  Rng rng(6);
+  Graph g = make_grid(5, 5);
+  Tree seed = random_spanning_tree(g, 0, rng);
+  TreeSearchOptions opts;
+  opts.max_iterations = 150;
+  auto res = improve_tree_stretch(g, seed, opts, rng);
+  EXPECT_EQ(res.tree.node_count(), g.node_count());
+  Graph tg = res.tree.as_graph();
+  EXPECT_TRUE(tg.is_tree());
+  // Every tree edge must be a graph edge.
+  for (const auto& e : tg.edges()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+TEST(TreeSearch, ImprovesABadSeedOnTorus) {
+  // Random spanning trees of a torus have much worse average stretch than a
+  // locally-optimized tree; the search should find improving swaps.
+  Rng rng(7);
+  Graph g = make_torus(5, 5);
+  Tree seed = random_spanning_tree(g, 0, rng);
+  double seed_avg = stretch_exact(g, seed).avg_stretch;
+  TreeSearchOptions opts;
+  opts.max_iterations = 400;
+  opts.patience = 150;
+  auto res = improve_tree_stretch(g, seed, opts, rng);
+  EXPECT_GT(res.improving_swaps, 0);
+  EXPECT_LT(res.final_objective, seed_avg);
+}
+
+TEST(TreeSearch, MaxObjectiveVariant) {
+  Rng rng(8);
+  Graph g = make_ring(12);
+  Tree seed = shortest_path_tree(g, 0);
+  TreeSearchOptions opts;
+  opts.objective = StretchObjective::kMax;
+  opts.max_iterations = 100;
+  auto res = improve_tree_stretch(g, seed, opts, rng);
+  // A ring has only one spanning-tree shape (remove one edge); the search
+  // cannot beat the seed's max stretch but must not worsen it.
+  EXPECT_LE(res.final_objective, res.initial_objective + 1e-12);
+}
+
+TEST(TreeSearch, OnATreeGraphNothingToSwap) {
+  Rng rng(9);
+  Graph g = make_random_tree(15, rng);
+  Tree seed = shortest_path_tree(g, 0);
+  TreeSearchOptions opts;
+  opts.max_iterations = 50;
+  auto res = improve_tree_stretch(g, seed, opts, rng);
+  EXPECT_EQ(res.improving_swaps, 0);
+  EXPECT_DOUBLE_EQ(res.final_objective, 1.0);
+}
+
+}  // namespace
+}  // namespace arrowdq

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+namespace {
+
+TEST(Workloads, OneShotAllCoversEveryNode) {
+  auto rs = one_shot_all(10, 3);
+  EXPECT_EQ(rs.size(), 10);
+  std::set<NodeId> nodes;
+  for (const auto& r : rs.real()) {
+    EXPECT_EQ(r.time, 0);
+    nodes.insert(r.node);
+  }
+  EXPECT_EQ(nodes.size(), 10u);
+  EXPECT_EQ(rs.root(), 3);
+}
+
+TEST(Workloads, OneShotBurstSubset) {
+  auto rs = one_shot_burst({2, 5, 7}, 0);
+  EXPECT_EQ(rs.size(), 3);
+  EXPECT_EQ(rs.by_id(1).node, 2);
+  EXPECT_EQ(rs.by_id(3).node, 7);
+}
+
+TEST(Workloads, SequentialSpacing) {
+  Rng rng(1);
+  auto rs = sequential_random(8, 0, 5, 10, rng);
+  EXPECT_EQ(rs.size(), 5);
+  for (RequestId id = 1; id <= 5; ++id)
+    EXPECT_EQ(rs.by_id(id).time, units_to_ticks(10) * (id - 1));
+}
+
+TEST(Workloads, PoissonTimesNonDecreasingAndNodesInRange) {
+  Rng rng(2);
+  auto rs = poisson_uniform(16, 0, 200, 0.5, rng);
+  EXPECT_EQ(rs.size(), 200);
+  Time prev = -1;
+  for (const auto& r : rs.real()) {
+    EXPECT_GE(r.time, prev);
+    prev = r.time;
+    EXPECT_GE(r.node, 0);
+    EXPECT_LT(r.node, 16);
+  }
+}
+
+TEST(Workloads, PoissonRateControlsDensity) {
+  Rng a(3), b(3);
+  auto fast = poisson_uniform(8, 0, 300, 4.0, a);
+  auto slow = poisson_uniform(8, 0, 300, 0.25, b);
+  EXPECT_LT(fast.last_issue_time(), slow.last_issue_time());
+}
+
+TEST(Workloads, HotspotBias) {
+  Rng rng(4);
+  auto rs = poisson_hotspot(16, 0, 500, 1.0, /*hot=*/5, /*p=*/0.8, rng);
+  int hot = 0;
+  for (const auto& r : rs.real())
+    if (r.node == 5) ++hot;
+  EXPECT_GT(hot, 300);  // ~0.8 * 500 plus uniform share
+}
+
+TEST(Workloads, BurstyStructure) {
+  Rng rng(5);
+  auto rs = bursty(10, 0, 4, 6, 25, rng);
+  EXPECT_EQ(rs.size(), 24);
+  std::set<Time> times;
+  for (const auto& r : rs.real()) times.insert(r.time);
+  EXPECT_EQ(times.size(), 4u);
+  EXPECT_EQ(*times.begin(), 0);
+  EXPECT_EQ(*times.rbegin(), units_to_ticks(75));
+}
+
+TEST(Workloads, LocalizedBurstStaysInRange) {
+  Rng rng(6);
+  auto rs = localized_burst(10, 14, 0, 50, rng);
+  for (const auto& r : rs.real()) {
+    EXPECT_GE(r.node, 10);
+    EXPECT_LE(r.node, 14);
+  }
+}
+
+TEST(Workloads, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  auto ra = poisson_uniform(12, 0, 100, 0.7, a);
+  auto rb = poisson_uniform(12, 0, 100, 0.7, b);
+  for (RequestId id = 1; id <= 100; ++id) {
+    EXPECT_EQ(ra.by_id(id).node, rb.by_id(id).node);
+    EXPECT_EQ(ra.by_id(id).time, rb.by_id(id).time);
+  }
+}
+
+}  // namespace
+}  // namespace arrowdq
