@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify: configure, build everything, run the full suite.
+#
+#   scripts/check.sh            # Release build in ./build
+#   BUILD_DIR=out scripts/check.sh
+#   CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug" scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -7,7 +7,8 @@
 // simulator can be instantiated with either via EventQueue's template
 // parameter. The implementation stores nodes in a std::vector pool with
 // index links, so it is allocation-free after reserve() and trivially
-// destructible.
+// destructible. push returns a Handle usable with decrease_key (event
+// rescheduling); whole heaps combine via meld.
 #pragma once
 
 #include <cstdint>
@@ -29,24 +30,90 @@ class PairingHeap {
     bool operator<(const Key& o) const { return t != o.t ? t < o.t : seq < o.seq; }
   };
 
+  /// Identifies a live element for decrease_key. Valid from push until the
+  /// element is popped; absorbing a heap via meld invalidates the absorbed
+  /// heap's handles.
+  using Handle = std::int32_t;
+
   bool empty() const { return root_ == kNil; }
   std::size_t size() const { return size_; }
 
   void reserve(std::size_t n) { nodes_.reserve(n); }
 
-  void push(Key key, T value) {
+  Handle push(Key key, T value) {
     std::int32_t idx;
     if (free_ != kNil) {
       idx = free_;
       free_ = nodes_[static_cast<std::size_t>(idx)].sibling;
       nodes_[static_cast<std::size_t>(idx)] =
-          Node{key, std::move(value), kNil, kNil};
+          Node{key, std::move(value), kNil, kNil, kNil};
     } else {
       idx = static_cast<std::int32_t>(nodes_.size());
-      nodes_.push_back(Node{key, std::move(value), kNil, kNil});
+      nodes_.push_back(Node{key, std::move(value), kNil, kNil, kNil});
     }
     root_ = root_ == kNil ? idx : meld(root_, idx);
     ++size_;
+    return idx;
+  }
+
+  const Key& key_of(Handle h) const { return nodes_[static_cast<std::size_t>(h)].key; }
+
+  /// Lower the key of a live element. new_key must not exceed the current
+  /// key. O(1) amortized: the subtree is cut and melded with the root.
+  void decrease_key(Handle h, Key new_key) {
+    Node& nd = nodes_[static_cast<std::size_t>(h)];
+    ARROWDQ_ASSERT(!(nd.key < new_key));
+    nd.key = new_key;
+    if (h == root_) return;
+    // Cut the subtree rooted at h out of its sibling list.
+    std::int32_t p = nd.prev;
+    if (nodes_[static_cast<std::size_t>(p)].child == h)
+      nodes_[static_cast<std::size_t>(p)].child = nd.sibling;
+    else
+      nodes_[static_cast<std::size_t>(p)].sibling = nd.sibling;
+    if (nd.sibling != kNil) nodes_[static_cast<std::size_t>(nd.sibling)].prev = p;
+    nd.sibling = kNil;
+    nd.prev = kNil;
+    root_ = meld(root_, h);
+  }
+
+  /// Absorb every element of `other`, leaving it empty. O(|other| nodes)
+  /// pool copy plus one comparison; `other`'s handles are invalidated.
+  void meld(PairingHeap&& other) {
+    if (other.root_ == kNil) {
+      other.clear();
+      return;
+    }
+    if (root_ == kNil) {
+      *this = std::move(other);
+      other.clear();
+      return;
+    }
+    const auto offset = static_cast<std::int32_t>(nodes_.size());
+    nodes_.reserve(nodes_.size() + other.nodes_.size());
+    for (Node& n : other.nodes_) {
+      if (n.child != kNil) n.child += offset;
+      if (n.sibling != kNil) n.sibling += offset;
+      if (n.prev != kNil) n.prev += offset;
+      nodes_.push_back(std::move(n));
+    }
+    if (other.free_ != kNil) {
+      std::int32_t tail = other.free_ + offset;
+      while (nodes_[static_cast<std::size_t>(tail)].sibling != kNil)
+        tail = nodes_[static_cast<std::size_t>(tail)].sibling;
+      nodes_[static_cast<std::size_t>(tail)].sibling = free_;
+      free_ = other.free_ + offset;
+    }
+    root_ = meld(root_, other.root_ + offset);
+    size_ += other.size_;
+    other.clear();
+  }
+
+  void clear() {
+    nodes_.clear();
+    root_ = kNil;
+    free_ = kNil;
+    size_ = 0;
   }
 
   const Key& top_key() const {
@@ -75,14 +142,21 @@ class PairingHeap {
     T value{};
     std::int32_t child = kNil;
     std::int32_t sibling = kNil;
+    // Parent if first child, left sibling otherwise; kNil at the root.
+    // Needed so decrease_key can cut a subtree in O(1).
+    std::int32_t prev = kNil;
   };
 
   std::int32_t meld(std::int32_t a, std::int32_t b) {
     if (nodes_[static_cast<std::size_t>(b)].key < nodes_[static_cast<std::size_t>(a)].key)
       std::swap(a, b);
     // b becomes a's first child.
-    nodes_[static_cast<std::size_t>(b)].sibling = nodes_[static_cast<std::size_t>(a)].child;
+    std::int32_t old_child = nodes_[static_cast<std::size_t>(a)].child;
+    nodes_[static_cast<std::size_t>(b)].sibling = old_child;
+    if (old_child != kNil) nodes_[static_cast<std::size_t>(old_child)].prev = b;
     nodes_[static_cast<std::size_t>(a)].child = b;
+    nodes_[static_cast<std::size_t>(b)].prev = a;
+    nodes_[static_cast<std::size_t>(a)].prev = kNil;
     return a;
   }
 
@@ -97,12 +171,15 @@ class PairingHeap {
       std::int32_t b = nodes_[static_cast<std::size_t>(a)].sibling;
       if (b == kNil) {
         nodes_[static_cast<std::size_t>(a)].sibling = kNil;
+        nodes_[static_cast<std::size_t>(a)].prev = kNil;
         melded.push_back(a);
         break;
       }
       first = nodes_[static_cast<std::size_t>(b)].sibling;
       nodes_[static_cast<std::size_t>(a)].sibling = kNil;
       nodes_[static_cast<std::size_t>(b)].sibling = kNil;
+      nodes_[static_cast<std::size_t>(a)].prev = kNil;
+      nodes_[static_cast<std::size_t>(b)].prev = kNil;
       melded.push_back(meld(a, b));
     }
     if (melded.empty()) return kNil;

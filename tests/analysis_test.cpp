@@ -8,12 +8,13 @@
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
 #include "support/random.hpp"
+#include "testutil.hpp"
 #include "workload/workloads.hpp"
 
 namespace arrowdq {
 namespace {
 
-Tree path_tree(NodeId n) { return shortest_path_tree(make_path(n), 0); }
+using testutil::path_tree;
 
 TEST(Costs, CtDefinitionBranches) {
   Tree t = path_tree(10);

@@ -10,12 +10,13 @@
 #include "graph/spanning_tree.hpp"
 #include "sim/latency.hpp"
 #include "support/random.hpp"
+#include "testutil.hpp"
 #include "workload/workloads.hpp"
 
 namespace arrowdq {
 namespace {
 
-Tree path_tree(NodeId n, NodeId root = 0) { return shortest_path_tree(make_path(n), root); }
+using testutil::path_tree;
 
 TEST(Arrow, EmptyRequestSet) {
   Tree t = path_tree(4);

@@ -15,51 +15,13 @@
 #include "graph/spanning_tree.hpp"
 #include "proto/request.hpp"
 #include "support/random.hpp"
+#include "testutil.hpp"
 #include "workload/workloads.hpp"
 
 namespace arrowdq {
 namespace {
 
-struct Scenario {
-  const char* name;
-  int seed;
-};
-
-/// Build a random (graph, tree, requests) triple for a seed. Mixes graph
-/// families and workload regimes so the sweep covers sequential, bursty and
-/// Poisson loads on paths, grids, trees and complete graphs.
-struct Instance {
-  Graph graph{0};
-  Tree tree{std::vector<NodeId>{kNoNode}, std::vector<Weight>{1}, 0};
-  RequestSet requests{0, {}};
-};
-
-Instance make_instance(int seed) {
-  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
-  Instance inst;
-  switch (seed % 4) {
-    case 0: inst.graph = make_path(12 + seed % 9); break;
-    case 1: inst.graph = make_grid(4, 4 + seed % 4); break;
-    case 2: inst.graph = make_random_tree(18 + seed % 10, rng); break;
-    default: inst.graph = make_complete(10 + seed % 8); break;
-  }
-  NodeId n = inst.graph.node_count();
-  auto root = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
-  inst.tree = shortest_path_tree(inst.graph, root);
-  Rng wrng = rng.split();
-  switch (seed % 3) {
-    case 0:
-      inst.requests = one_shot_all(n, root);
-      break;
-    case 1:
-      inst.requests = poisson_uniform(n, root, 18 + seed % 12, 0.4 + 0.2 * (seed % 4), wrng);
-      break;
-    default:
-      inst.requests = bursty(n, root, 3, 5, 4, wrng);
-      break;
-  }
-  return inst;
-}
+using testutil::make_instance;
 
 class LemmaSweep : public ::testing::TestWithParam<int> {};
 

@@ -93,6 +93,136 @@ TEST(PairingHeapTest, MonotoneDrainIsSorted) {
   }
 }
 
+TEST(PairingHeapTest, DuplicatePrioritiesPopInSeqOrder) {
+  // Same timestamp everywhere: the seq tiebreaker must impose FIFO order.
+  Heap h;
+  for (std::uint64_t s = 0; s < 64; ++s) h.push({7, s}, static_cast<int>(s));
+  for (int s = 0; s < 64; ++s) EXPECT_EQ(h.pop(), s);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(PairingHeapTest, FullyIdenticalKeysAllDrain) {
+  // Identical (t, seq) keys compare equal both ways; every element must
+  // still come out exactly once.
+  Heap h;
+  for (int i = 0; i < 16; ++i) h.push({3, 0}, i);
+  std::vector<int> seen;
+  while (!h.empty()) seen.push_back(h.pop());
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(PairingHeapTest, DecreaseKeyOnRootKeepsStructure) {
+  Heap h;
+  auto r = h.push({10, 0}, 1);
+  h.push({20, 1}, 2);
+  h.push({30, 2}, 3);
+  EXPECT_EQ(h.key_of(r).t, 10);
+  h.decrease_key(r, {1, 0});
+  EXPECT_EQ(h.top_key().t, 1);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 3);
+}
+
+TEST(PairingHeapTest, DecreaseKeyPromotesDeepElement) {
+  Heap h;
+  std::vector<Heap::Handle> handles;
+  for (std::uint64_t s = 0; s < 32; ++s)
+    handles.push_back(h.push({static_cast<Time>(100 + s), s}, static_cast<int>(s)));
+  // Link the tree up so elements sit below the root, then promote the last.
+  EXPECT_EQ(h.pop(), 0);
+  h.decrease_key(handles.back(), {0, 31});
+  EXPECT_EQ(h.pop(), 31);
+  for (int s = 1; s < 31; ++s) EXPECT_EQ(h.pop(), s);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(PairingHeapTest, DecreaseKeyEqualKeyIsNoOpSafe) {
+  Heap h;
+  auto a = h.push({5, 0}, 1);
+  h.push({6, 1}, 2);
+  h.decrease_key(a, {5, 0});
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 2);
+}
+
+TEST(PairingHeapTest, MeldWithEmptyHeapBothDirections) {
+  Heap a;
+  Heap b;
+  a.push({1, 0}, 10);
+  a.push({2, 1}, 20);
+  // Non-empty absorbs empty: nothing changes.
+  a.meld(std::move(b));
+  EXPECT_EQ(a.size(), 2u);
+  // Empty absorbs non-empty: takes everything.
+  Heap c;
+  c.meld(std::move(a));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): meld empties its argument
+  EXPECT_EQ(c.pop(), 10);
+  EXPECT_EQ(c.pop(), 20);
+  // Empty melds empty: still empty.
+  Heap d;
+  Heap e;
+  d.meld(std::move(e));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(PairingHeapTest, MeldInterleavesTwoHeaps) {
+  Heap a;
+  Heap b;
+  for (std::uint64_t s = 0; s < 40; s += 2) a.push({static_cast<Time>(s), s}, static_cast<int>(s));
+  for (std::uint64_t s = 1; s < 40; s += 2) b.push({static_cast<Time>(s), s}, static_cast<int>(s));
+  // Churn both heaps so each has a non-empty free list at meld time: the
+  // absorbed heap's freed slots exercise the free-list splice and offset.
+  a.push({100, 100}, -1);
+  a.push({101, 101}, -2);
+  EXPECT_EQ(a.pop(), 0);
+  b.push({0, 500}, -3);
+  b.push({0, 501}, -4);
+  EXPECT_EQ(b.pop(), -3);
+  EXPECT_EQ(b.pop(), -4);
+  a.meld(std::move(b));
+  EXPECT_EQ(a.size(), 41u);
+  for (int s = 1; s < 40; ++s) EXPECT_EQ(a.pop(), s);
+  EXPECT_EQ(a.pop(), -1);
+  EXPECT_EQ(a.pop(), -2);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(PairingHeapTest, RandomDecreaseKeyMatchesReferenceModel) {
+  // Model: a map from live handle to key; the heap must always pop the
+  // minimum surviving key.
+  Heap h;
+  std::vector<std::pair<Heap::Handle, Key>> live;
+  Rng rng(77);
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 4000; ++round) {
+    double roll = rng.next_double();
+    if (roll < 0.5 || live.empty()) {
+      auto t = static_cast<Time>(rng.next_below(100000));
+      auto hd = h.push({t, seq}, static_cast<int>(seq));
+      live.emplace_back(hd, Key{t, seq});
+      ++seq;
+    } else if (roll < 0.75) {
+      auto& pick = live[static_cast<std::size_t>(rng.next_below(live.size()))];
+      Time nt = pick.second.t - static_cast<Time>(rng.next_below(500));
+      pick.second.t = nt;
+      h.decrease_key(pick.first, pick.second);
+    } else {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < live.size(); ++i)
+        if (live[i].second < live[best].second) best = i;
+      EXPECT_EQ(h.top_key().t, live[best].second.t);
+      EXPECT_EQ(h.top_key().seq, live[best].second.seq);
+      h.pop();
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    ASSERT_EQ(h.size(), live.size());
+  }
+}
+
 TEST(PairingHeapTest, MoveOnlyPayload) {
   PairingHeap<std::unique_ptr<int>> h;
   h.push({1, 0}, std::make_unique<int>(7));

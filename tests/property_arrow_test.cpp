@@ -1,0 +1,167 @@
+// Randomized property suite for the arrow protocol (the paper's core
+// invariants), swept over 50+ seeded (tree, schedule) instances each:
+//
+//   1. Quiescence: after a run drains, the link pointers form an in-tree
+//      with exactly one sink — the node of the last queued request.
+//   2. Total order: the queuing outcome chains every request (plus the
+//      virtual root request r0) into one valid total order.
+//   3. Message cost (Section 3): each queue() traversal walks exactly the
+//      tree path from the requester to its predecessor's node, so its cost
+//      is bounded by the Manhattan cost cM of that request pair, and the
+//      whole run is bounded by the Manhattan cost of arrow's own order.
+//   4. Driver agreement: the synchronous one-shot engine, the closed-loop
+//      driver at one round per node, and a scaled latency model at
+//      fraction 1.0 all describe the same execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/costs.hpp"
+#include "arrow/arrow.hpp"
+#include "arrow/closed_loop.hpp"
+#include "arrow/invariants.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/latency.hpp"
+#include "support/random.hpp"
+#include "testutil.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+namespace {
+
+using testutil::make_tree_instance;
+
+class ArrowProtocolProperty : public ::testing::TestWithParam<int> {};
+
+// Invariant 1: exactly one sink after quiescence, and it sits at the node
+// of the last request in the queuing order.
+TEST_P(ArrowProtocolProperty, ExactlyOneSinkAfterQuiescence) {
+  auto inst = make_tree_instance(GetParam());
+  SynchronousLatency sync;
+  ArrowEngine engine(inst.tree, sync);
+  auto out = engine.run(inst.requests);
+
+  auto report = check_link_state(engine.links(), inst.tree);
+  EXPECT_TRUE(report.valid) << "seed " << GetParam();
+  EXPECT_EQ(report.sink_count, 1);
+  EXPECT_EQ(report.illegal_pointers, 0);
+  EXPECT_EQ(report.unreachable, 0);
+  EXPECT_TRUE(links_form_in_tree(engine.links(), inst.tree));
+
+  auto order = out.order();
+  NodeId last_node = inst.requests.by_id(order.back()).node;
+  EXPECT_EQ(engine.sink_node(), last_node);
+  EXPECT_EQ(report.sink, last_node);
+}
+
+// Invariant 2: the outcome is a total order containing every request
+// exactly once, rooted at r0, with consistent predecessor records.
+TEST_P(ArrowProtocolProperty, OrderIsTotalOrderOverAllRequests) {
+  auto inst = make_tree_instance(GetParam());
+  auto out = run_arrow(inst.tree, inst.requests);
+  out.validate(inst.requests);
+
+  auto order = out.order();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(inst.requests.size()) + 1);
+  EXPECT_EQ(order.front(), kRootRequest);
+  std::vector<bool> seen(order.size(), false);
+  for (RequestId id : order) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(static_cast<std::size_t>(id), order.size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(id)]) << "request " << id << " appears twice";
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_EQ(out.completion(order[i]).predecessor, order[i - 1]);
+}
+
+// Invariant 3: every queue() message walks exactly the tree path from the
+// requester to its predecessor's node, so per-request cost is bounded by
+// the Manhattan cost cM(pred, req) and the run total by the Manhattan cost
+// of arrow's own order (Section 3's tree-distance/Manhattan bound).
+TEST_P(ArrowProtocolProperty, MessageCostWithinManhattanBound) {
+  auto inst = make_tree_instance(GetParam());
+  const Tree& t = inst.tree;
+  auto out = run_arrow(t, inst.requests);
+  auto dT = tree_dist_ticks(t);
+
+  for (RequestId id = 1; id <= inst.requests.size(); ++id) {
+    const auto& c = out.completion(id);
+    const Request& req = inst.requests.by_id(id);
+    const Request& pred = inst.requests.by_id(c.predecessor);
+    EXPECT_EQ(c.distance, t.distance(req.node, pred.node)) << "request " << id;
+    EXPECT_EQ(c.hops, t.hop_distance(req.node, pred.node)) << "request " << id;
+    EXPECT_LE(units_to_ticks(c.distance), cost_cM(pred, req, dT));
+  }
+  auto order = out.order();
+  EXPECT_LE(units_to_ticks(out.total_distance()),
+            order_cost(order, inst.requests, make_cM(dT)));
+}
+
+// Invariant 3, asynchronous leg: arbitrary (normalized) message delays can
+// change the order but not the structural facts — traversals still walk
+// exact tree paths and the outcome still validates.
+TEST_P(ArrowProtocolProperty, AsyncRunKeepsStructuralInvariants) {
+  auto inst = make_tree_instance(GetParam());
+  const Tree& t = inst.tree;
+  auto lat = make_uniform_async(static_cast<std::uint64_t>(GetParam()) * 613 + 5, 0.1);
+  ArrowEngine engine(t, *lat);
+  auto out = engine.run(inst.requests);
+  out.validate(inst.requests);
+
+  for (RequestId id = 1; id <= inst.requests.size(); ++id) {
+    const auto& c = out.completion(id);
+    EXPECT_EQ(c.distance,
+              t.distance(inst.requests.by_id(id).node,
+                         inst.requests.by_id(c.predecessor).node));
+  }
+  auto report = check_link_state(engine.links(), t);
+  EXPECT_TRUE(report.valid);
+  EXPECT_EQ(report.sink_count, 1);
+}
+
+// Invariant 4a: the synchronous model is deterministic, and ScaledLatency
+// at fraction 1.0 is the same model — both runs must agree exactly.
+TEST_P(ArrowProtocolProperty, SynchronousRunsAgree) {
+  auto inst = make_tree_instance(GetParam());
+  auto out1 = run_arrow(inst.tree, inst.requests);
+  auto out2 = run_arrow(inst.tree, inst.requests);
+  ScaledLatency full(1.0);
+  auto out3 = run_arrow(inst.tree, inst.requests, full);
+
+  EXPECT_EQ(out1.order(), out2.order());
+  EXPECT_EQ(out1.order(), out3.order());
+  EXPECT_EQ(out1.total_hops(), out3.total_hops());
+  for (RequestId id = 1; id <= inst.requests.size(); ++id) {
+    EXPECT_EQ(out1.completion(id).completed_at, out2.completion(id).completed_at);
+    EXPECT_EQ(out1.completion(id).completed_at, out3.completion(id).completed_at);
+  }
+}
+
+// Invariant 4b: the closed-loop driver at one request per node on a quiet
+// synchronous network is exactly the one-shot burst — same request count
+// and same number of tree messages.
+TEST_P(ArrowProtocolProperty, ClosedLoopOneRoundMatchesOneShot) {
+  Rng rng = testutil::seeded_rng(GetParam(), /*salt=*/0xc105ed);
+  NodeId n = 6 + static_cast<NodeId>(rng.next_below(24));
+  NodeId root = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+  Tree t = testutil::random_tree(n, rng, root);
+
+  SynchronousLatency sync;
+  ClosedLoopConfig cfg;
+  cfg.requests_per_node = 1;
+  auto cl = run_arrow_closed_loop(t, sync, cfg);
+
+  auto reqs = one_shot_all(n, root);
+  auto out = run_arrow(t, reqs);
+
+  EXPECT_EQ(cl.total_requests, static_cast<std::int64_t>(n));
+  EXPECT_EQ(cl.tree_messages, static_cast<std::uint64_t>(out.total_hops()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ArrowProtocolProperty, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace arrowdq

@@ -14,6 +14,7 @@
 #include "graph/shortest_paths.hpp"
 #include "graph/spanning_tree.hpp"
 #include "support/random.hpp"
+#include "testutil.hpp"
 #include "workload/workloads.hpp"
 
 namespace arrowdq {
@@ -102,8 +103,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AsymmetricDpSweep, ::testing::Range(0, 6));
 // queuing can resume as if freshly initialized.
 TEST(StabilizeIntegration, RepairedStateMatchesEngineInitialState) {
   Rng rng(55);
-  Graph g = make_grid(4, 4);
-  Tree t = shortest_path_tree(g, 0);
+  Tree t = testutil::grid_tree();
   const NodeId anchor = 5;
 
   // Corrupt arbitrarily, then repair toward the anchor.
@@ -136,8 +136,7 @@ TEST(StabilizeIntegration, RepairedStateMatchesEngineInitialState) {
 // tree messages as the equivalent staggered one-shot (sanity link between
 // the two drivers).
 TEST(DriverConsistency, SequentialClosedLoopMatchesOneShotHops) {
-  Graph g = make_path(6);
-  Tree t = shortest_path_tree(g, 0);
+  Tree t = testutil::path_tree(6);
   // One-shot staggered far apart: requests from nodes 1..5 sequentially.
   std::vector<std::pair<NodeId, Weight>> items;
   for (NodeId v = 1; v < 6; ++v) items.emplace_back(v, 100 * v);
@@ -154,8 +153,7 @@ TEST(DriverConsistency, SequentialClosedLoopMatchesOneShotHops) {
 // otherwise reorder across a chain of hops (regression guard for the
 // network layer under the truncated-exponential model).
 TEST(NetworkChain, NoReorderingAcrossWholeChain) {
-  Graph g = make_path(8);
-  Tree t = shortest_path_tree(g, 0);
+  Tree t = testutil::path_tree(8);
   // Many concurrent requests from the far end; all queue() messages share
   // edges, so any reordering would corrupt the queue (validate() catches
   // double predecessors).

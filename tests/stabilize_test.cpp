@@ -5,11 +5,12 @@
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
 #include "support/random.hpp"
+#include "testutil.hpp"
 
 namespace arrowdq {
 namespace {
 
-Tree grid_tree() { return shortest_path_tree(make_grid(4, 4), 0); }
+using testutil::grid_tree;
 
 std::vector<NodeId> legal_links_toward(const Tree& t, NodeId sink) {
   Tree rooted = t.rerooted(sink);
