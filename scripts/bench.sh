@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf harness: build Release, run the event-core + end-to-end throughput
+# benchmarks, and write BENCH_throughput.json at the repo root.
+#
+#   scripts/bench.sh            # full run (~1 min)
+#   scripts/bench.sh --quick    # CI-sized smoke run (~5 s)
+#   BUILD_DIR=out scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK_ARGS+=(--quick) ;;
+    *) echo "usage: scripts/bench.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_throughput
+"$BUILD_DIR"/bench_throughput "${QUICK_ARGS[@]}" --out BENCH_throughput.json
+echo "BENCH_throughput.json written."

@@ -24,8 +24,12 @@ QueuingOutcome ArrowEngine::run(const RequestSet& requests) {
   last_req_[static_cast<std::size_t>(requests.root())] = kRootRequest;
 
   sim_ = Simulator{};
+  // Pending events are bounded by the issue schedule plus in-flight
+  // messages (at most a few per tree node at any instant).
+  sim_.reserve(static_cast<std::size_t>(requests.size()) + 2 * n);
   messages_ = 0;
   Network<ArrowMsg> net(tree_graph_, sim_, latency_);
+  net.reserve_messages(2 * n);
   net.set_service_time(service_time_);
 
   QueuingOutcome out(requests.size());

@@ -32,6 +32,11 @@ class Driver {
         last_req_(static_cast<std::size_t>(tree.node_count()), kNoRequest),
         issued_(static_cast<std::size_t>(tree.node_count()), 0),
         issue_time_(static_cast<std::size_t>(tree.node_count()), 0) {
+    // One outstanding request per node bounds concurrently pending events
+    // and in-flight messages to O(n).
+    const auto n = static_cast<std::size_t>(tree.node_count());
+    sim_.reserve(4 * n);
+    net_.reserve_messages(2 * n);
     net_.set_service_time(config.service_time);
     net_.set_handler([this](NodeId from, NodeId to, const LoopMsg& m) { receive(from, to, m); });
     NodeId root = tree.root();

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/random.hpp"
 
 namespace arrowdq {
 
@@ -16,6 +17,71 @@ void Graph::add_edge(NodeId u, NodeId v, Weight weight) {
   adj_[static_cast<std::size_t>(u)].push_back({v, weight});
   adj_[static_cast<std::size_t>(v)].push_back({u, weight});
   edges_.push_back({u, v, weight});
+  index_built_ = false;
+}
+
+namespace {
+
+std::uint64_t pack_edge(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+// NodeIds are non-negative 32-bit, so no packed key ever equals ~0.
+constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+}  // namespace
+
+void Graph::build_index() const {
+  const auto n = static_cast<std::size_t>(node_count());
+  const std::size_t m = dir_edge_count();
+  dir_weight_.resize(m);
+
+  std::size_t cap = 16;
+  while (cap < 2 * m) cap <<= 1;
+  map_mask_ = cap - 1;
+  map_keys_.assign(cap, kEmptyKey);
+  map_ids_.assign(cap, -1);
+
+  // Directed ids are CSR-ordered: grouped by source node, adjacency order
+  // within a source.
+  std::int32_t id = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const HalfEdge& he : adj_[u]) {
+      dir_weight_[static_cast<std::size_t>(id)] = he.weight;
+      std::uint64_t key = pack_edge(static_cast<NodeId>(u), he.to);
+      std::uint64_t pos = mix64(key) & map_mask_;
+      while (map_keys_[pos] != kEmptyKey && map_keys_[pos] != key) pos = (pos + 1) & map_mask_;
+      // On a duplicate (parallel edge) keep the first id, matching the old
+      // first-match-in-adjacency-order semantics of edge_weight.
+      if (map_keys_[pos] == kEmptyKey) {
+        map_keys_[pos] = key;
+        map_ids_[pos] = id;
+      }
+      ++id;
+    }
+  }
+  index_built_ = true;
+}
+
+DirEdgeRef Graph::lookup(NodeId u, NodeId v) const {
+  if (!index_built_) build_index();
+  std::uint64_t key = pack_edge(u, v);
+  std::uint64_t pos = mix64(key) & map_mask_;
+  while (map_keys_[pos] != kEmptyKey) {
+    if (map_keys_[pos] == key) {
+      std::int32_t id = map_ids_[pos];
+      return {id, dir_weight_[static_cast<std::size_t>(id)]};
+    }
+    pos = (pos + 1) & map_mask_;
+  }
+  return {};
+}
+
+DirEdgeRef Graph::find_edge(NodeId u, NodeId v) const {
+  ARROWDQ_ASSERT(u >= 0 && u < node_count());
+  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  return lookup(u, v);
 }
 
 std::span<const HalfEdge> Graph::neighbors(NodeId v) const {
@@ -28,16 +94,17 @@ NodeId Graph::degree(NodeId v) const {
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
-  for (const auto& he : neighbors(u))
-    if (he.to == v) return true;
-  return false;
+  ARROWDQ_ASSERT(u >= 0 && u < node_count());
+  // Out-of-range v is a membership miss, not a programming error (matches
+  // the old adjacency-scan behavior, which never dereferenced v).
+  if (v < 0 || v >= node_count()) return false;
+  return static_cast<bool>(lookup(u, v));
 }
 
 Weight Graph::edge_weight(NodeId u, NodeId v) const {
-  for (const auto& he : neighbors(u))
-    if (he.to == v) return he.weight;
-  ARROWDQ_ASSERT_MSG(false, "edge_weight: edge does not exist");
-  return 0;
+  DirEdgeRef e = find_edge(u, v);
+  ARROWDQ_ASSERT_MSG(e, "edge_weight: edge does not exist");
+  return e.weight;
 }
 
 Weight Graph::total_weight() const {

@@ -25,6 +25,17 @@ struct Edge {
   Weight weight;
 };
 
+/// Resolution of a directed edge lookup: a dense directed-edge id in
+/// [0, dir_edge_count()) plus the edge weight; id < 0 means "no such edge".
+struct DirEdgeRef {
+  std::int32_t id = -1;
+  Weight weight = 0;
+  explicit operator bool() const { return id >= 0; }
+};
+
+// Not thread-safe, even for const queries: has_edge/edge_weight/find_edge
+// lazily build the mutable edge index on first use. Do not share one Graph
+// across concurrently running simulations without external synchronization.
 class Graph {
  public:
   Graph() = default;
@@ -32,6 +43,9 @@ class Graph {
 
   NodeId node_count() const { return static_cast<NodeId>(adj_.size()); }
   std::size_t edge_count() const { return edges_.size(); }
+  /// Number of directed half-edges (= 2 * edge_count()); the dense id space
+  /// of find_edge, usable to size per-directed-edge state arrays.
+  std::size_t dir_edge_count() const { return 2 * edges_.size(); }
 
   /// Adds an undirected edge {u, v} with the given weight (> 0); u != v.
   void add_edge(NodeId u, NodeId v, Weight weight = 1);
@@ -44,6 +58,11 @@ class Graph {
   /// Weight of edge {u, v}; asserts the edge exists.
   Weight edge_weight(NodeId u, NodeId v) const;
 
+  /// O(1) expected directed-edge lookup through the lazily built edge
+  /// index (invalidated by add_edge). Directed ids are CSR-ordered: dense,
+  /// grouped by source node in adjacency order.
+  DirEdgeRef find_edge(NodeId u, NodeId v) const;
+
   /// Sum of all edge weights.
   Weight total_weight() const;
 
@@ -53,8 +72,20 @@ class Graph {
   bool is_tree() const;
 
  private:
+  void build_index() const;
+  DirEdgeRef lookup(NodeId u, NodeId v) const;
+
   std::vector<std::vector<HalfEdge>> adj_;
   std::vector<Edge> edges_;
+
+  // Lazily built edge index: per-directed-id weights in CSR order (grouped
+  // by source node, adjacency order) plus an open-addressed map from
+  // packed (u, v) to the dense directed id.
+  mutable std::vector<Weight> dir_weight_;
+  mutable std::vector<std::uint64_t> map_keys_;
+  mutable std::vector<std::int32_t> map_ids_;
+  mutable std::uint64_t map_mask_ = 0;
+  mutable bool index_built_ = false;
 };
 
 }  // namespace arrowdq

@@ -12,11 +12,18 @@
 //    (service_time = 0, the default); the Section 5 experiment reproduction
 //    sets it > 0 to model a real CPU's serial message handling, which is
 //    what makes the centralized protocol's home node a bottleneck.
+//
+// Hot-path design: each in-flight message lives in one slot of a free-listed
+// pool and is dispatched through the single stored handler — no per-send
+// closure, no allocation after the pool warms up. The FIFO clamp is a flat
+// array indexed by the graph's dense directed-edge id (Graph::find_edge,
+// O(1)), replacing the old unordered_map keyed on packed endpoints. With a
+// serial service time the arrival re-arms its own pool slot for the
+// completion instant instead of copying the message into a second closure.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -44,7 +51,8 @@ class Network {
       : graph_(graph),
         sim_(sim),
         latency_(latency),
-        busy_until_(static_cast<std::size_t>(graph.node_count()), 0) {}
+        busy_until_(static_cast<std::size_t>(graph.node_count()), 0),
+        fifo_ready_(graph.dir_edge_count(), 0) {}
 
   void set_handler(Handler h) { handler_ = std::move(h); }
 
@@ -55,6 +63,13 @@ class Network {
   }
   Time service_time() const { return service_time_; }
 
+  /// Capacity hint: pre-size the message pool for ~n concurrently in-flight
+  /// messages.
+  void reserve_messages(std::size_t n) {
+    pool_.reserve(n);
+    free_.reserve(n);
+  }
+
   const Graph& graph() const { return graph_; }
   Simulator& sim() { return sim_; }
   const NetworkStats& stats() const { return stats_; }
@@ -62,18 +77,20 @@ class Network {
   /// Send over graph edge {from, to}; latency sampled from the model and
   /// clamped for FIFO.
   void send(NodeId from, NodeId to, M msg) {
-    ARROWDQ_ASSERT_MSG(graph_.has_edge(from, to), "send over a non-edge");
-    Weight w = graph_.edge_weight(from, to);
-    Time lat = latency_.sample(from, to, w);
+    // Adding edges renumbers the dense directed ids, which would silently
+    // alias fifo_ready_ entries — catch any mutation, not just growth past
+    // the old size.
+    ARROWDQ_ASSERT_MSG(graph_.dir_edge_count() == fifo_ready_.size(),
+                       "graph gained edges after Network construction");
+    DirEdgeRef edge = graph_.find_edge(from, to);
+    ARROWDQ_ASSERT_MSG(edge, "send over a non-edge");
+    Time lat = latency_.sample(from, to, edge.weight);
     ARROWDQ_ASSERT(lat >= 1);
     Time deliver = sim_.now() + lat;
     // FIFO clamp: never deliver before an earlier message on this edge.
-    auto key = edge_key(from, to);
-    auto [it, inserted] = fifo_.try_emplace(key, deliver);
-    if (!inserted) {
-      if (deliver < it->second) deliver = it->second;
-      it->second = deliver;
-    }
+    Time& ready = fifo_ready_[static_cast<std::size_t>(edge.id)];
+    if (deliver < ready) deliver = ready;
+    ready = deliver;
     ++stats_.edge_messages;
     stats_.total_edge_latency += lat;
     schedule_processing(from, to, deliver, std::move(msg));
@@ -89,31 +106,60 @@ class Network {
   }
 
  private:
-  static std::uint64_t edge_key(NodeId from, NodeId to) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
-           static_cast<std::uint32_t>(to);
-  }
+  struct Pending {
+    M msg;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    bool in_service = false;
+  };
+
+  /// The one event type the network schedules: 16 trivially-copyable bytes,
+  /// always on the simulator's inline path.
+  struct DeliveryEvent {
+    Network* net;
+    std::uint32_t slot;
+    void operator()() const { net->deliver(slot); }
+  };
 
   void schedule_processing(NodeId from, NodeId to, Time deliver, M msg) {
-    if (service_time_ == 0) {
-      sim_.at(deliver, [this, from, to, m = std::move(msg)]() {
-        ARROWDQ_ASSERT_MSG(handler_, "no handler installed");
-        handler_(from, to, m);
-      });
-      return;
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      Pending& p = pool_[slot];
+      p.msg = std::move(msg);
+      p.from = from;
+      p.to = to;
+      p.in_service = false;
+    } else {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(Pending{std::move(msg), from, to, false});
     }
-    // Serial node: arrival waits for the node to be free, then occupies it
-    // for service_time_ ticks; the handler fires when processing finishes.
-    sim_.at(deliver, [this, from, to, m = std::move(msg)]() mutable {
-      auto& busy = busy_until_[static_cast<std::size_t>(to)];
+    sim_.at(deliver, DeliveryEvent{this, slot});
+  }
+
+  void deliver(std::uint32_t slot) {
+    Pending& p = pool_[slot];
+    if (service_time_ != 0 && !p.in_service) {
+      // Arrival at a serial node: wait until the node frees up, occupy it
+      // for one service interval, and re-arm this same record for the
+      // completion instant.
+      Time& busy = busy_until_[static_cast<std::size_t>(p.to)];
       Time start = std::max(sim_.now(), busy);
       Time done = start + service_time_;
       busy = done;
-      sim_.at(done, [this, from, to, m2 = std::move(m)]() {
-        ARROWDQ_ASSERT_MSG(handler_, "no handler installed");
-        handler_(from, to, m2);
-      });
-    });
+      p.in_service = true;
+      sim_.at(done, DeliveryEvent{this, slot});
+      return;
+    }
+    ARROWDQ_ASSERT_MSG(handler_, "no handler installed");
+    // Move the record out and recycle the slot first: the handler may send,
+    // and that send can reuse this slot immediately.
+    NodeId from = p.from;
+    NodeId to = p.to;
+    M msg = std::move(p.msg);
+    free_.push_back(slot);
+    handler_(from, to, msg);
   }
 
   const Graph& graph_;
@@ -122,7 +168,9 @@ class Network {
   Handler handler_;
   Time service_time_ = 0;
   std::vector<Time> busy_until_;
-  std::unordered_map<std::uint64_t, Time> fifo_;
+  std::vector<Time> fifo_ready_;  // indexed by dense directed-edge id
+  std::vector<Pending> pool_;
+  std::vector<std::uint32_t> free_;
   NetworkStats stats_;
 };
 

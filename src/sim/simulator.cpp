@@ -1,48 +1,11 @@
 #include "sim/simulator.hpp"
 
-#include <utility>
-
-#include "support/assert.hpp"
-
 namespace arrowdq {
 
-void Simulator::at(Time t, Action fn) {
-  ARROWDQ_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
-void Simulator::in(Time delay, Action fn) {
-  ARROWDQ_ASSERT(delay >= 0);
-  at(now_ + delay, std::move(fn));
-}
-
-bool Simulator::step() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately and never observe the moved-from state.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  ARROWDQ_ASSERT(ev.t >= now_);
-  now_ = ev.t;
-  ++executed_;
-  ev.fn();
-  return true;
-}
-
-std::uint64_t Simulator::run() {
-  std::uint64_t n = 0;
-  while (step()) ++n;
-  return n;
-}
-
-std::uint64_t Simulator::run_until(Time t_end) {
-  std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.top().t <= t_end) {
-    step();
-    ++n;
-  }
-  if (now_ < t_end) now_ = t_end;
-  return n;
-}
+// Instantiate every queue variant here once; consumers link against these
+// instead of re-instantiating the template per translation unit.
+template class BasicSimulator<BinaryEventQueue>;
+template class BasicSimulator<FourAryEventQueue>;
+template class BasicSimulator<PairingEventQueue>;
 
 }  // namespace arrowdq

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -52,6 +54,97 @@ TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
   EXPECT_FALSE(sim.idle());
   sim.run();
   EXPECT_EQ(fired, 2);
+}
+
+// Regression for the event-core rewrite: equal-time ties must execute in
+// schedule order even when many events share one instant and new same-time
+// events are scheduled from inside handlers (the old core's
+// const_cast-move-from-top() hack lived exactly on this path).
+TEST(SimulatorTest, EqualTimeFifoAcrossManyEventsWithNestedScheduling) {
+  Simulator sim;
+  std::vector<int> log;
+  for (int i = 0; i < 6; ++i) {
+    sim.at(7, [&log, &sim, i] {
+      log.push_back(i);
+      // Same-instant children must run after all six parents, in the order
+      // the parents executed.
+      sim.at(7, [&log, i] { log.push_back(100 + i); });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(log.size(), 12u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(log[static_cast<std::size_t>(6 + i)], 100 + i);
+  EXPECT_EQ(sim.now(), 7);
+  EXPECT_EQ(sim.events_executed(), 12u);
+}
+
+// Ties must also hold across the two scheduling paths (inline arena slot vs
+// heap-boxed fallback for oversized callables) and both queue variants.
+TEST(SimulatorTest, EqualTimeFifoAcrossInlineAndBoxedEvents) {
+  std::vector<int> log;
+  auto drive = [&log](auto& sim) {
+    log.clear();
+    struct Big {
+      std::array<std::uint64_t, 16> pad;  // > kInlineStorage: boxed path
+      std::vector<int>* out;
+      int tag;
+      void operator()() const { out->push_back(tag); }
+    };
+    for (int i = 0; i < 8; ++i) {
+      if (i % 2) {
+        sim.at(3, Big{{}, &log, i});
+      } else {
+        sim.at(3, [&log, i] { log.push_back(i); });
+      }
+    }
+    sim.run();
+  };
+  BasicSimulator<BinaryEventQueue> binary;
+  drive(binary);
+  ASSERT_EQ(log.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+  BasicSimulator<FourAryEventQueue> four;
+  drive(four);
+  ASSERT_EQ(log.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+  BasicSimulator<PairingEventQueue> pairing;
+  drive(pairing);
+  ASSERT_EQ(log.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], i);
+}
+
+// Abandoning a simulator with pending boxed events must free them (the
+// destructor and move-assignment share discard_pending).
+TEST(SimulatorTest, DiscardsPendingBoxedEventsOnReset) {
+  auto counter = std::make_shared<int>(0);
+  Simulator sim;
+  sim.at(5, [counter, big = std::array<std::uint64_t, 16>{}] { ++*counter; });
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim = Simulator{};  // shared_ptr in the boxed closure must be released
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_EQ(*counter, 0);
+}
+
+// Moving from a non-empty simulator must leave the source empty and usable
+// for every queue variant (the pairing heap's node-pool move is the tricky
+// one: its root/size scalars need an explicit reset).
+TEST(SimulatorTest, MovedFromSimulatorIsEmptyAndUsable) {
+  auto drive = [](auto sim) {
+    int fired = 0;
+    sim.at(1, [&fired] { ++fired; });
+    auto taken = std::move(sim);
+    EXPECT_TRUE(sim.idle());          // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(sim.events_pending(), 0u);
+    sim.at(2, [&fired] { fired += 10; });
+    sim.run();
+    taken.run();
+    EXPECT_EQ(fired, 11);
+  };
+  drive(BasicSimulator<BinaryEventQueue>{});
+  drive(BasicSimulator<FourAryEventQueue>{});
+  drive(BasicSimulator<PairingEventQueue>{});
 }
 
 TEST(SimulatorTest, StepReturnsFalseWhenIdle) {
