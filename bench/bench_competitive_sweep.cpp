@@ -6,12 +6,21 @@
 // the Lemma 3.17 Manhattan-MST/12 bound), the measured ratio, and the
 // theorem's reference quantity s*log2(D). Expected shape: the ratio column
 // never exceeds a small constant times the reference column.
+//
+// The (family × workload) grid is embarrassingly parallel: every cell is an
+// independent seeded simulation plus an offline analysis, so the whole
+// table is computed through SweepRunner::map (ARROWDQ_SWEEP_THREADS caps
+// the pool; results are identical for any thread count).
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "analysis/competitive.hpp"
 #include "arrow/arrow.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
+#include "sim/sweep.hpp"
 #include "support/random.hpp"
 #include "support/table.hpp"
 #include "workload/workloads.hpp"
@@ -20,69 +29,108 @@ using namespace arrowdq;
 
 namespace {
 
-void run_family(const char* name, Graph g, Tree t, Table& table, std::uint64_t seed) {
+struct Job {
+  std::string family;
+  std::string load;
+  Graph graph;
+  Tree tree;
+  RequestSet reqs;
+};
+
+struct RowData {
+  std::string family;
+  std::string load;
+  std::int64_t n = 0;
+  std::int64_t diameter = 0;
+  double stretch = 0;
+  double cost_arrow = 0;
+  double opt_bound = 0;
+  bool exact = false;
+  double ratio = 0;
+  double s_log_d = 0;
+};
+
+void add_family(std::vector<Job>& jobs, const char* name, Graph g, Tree t, std::uint64_t seed) {
   Rng rng(seed);
-  struct Load {
-    const char* name;
-    RequestSet reqs;
-  };
   NodeId n = g.node_count();
   NodeId root = t.root();
   Rng r1 = rng.split(), r2 = rng.split(), r3 = rng.split();
-  std::vector<Load> loads;
-  loads.push_back({"one-shot", one_shot_all(n, root)});
-  loads.push_back({"poisson", poisson_uniform(n, root, 12, 0.5, r1)});
-  loads.push_back({"bursty", bursty(n, root, 3, 4, 6, r2)});
-  loads.push_back({"sequential", sequential_random(n, root, 10, 3 * t.diameter(), r3)});
-
-  for (auto& load : loads) {
-    auto out = run_arrow(t, load.reqs);
-    auto rep = analyze_competitive(g, t, load.reqs, out, 13);
-    table.row()
-        .cell(name)
-        .cell(load.name)
-        .cell(static_cast<std::int64_t>(n))
-        .cell(static_cast<std::int64_t>(rep.tree_diameter))
-        .cell(rep.stretch, 2)
-        .cell(ticks_to_units_d(rep.cost_arrow), 1)
-        .cell(ticks_to_units_d(rep.opt.value), 1)
-        .cell(rep.opt.exact >= 0 ? "exact" : "mst/12")
-        .cell(rep.ratio, 2)
-        .cell(rep.s_log_d, 2);
-  }
+  jobs.push_back({name, "one-shot", g, t, one_shot_all(n, root)});
+  jobs.push_back({name, "poisson", g, t, poisson_uniform(n, root, 12, 0.5, r1)});
+  jobs.push_back({name, "bursty", g, t, bursty(n, root, 3, 4, 6, r2)});
+  jobs.push_back({name, "sequential", g, t, sequential_random(n, root, 10, 3 * t.diameter(), r3)});
 }
 
 }  // namespace
 
 int main() {
-  std::printf("=== Theorem 3.19: measured competitive ratio vs. s*log2(D) ===\n\n");
+  unsigned threads = 0;
+  if (const char* env = std::getenv("ARROWDQ_SWEEP_THREADS"))
+    threads = static_cast<unsigned>(std::atoi(env));
+  SweepRunner runner(threads);
+
+  std::printf("=== Theorem 3.19: measured competitive ratio vs. s*log2(D) (%u sweep threads) "
+              "===\n\n",
+              runner.threads());
   Table table({"graph", "load", "n", "D", "s", "cost_arrow", "opt_bound", "bound_kind",
                "ratio", "s*log2D"});
 
-  Rng seeder(0xC0FFEE);
-  run_family("path-16", make_path(16), shortest_path_tree(make_path(16), 0), table, 1);
-  run_family("grid-4x4", make_grid(4, 4), shortest_path_tree(make_grid(4, 4), 0), table, 2);
+  std::vector<Job> jobs;
+  add_family(jobs, "path-16", make_path(16), shortest_path_tree(make_path(16), 0), 1);
+  add_family(jobs, "grid-4x4", make_grid(4, 4), shortest_path_tree(make_grid(4, 4), 0), 2);
   {
     Graph g = make_torus(4, 4);
-    run_family("torus-4x4", g, shortest_path_tree(g, 0), table, 3);
+    add_family(jobs, "torus-4x4", g, shortest_path_tree(g, 0), 3);
   }
   {
     Graph g = make_complete(12);
-    run_family("complete-12", g, balanced_binary_overlay(g), table, 4);
+    add_family(jobs, "complete-12", g, balanced_binary_overlay(g), 4);
   }
   {
     Rng rng(77);
     Graph g = make_random_tree(16, rng);
-    run_family("randtree-16", g, shortest_path_tree(g, 0), table, 5);
+    add_family(jobs, "randtree-16", g, shortest_path_tree(g, 0), 5);
   }
   {
     Rng rng(78);
     Graph g = make_random_geometric(14, 0.4, rng);
-    run_family("geometric-14", g, kruskal_mst(g, 0), table, 6);
+    add_family(jobs, "geometric-14", g, kruskal_mst(g, 0), 6);
   }
   {
     Graph g = make_ring(16);
-    run_family("ring-16", g, shortest_path_tree(g, 0), table, 7);
+    add_family(jobs, "ring-16", g, shortest_path_tree(g, 0), 7);
+  }
+
+  std::vector<RowData> rows = runner.map<RowData>(jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    auto out = run_arrow(job.tree, job.reqs);
+    auto rep = analyze_competitive(job.graph, job.tree, job.reqs, out, 13);
+    RowData row;
+    row.family = job.family;
+    row.load = job.load;
+    row.n = job.graph.node_count();
+    row.diameter = rep.tree_diameter;
+    row.stretch = rep.stretch;
+    row.cost_arrow = ticks_to_units_d(rep.cost_arrow);
+    row.opt_bound = ticks_to_units_d(rep.opt.value);
+    row.exact = rep.opt.exact >= 0;
+    row.ratio = rep.ratio;
+    row.s_log_d = rep.s_log_d;
+    return row;
+  });
+
+  for (const RowData& r : rows) {
+    table.row()
+        .cell(r.family)
+        .cell(r.load)
+        .cell(r.n)
+        .cell(r.diameter)
+        .cell(r.stretch, 2)
+        .cell(r.cost_arrow, 1)
+        .cell(r.opt_bound, 1)
+        .cell(r.exact ? "exact" : "mst/12")
+        .cell(r.ratio, 2)
+        .cell(r.s_log_d, 2);
   }
 
   emit_table(table, "competitive_sweep");

@@ -13,15 +13,20 @@
 // ending well below centralized.
 //
 // Environment knobs: ARROWDQ_REQS_PER_NODE (default 2000; the paper used
-// 100000 — the shape is identical, the default just runs faster).
+// 100000 — the shape is identical, the default just runs faster) and
+// ARROWDQ_SWEEP_THREADS (default: all cores — every (procs, protocol) point
+// is an independent simulation, so the whole figure regenerates in parallel
+// through SweepRunner with results identical to a serial run).
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "arrow/closed_loop.hpp"
 #include "baseline/centralized.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sim/latency.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 using namespace arrowdq;
@@ -29,19 +34,31 @@ using namespace arrowdq;
 int main() {
   std::int64_t reqs_per_node = 2000;
   if (const char* env = std::getenv("ARROWDQ_REQS_PER_NODE")) reqs_per_node = std::atoll(env);
+  unsigned threads = 0;
+  if (const char* env = std::getenv("ARROWDQ_SWEEP_THREADS"))
+    threads = static_cast<unsigned>(std::atoi(env));
 
   // Service time: 1/16 of the link latency ("the time needed to service a
   // message is small when compared with communication latency", S3.1).
   const Time service = kTicksPerUnit / 16;
 
+  SweepRunner runner(threads);
   std::printf("=== Figure 10: arrow vs. centralized, %lld enqueues per processor ===\n",
               static_cast<long long>(reqs_per_node));
-  std::printf("complete graph, unit latency, balanced binary spanning tree, service=1/16 unit\n\n");
+  std::printf("complete graph, unit latency, balanced binary spanning tree, service=1/16 unit "
+              "(%u sweep threads)\n\n",
+              runner.threads());
 
   Table table({"procs", "arrow_total(units)", "central_total(units)", "arrow/central",
                "arrow_avg_lat", "central_avg_lat"});
 
-  for (NodeId n : {2, 4, 8, 16, 24, 32, 48, 64, 76}) {
+  const std::vector<NodeId> procs = {2, 4, 8, 16, 24, 32, 48, 64, 76};
+  struct Row {
+    ClosedLoopResult arrow;
+    CentralizedLoopResult central;
+  };
+  std::vector<Row> rows = runner.map<Row>(procs.size(), [&](std::size_t i) {
+    const NodeId n = procs[i];
     Graph g = make_complete(n);
     Tree t = balanced_binary_overlay(g);
 
@@ -49,20 +66,23 @@ int main() {
     ClosedLoopConfig cfg;
     cfg.requests_per_node = reqs_per_node;
     cfg.service_time = service;
-    auto arrow = run_arrow_closed_loop(t, sync, cfg);
 
     CentralizedConfig ccfg;
     ccfg.center = 0;
     ccfg.service_time = service;
-    auto central = run_centralized_closed_loop(n, reqs_per_node, unit_dist_fn(), ccfg);
+    return Row{run_arrow_closed_loop(t, sync, cfg),
+               run_centralized_closed_loop(n, reqs_per_node, unit_dist_fn(), ccfg)};
+  });
 
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const Row& r = rows[i];
     table.row()
-        .cell(static_cast<std::int64_t>(n))
-        .cell(ticks_to_units_d(arrow.makespan), 1)
-        .cell(ticks_to_units_d(central.makespan), 1)
-        .cell(static_cast<double>(arrow.makespan) / static_cast<double>(central.makespan), 3)
-        .cell(arrow.avg_round_latency_units, 3)
-        .cell(central.avg_round_latency_units, 3);
+        .cell(static_cast<std::int64_t>(procs[i]))
+        .cell(ticks_to_units_d(r.arrow.makespan), 1)
+        .cell(ticks_to_units_d(r.central.makespan), 1)
+        .cell(static_cast<double>(r.arrow.makespan) / static_cast<double>(r.central.makespan), 3)
+        .cell(r.arrow.avg_round_latency_units, 3)
+        .cell(r.central.avg_round_latency_units, 3);
   }
   emit_table(table, "fig10_latency");
   std::printf("\nexpected shape: centralized column grows ~linearly in procs; arrow stays "

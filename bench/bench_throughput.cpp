@@ -1,19 +1,26 @@
 // Event-core and end-to-end throughput benchmark with JSON output.
 //
-// Measures the three layers the PR-2 rewrite touched, each before/after in
+// Measures every layer the PR-2/PR-3 rewrites touched, each before/after in
 // one binary (the "before" is the verbatim legacy core in legacy_sim.hpp):
 //
-//  1. event_core      — BM_SimulatorScheduleRun-style: schedule N events at
-//                       pseudo-random times, drain the queue. Legacy
-//                       priority_queue+std::function vs the pooled arena
-//                       with the 4-ary indexed heap and the pairing heap.
+//  1. event_core      — schedule N events at pseudo-random times, drain the
+//                       queue. Legacy priority_queue+std::function vs the
+//                       pooled arena over each queue implementation
+//                       (bucketed calendar, binary heap, 4-ary heap,
+//                       pairing heap).
 //  2. network         — sustained ping-pong message streams over star edges
-//                       with a serial service time (FIFO clamp + busy-until
-//                       chain on the hot path).
-//  3. closed_loop     — the Figure 10 macro workload at n=1024 processors,
-//                       legacy driver replica vs the production driver. The
-//                       two cores must also agree tick-for-tick on makespan
-//                       and message counts (asserted).
+//                       with a serial service time, at three dispatch
+//                       levels: legacy, dynamic (std::function handler +
+//                       virtual sampler on the pooled core), and static
+//                       (typed handler + value sampler).
+//  3. closed_loop     — the Figure 10 macro workload at n=1024 processors:
+//                       legacy driver replica, the dynamic-dispatch driver,
+//                       and the statically dispatched default. All three
+//                       must agree tick-for-tick on makespan and message
+//                       counts (asserted).
+//  4. sweep_scaling   — a fixed scenario set through SweepRunner at 1, 2
+//                       and 4 threads; per-thread-count wall time and
+//                       speedup, plus the determinism cross-check.
 //
 // Usage: bench_throughput [--quick] [--out FILE.json]
 #include <algorithm>
@@ -21,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arrow/closed_loop.hpp"
@@ -30,6 +38,7 @@
 #include "sim/latency.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 #include "support/types.hpp"
@@ -69,10 +78,10 @@ std::uint64_t schedule_run_tiny(std::size_t n_events) {
   return sink;
 }
 
-/// Protocol-sized 40-byte capture, the size of ArrowEngine's issue closure
-/// (this, &net, Request, &out): exceeds std::function's inline buffer, so
-/// the legacy core heap-allocates per event exactly as it does in the real
-/// protocol; the pooled core stays on the inline arena path.
+/// Protocol-sized 40-byte capture, the size of ArrowEngine's issue closure:
+/// exceeds std::function's inline buffer, so the legacy core heap-allocates
+/// per event exactly as it does in the real protocol; the pooled core stays
+/// on the inline arena path.
 template <typename Sim>
 std::uint64_t schedule_run_protocol(std::size_t n_events) {
   struct ProtocolEvent {
@@ -90,13 +99,15 @@ std::uint64_t schedule_run_protocol(std::size_t n_events) {
 
 // --- 2. network message streams ------------------------------------------
 
+struct Ping {
+  int remaining;
+};
+
 /// `chains` concurrent ping-pong streams between a star center and its
-/// leaves, `hops` messages per stream, with serial service time.
+/// leaves, `hops` messages per stream, with serial service time. Legacy
+/// core or pooled core with a std::function handler.
 template <typename Sim, template <typename> class NetT>
-std::uint64_t ping_pong(NodeId chains, int hops) {
-  struct Ping {
-    int remaining;
-  };
+std::uint64_t ping_pong_fn(NodeId chains, int hops) {
   Graph g = make_star(chains + 1);  // center 0, leaves 1..chains
   Sim sim;
   SynchronousLatency lat;
@@ -110,6 +121,36 @@ std::uint64_t ping_pong(NodeId chains, int hops) {
   for (NodeId leaf = 1; leaf <= chains; ++leaf) net.send(leaf, 0, Ping{hops - 1});
   sim.run();
   return handled;
+}
+
+/// The statically dispatched variant: value sampler + typed handler.
+struct PingPongDriver;
+struct PingHandler {
+  PingPongDriver* d = nullptr;
+  inline void operator()(NodeId from, NodeId to, const Ping& p) const;
+};
+struct PingPongDriver {
+  Graph g;
+  Simulator sim;
+  Network<Ping, SyncSampler, PingHandler> net;
+  std::uint64_t handled = 0;
+  explicit PingPongDriver(NodeId chains) : g(make_star(chains + 1)), net(g, sim, SyncSampler{}) {
+    sim.reserve(2 * static_cast<std::size_t>(chains) + 2);
+    net.reserve_messages(static_cast<std::size_t>(chains) + 1);
+    net.set_service_time(kTicksPerUnit / 16);
+  }
+};
+inline void PingHandler::operator()(NodeId from, NodeId to, const Ping& p) const {
+  ++d->handled;
+  if (p.remaining > 0) d->net.send(to, from, Ping{p.remaining - 1});
+}
+
+std::uint64_t ping_pong_static(NodeId chains, int hops) {
+  PingPongDriver d(chains);
+  d.net.set_handler(PingHandler{&d});
+  for (NodeId leaf = 1; leaf <= chains; ++leaf) d.net.send(leaf, 0, Ping{hops - 1});
+  d.sim.run();
+  return d.handled;
 }
 
 // --- 3. Figure 10 closed loop at n=1024 ----------------------------------
@@ -183,6 +224,37 @@ ClosedLoopResult run_closed_loop_legacy(const Tree& tree, LatencyModel& latency,
   return res;
 }
 
+// --- 4. sweep scaling ------------------------------------------------------
+
+std::vector<SweepScenario> sweep_scenarios(std::int64_t reqs_per_node) {
+  std::vector<SweepScenario> scenarios;
+  Graph g = make_complete(512);
+  Tree t = balanced_binary_overlay(g);
+  int i = 0;
+  for (LatencySpec spec :
+       {LatencySpec::synchronous(), LatencySpec::scaled(0.5),
+        LatencySpec::uniform_async(11, 0.1), LatencySpec::uniform_async(12, 0.05),
+        LatencySpec::truncated_exp(13, 0.3), LatencySpec::truncated_exp(14, 0.5),
+        LatencySpec::synchronous(), LatencySpec::scaled(0.25)}) {
+    ClosedLoopConfig cfg;
+    cfg.requests_per_node = reqs_per_node;
+    cfg.service_time = i % 2 ? kTicksPerUnit / 16 : kTicksPerUnit / 8;
+    scenarios.push_back(SweepScenario{"s" + std::to_string(i++), t, spec, cfg});
+  }
+  return scenarios;
+}
+
+bool sweep_results_equal(const std::vector<SweepResult>& a, const std::vector<SweepResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].result.makespan != b[i].result.makespan ||
+        a[i].result.tree_messages != b[i].result.tree_messages ||
+        a[i].result.notify_messages != b[i].result.notify_messages)
+      return false;
+  }
+  return true;
+}
+
 // --- driver ---------------------------------------------------------------
 
 struct Rate {
@@ -213,6 +285,8 @@ int run(int argc, char** argv) {
   std::uint64_t sink = 0;
   double s_legacy =
       time_best(reps, [&] { sink += schedule_run_protocol<legacy::Simulator>(n_events); });
+  double s_bucket = time_best(
+      reps, [&] { sink += schedule_run_protocol<BasicSimulator<BucketedEventQueue>>(n_events); });
   double s_bin = time_best(
       reps, [&] { sink += schedule_run_protocol<BasicSimulator<BinaryEventQueue>>(n_events); });
   double s_four = time_best(
@@ -220,12 +294,15 @@ int run(int argc, char** argv) {
   double s_pair = time_best(
       reps, [&] { sink += schedule_run_protocol<BasicSimulator<PairingEventQueue>>(n_events); });
   Rate ev_legacy = rate(s_legacy, static_cast<double>(n_events));
+  Rate ev_bucket = rate(s_bucket, static_cast<double>(n_events));
   Rate ev_bin = rate(s_bin, static_cast<double>(n_events));
   Rate ev_four = rate(s_four, static_cast<double>(n_events));
   Rate ev_pair = rate(s_pair, static_cast<double>(n_events));
   std::printf("event_core      n=%zu protocol-sized (40B captures)\n", n_events);
   std::printf("  legacy pq+function   %8.1f ns/event  %12.0f events/s\n", ev_legacy.ns_per_item,
               ev_legacy.per_sec);
+  std::printf("  pooled bucketed      %8.1f ns/event  %12.0f events/s  (%.2fx)  [default]\n",
+              ev_bucket.ns_per_item, ev_bucket.per_sec, s_legacy / s_bucket);
   std::printf("  pooled binary heap   %8.1f ns/event  %12.0f events/s  (%.2fx)\n",
               ev_bin.ns_per_item, ev_bin.per_sec, s_legacy / s_bin);
   std::printf("  pooled 4-ary heap    %8.1f ns/event  %12.0f events/s  (%.2fx)\n",
@@ -237,33 +314,43 @@ int run(int argc, char** argv) {
   // legacy std::function stays on its inline buffer here).
   double st_legacy =
       time_best(reps, [&] { sink += schedule_run_tiny<legacy::Simulator>(n_events); });
+  double st_bucket = time_best(
+      reps, [&] { sink += schedule_run_tiny<BasicSimulator<BucketedEventQueue>>(n_events); });
   double st_bin = time_best(
       reps, [&] { sink += schedule_run_tiny<BasicSimulator<BinaryEventQueue>>(n_events); });
   Rate evt_legacy = rate(st_legacy, static_cast<double>(n_events));
+  Rate evt_bucket = rate(st_bucket, static_cast<double>(n_events));
   Rate evt_bin = rate(st_bin, static_cast<double>(n_events));
   std::printf("event_core_tiny n=%zu (8B captures, no legacy allocation)\n", n_events);
   std::printf("  legacy pq+function   %8.1f ns/event  %12.0f events/s\n", evt_legacy.ns_per_item,
               evt_legacy.per_sec);
+  std::printf("  pooled bucketed      %8.1f ns/event  %12.0f events/s  (%.2fx)  [default]\n",
+              evt_bucket.ns_per_item, evt_bucket.per_sec, st_legacy / st_bucket);
   std::printf("  pooled binary heap   %8.1f ns/event  %12.0f events/s  (%.2fx)\n",
               evt_bin.ns_per_item, evt_bin.per_sec, st_legacy / st_bin);
 
-  // 2. Network streams.
+  // 2. Network streams at the three dispatch levels.
   const NodeId chains = 32;
   const int hops = quick ? 2000 : 20000;
   const double n_msgs = static_cast<double>(chains) * hops;
   std::uint64_t handled = 0;
   double m_legacy = time_best(
-      reps, [&] { handled += ping_pong<legacy::Simulator, legacy::Network>(chains, hops); });
-  double m_new = time_best(reps, [&] { handled += ping_pong<Simulator, Network>(chains, hops); });
+      reps, [&] { handled += ping_pong_fn<legacy::Simulator, legacy::Network>(chains, hops); });
+  double m_dynamic =
+      time_best(reps, [&] { handled += ping_pong_fn<Simulator, Network>(chains, hops); });
+  double m_static = time_best(reps, [&] { handled += ping_pong_static(chains, hops); });
   Rate net_legacy = rate(m_legacy, n_msgs);
-  Rate net_new = rate(m_new, n_msgs);
+  Rate net_dynamic = rate(m_dynamic, n_msgs);
+  Rate net_static = rate(m_static, n_msgs);
   std::printf("network         n=%.0f messages, 32 serviced ping-pong streams\n", n_msgs);
   std::printf("  legacy               %8.1f ns/msg    %12.0f msgs/s\n", net_legacy.ns_per_item,
               net_legacy.per_sec);
-  std::printf("  pooled               %8.1f ns/msg    %12.0f msgs/s  (%.2fx)\n",
-              net_new.ns_per_item, net_new.per_sec, m_legacy / m_new);
+  std::printf("  pooled dynamic       %8.1f ns/msg    %12.0f msgs/s  (%.2fx)\n",
+              net_dynamic.ns_per_item, net_dynamic.per_sec, m_legacy / m_dynamic);
+  std::printf("  pooled static        %8.1f ns/msg    %12.0f msgs/s  (%.2fx)  [default]\n",
+              net_static.ns_per_item, net_static.per_sec, m_legacy / m_static);
 
-  // 3. Figure 10 macro at n=1024.
+  // 3. Figure 10 macro at n=1024: legacy vs dynamic dispatch vs static.
   const NodeId n_nodes = 1024;
   const std::int64_t reqs_per_node = quick ? 20 : 100;
   Graph g = make_complete(n_nodes);
@@ -272,21 +359,53 @@ int run(int argc, char** argv) {
   ClosedLoopConfig cfg;
   cfg.requests_per_node = reqs_per_node;
   cfg.service_time = kTicksPerUnit / 16;
-  ClosedLoopResult res_legacy{}, res_new{};
+  ClosedLoopResult res_legacy{}, res_dynamic{}, res_static{};
   double c_legacy = time_best(reps, [&] { res_legacy = run_closed_loop_legacy(t, sync, cfg); });
-  double c_new = time_best(reps, [&] { res_new = run_arrow_closed_loop(t, sync, cfg); });
-  // The rewrite is supposed to be behavior-identical; the macro bench
-  // doubles as an end-to-end determinism check between the two cores.
-  ARROWDQ_ASSERT(res_legacy.makespan == res_new.makespan);
-  ARROWDQ_ASSERT(res_legacy.tree_messages == res_new.tree_messages);
-  ARROWDQ_ASSERT(res_legacy.notify_messages == res_new.notify_messages);
-  const double n_reqs = static_cast<double>(res_new.total_requests);
+  double c_dynamic =
+      time_best(reps, [&] { res_dynamic = run_arrow_closed_loop_dynamic(t, sync, cfg); });
+  double c_static = time_best(reps, [&] { res_static = run_arrow_closed_loop(t, sync, cfg); });
+  // The rewrites are supposed to be behavior-identical; the macro bench
+  // doubles as an end-to-end determinism check across all three cores.
+  ARROWDQ_ASSERT_MSG(res_legacy.makespan == res_dynamic.makespan &&
+                         res_legacy.makespan == res_static.makespan,
+                     "cores disagree on makespan");
+  ARROWDQ_ASSERT_MSG(res_legacy.tree_messages == res_dynamic.tree_messages &&
+                         res_legacy.tree_messages == res_static.tree_messages,
+                     "cores disagree on tree messages");
+  ARROWDQ_ASSERT_MSG(res_legacy.notify_messages == res_dynamic.notify_messages &&
+                         res_legacy.notify_messages == res_static.notify_messages,
+                     "cores disagree on notify messages");
+  const double n_reqs = static_cast<double>(res_static.total_requests);
   std::printf("closed_loop     n=%d procs, %lld reqs/proc (Figure 10 workload)\n", n_nodes,
               static_cast<long long>(reqs_per_node));
   std::printf("  legacy               %8.3f s        %12.0f reqs/s\n", c_legacy,
               n_reqs / c_legacy);
-  std::printf("  pooled               %8.3f s        %12.0f reqs/s  (%.2fx)\n", c_new,
-              n_reqs / c_new, c_legacy / c_new);
+  std::printf("  pooled dynamic       %8.3f s        %12.0f reqs/s  (%.2fx)\n", c_dynamic,
+              n_reqs / c_dynamic, c_legacy / c_dynamic);
+  std::printf("  pooled static        %8.3f s        %12.0f reqs/s  (%.2fx)  [default]\n",
+              c_static, n_reqs / c_static, c_legacy / c_static);
+
+  // 4. Sweep scaling: the same scenario set at 1/2/4 threads.
+  const std::int64_t sweep_reqs = quick ? 40 : 150;
+  std::vector<SweepScenario> scenarios = sweep_scenarios(sweep_reqs);
+  std::vector<SweepResult> ref;
+  double w1 = time_best(reps, [&] { ref = SweepRunner(1).run(scenarios); });
+  std::vector<SweepResult> r2, r4;
+  double w2 = time_best(reps, [&] { r2 = SweepRunner(2).run(scenarios); });
+  double w4 = time_best(reps, [&] { r4 = SweepRunner(4).run(scenarios); });
+  ARROWDQ_ASSERT_MSG(sweep_results_equal(ref, r2) && sweep_results_equal(ref, r4),
+                     "sweep results depend on thread count");
+  std::int64_t sweep_total = 0;
+  for (const SweepResult& r : ref) sweep_total += r.result.total_requests;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("sweep_scaling   %zu scenarios, %lld reqs total, hw_concurrency=%u\n",
+              scenarios.size(), static_cast<long long>(sweep_total), hw);
+  std::printf("  1 thread             %8.3f s        %12.0f reqs/s\n", w1,
+              static_cast<double>(sweep_total) / w1);
+  std::printf("  2 threads            %8.3f s        %12.0f reqs/s  (%.2fx)\n", w2,
+              static_cast<double>(sweep_total) / w2, w1 / w2);
+  std::printf("  4 threads            %8.3f s        %12.0f reqs/s  (%.2fx)\n", w4,
+              static_cast<double>(sweep_total) / w4, w1 / w4);
 
   // JSON.
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -302,50 +421,82 @@ int run(int argc, char** argv) {
                "    \"event_capture_bytes\": 40,\n"
                "    \"legacy_priority_queue\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
                "\"ns_per_event\": %.2f},\n"
+               "    \"pooled_bucketed\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f},\n"
                "    \"pooled_binary_heap\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
                "\"ns_per_event\": %.2f},\n"
                "    \"pooled_four_ary_heap\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
                "\"ns_per_event\": %.2f},\n"
                "    \"pooled_pairing_heap\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
                "\"ns_per_event\": %.2f},\n"
+               "    \"speedup_bucketed_vs_legacy\": %.3f,\n"
                "    \"speedup_binary_vs_legacy\": %.3f,\n"
                "    \"speedup_four_ary_vs_legacy\": %.3f,\n"
                "    \"speedup_pairing_vs_legacy\": %.3f\n  },\n",
                n_events, ev_legacy.seconds, ev_legacy.per_sec, ev_legacy.ns_per_item,
-               ev_bin.seconds, ev_bin.per_sec, ev_bin.ns_per_item, ev_four.seconds,
-               ev_four.per_sec, ev_four.ns_per_item, ev_pair.seconds, ev_pair.per_sec,
-               ev_pair.ns_per_item, s_legacy / s_bin, s_legacy / s_four, s_legacy / s_pair);
+               ev_bucket.seconds, ev_bucket.per_sec, ev_bucket.ns_per_item, ev_bin.seconds,
+               ev_bin.per_sec, ev_bin.ns_per_item, ev_four.seconds, ev_four.per_sec,
+               ev_four.ns_per_item, ev_pair.seconds, ev_pair.per_sec, ev_pair.ns_per_item,
+               s_legacy / s_bucket, s_legacy / s_bin, s_legacy / s_four, s_legacy / s_pair);
   std::fprintf(f,
                "  \"event_core_tiny\": {\n"
                "    \"n_events\": %zu,\n"
                "    \"event_capture_bytes\": 8,\n"
                "    \"legacy_priority_queue\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
                "\"ns_per_event\": %.2f},\n"
+               "    \"pooled_bucketed\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f},\n"
                "    \"pooled_binary_heap\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
                "\"ns_per_event\": %.2f},\n"
+               "    \"speedup_bucketed_vs_legacy\": %.3f,\n"
                "    \"speedup_binary_vs_legacy\": %.3f\n  },\n",
                n_events, evt_legacy.seconds, evt_legacy.per_sec, evt_legacy.ns_per_item,
-               evt_bin.seconds, evt_bin.per_sec, evt_bin.ns_per_item, st_legacy / st_bin);
+               evt_bucket.seconds, evt_bucket.per_sec, evt_bucket.ns_per_item, evt_bin.seconds,
+               evt_bin.per_sec, evt_bin.ns_per_item, st_legacy / st_bucket, st_legacy / st_bin);
   std::fprintf(f,
                "  \"network\": {\n"
                "    \"n_messages\": %.0f,\n"
                "    \"legacy\": {\"seconds\": %.6f, \"messages_per_sec\": %.0f, \"ns_per_message\": "
                "%.2f},\n"
-               "    \"pooled\": {\"seconds\": %.6f, \"messages_per_sec\": %.0f, \"ns_per_message\": "
-               "%.2f},\n"
-               "    \"speedup\": %.3f\n  },\n",
+               "    \"dynamic\": {\"seconds\": %.6f, \"messages_per_sec\": %.0f, "
+               "\"ns_per_message\": %.2f},\n"
+               "    \"static\": {\"seconds\": %.6f, \"messages_per_sec\": %.0f, "
+               "\"ns_per_message\": %.2f},\n"
+               "    \"speedup_dynamic_vs_legacy\": %.3f,\n"
+               "    \"speedup_static_vs_legacy\": %.3f,\n"
+               "    \"speedup_static_vs_dynamic\": %.3f\n  },\n",
                n_msgs, net_legacy.seconds, net_legacy.per_sec, net_legacy.ns_per_item,
-               net_new.seconds, net_new.per_sec, net_new.ns_per_item, m_legacy / m_new);
+               net_dynamic.seconds, net_dynamic.per_sec, net_dynamic.ns_per_item,
+               net_static.seconds, net_static.per_sec, net_static.ns_per_item,
+               m_legacy / m_dynamic, m_legacy / m_static, m_dynamic / m_static);
   std::fprintf(f,
                "  \"closed_loop_fig10\": {\n"
                "    \"nodes\": %d,\n"
                "    \"requests_per_node\": %lld,\n"
                "    \"legacy\": {\"seconds\": %.6f, \"requests_per_sec\": %.0f},\n"
-               "    \"pooled\": {\"seconds\": %.6f, \"requests_per_sec\": %.0f},\n"
-               "    \"speedup\": %.3f,\n"
-               "    \"results_identical\": true\n  }\n}\n",
-               n_nodes, static_cast<long long>(reqs_per_node), c_legacy, n_reqs / c_legacy, c_new,
-               n_reqs / c_new, c_legacy / c_new);
+               "    \"dynamic\": {\"seconds\": %.6f, \"requests_per_sec\": %.0f},\n"
+               "    \"static\": {\"seconds\": %.6f, \"requests_per_sec\": %.0f},\n"
+               "    \"speedup_dynamic_vs_legacy\": %.3f,\n"
+               "    \"speedup_static_vs_legacy\": %.3f,\n"
+               "    \"speedup_static_vs_dynamic\": %.3f,\n"
+               "    \"results_identical\": true\n  },\n",
+               n_nodes, static_cast<long long>(reqs_per_node), c_legacy, n_reqs / c_legacy,
+               c_dynamic, n_reqs / c_dynamic, c_static, n_reqs / c_static, c_legacy / c_dynamic,
+               c_legacy / c_static, c_dynamic / c_static);
+  std::fprintf(f,
+               "  \"sweep_scaling\": {\n"
+               "    \"scenarios\": %zu,\n"
+               "    \"total_requests\": %lld,\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"threads_1\": {\"seconds\": %.6f, \"requests_per_sec\": %.0f},\n"
+               "    \"threads_2\": {\"seconds\": %.6f, \"requests_per_sec\": %.0f},\n"
+               "    \"threads_4\": {\"seconds\": %.6f, \"requests_per_sec\": %.0f},\n"
+               "    \"speedup_2_threads\": %.3f,\n"
+               "    \"speedup_4_threads\": %.3f,\n"
+               "    \"results_thread_count_invariant\": true\n  }\n}\n",
+               scenarios.size(), static_cast<long long>(sweep_total), hw, w1,
+               static_cast<double>(sweep_total) / w1, w2, static_cast<double>(sweep_total) / w2,
+               w4, static_cast<double>(sweep_total) / w4, w1 / w2, w1 / w4);
   std::fclose(f);
   std::printf("wrote %s  (sink=%llu handled=%llu)\n", out_path.c_str(),
               static_cast<unsigned long long>(sink), static_cast<unsigned long long>(handled));

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare a fresh BENCH_throughput.json against the
+committed baseline and fail on real regressions.
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Every gated metric is a throughput number *normalized by the legacy-core
+reference measured in the same run* (the bench runs the pre-rewrite core in
+the same binary), so the comparison is a speedup ratio and systematic
+machine differences between the baseline host and the CI runner cancel
+out. Only ratios computable in *both* files are compared (schema additions
+never break the gate); a metric fails when its fresh speedup drops below
+(1 - tolerance) x its baseline speedup. The default 25% tolerance absorbs
+run-to-run noise while catching structural regressions (the PR-3 queue
+change alone moved the macro speedup 4x).
+"""
+import argparse
+import json
+import sys
+
+# (metric path, same-run legacy reference path, human label).
+RATIOS = [
+    ("event_core.pooled_bucketed.events_per_sec",
+     "event_core.legacy_priority_queue.events_per_sec",
+     "event core (bucketed, default)"),
+    ("event_core.pooled_binary_heap.events_per_sec",
+     "event_core.legacy_priority_queue.events_per_sec",
+     "event core (binary heap)"),
+    ("event_core_tiny.pooled_bucketed.events_per_sec",
+     "event_core_tiny.legacy_priority_queue.events_per_sec",
+     "tiny event core (bucketed)"),
+    ("network.static.messages_per_sec", "network.legacy.messages_per_sec",
+     "network static dispatch"),
+    ("network.dynamic.messages_per_sec", "network.legacy.messages_per_sec",
+     "network dynamic dispatch"),
+    ("network.pooled.messages_per_sec", "network.legacy.messages_per_sec",
+     "network (pre-PR3 schema)"),
+    ("closed_loop_fig10.static.requests_per_sec",
+     "closed_loop_fig10.legacy.requests_per_sec",
+     "Figure 10 macro (static, default)"),
+    ("closed_loop_fig10.dynamic.requests_per_sec",
+     "closed_loop_fig10.legacy.requests_per_sec",
+     "Figure 10 macro (dynamic)"),
+    ("closed_loop_fig10.pooled.requests_per_sec",
+     "closed_loop_fig10.legacy.requests_per_sec",
+     "Figure 10 macro (pre-PR3 schema)"),
+    # No legacy sweep exists; the fig10 legacy number is the same-machine
+    # scale reference.
+    ("sweep_scaling.threads_1.requests_per_sec",
+     "closed_loop_fig10.legacy.requests_per_sec",
+     "sweep @1 thread"),
+]
+
+
+def lookup(doc, dotted):
+    cur = doc
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur if isinstance(cur, (int, float)) else None
+
+
+def speedup(doc, metric, reference):
+    value = lookup(doc, metric)
+    ref = lookup(doc, reference)
+    if value is None or ref is None or ref <= 0:
+        return None
+    return value / ref
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    if baseline.get("mode") != fresh.get("mode"):
+        print(f"bench_gate: WARNING comparing mode={baseline.get('mode')} baseline "
+              f"against mode={fresh.get('mode')} fresh run — shapes differ, "
+              "expect extra variance", file=sys.stderr)
+
+    compared = 0
+    failures = []
+    for metric, reference, label in RATIOS:
+        base_s = speedup(baseline, metric, reference)
+        fresh_s = speedup(fresh, metric, reference)
+        if base_s is None or fresh_s is None or base_s <= 0:
+            continue
+        compared += 1
+        ratio = fresh_s / base_s
+        status = "OK "
+        if ratio < 1.0 - args.tolerance:
+            status = "FAIL"
+            failures.append(label)
+        print(f"  [{status}] {label:38s} speedup-vs-legacy {base_s:6.2f}x -> "
+              f"{fresh_s:6.2f}x  ({ratio:5.2f} of baseline)")
+
+    if compared == 0:
+        print("bench_gate: no comparable metrics between baseline and fresh JSON", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"bench_gate: {len(failures)} metric(s) regressed more than "
+              f"{args.tolerance:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: {compared} metric(s) within {args.tolerance:.0%} of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

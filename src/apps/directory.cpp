@@ -9,7 +9,7 @@ namespace arrowdq {
 
 DirectoryResult directory_from_outcome(const Tree& tree, const RequestSet& requests,
                                        const QueuingOutcome& outcome, Time use_ticks) {
-  ARROWDQ_ASSERT(use_ticks >= 0);
+  ARROWDQ_ASSERT_MSG(use_ticks >= 0, "use time must be >= 0");
   auto order = outcome.order();
   DirectoryResult res;
   res.object_at.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);

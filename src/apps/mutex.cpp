@@ -9,7 +9,7 @@ namespace arrowdq {
 
 MutexResult mutex_from_outcome(const Tree& tree, const RequestSet& requests,
                                const QueuingOutcome& outcome, Time cs_ticks) {
-  ARROWDQ_ASSERT(cs_ticks >= 0);
+  ARROWDQ_ASSERT_MSG(cs_ticks >= 0, "critical-section time must be >= 0");
   auto order = outcome.order();
   MutexResult res;
   res.acquire.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);

@@ -1,6 +1,7 @@
 #include "apps/token_sim.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -9,56 +10,85 @@
 namespace arrowdq {
 
 namespace {
+
 struct TokenMsg {
   NodeId destination = kNoNode;
   std::size_t order_index = 0;  // which queue position the token is heading to
 };
-}  // namespace
 
-TokenSimResult simulate_token_passing(const Tree& tree, const RequestSet& requests,
-                                      const QueuingOutcome& outcome, Time hold_ticks,
-                                      LatencyModel& latency) {
-  ARROWDQ_ASSERT(hold_ticks >= 0);
-  auto order = outcome.order();
+template <typename Latency, typename Handler>
+struct TokenDriver;
 
+template <typename Latency>
+struct TokenHandler {
+  TokenDriver<Latency, TokenHandler>* d = nullptr;
+  inline void operator()(NodeId from, NodeId at, const TokenMsg& m) const;
+};
+
+/// Message-driven token circulation, statically dispatched like the main
+/// protocol drivers: the token is a real message hopping tree edges through
+/// the typed-handler network under the given latency sampler.
+template <typename Latency, typename Handler>
+struct TokenDriver {
+  const Tree& tree;
+  const RequestSet& requests;
+  const QueuingOutcome& outcome;
+  Time hold;
+  std::vector<RequestId> order;
   TokenSimResult res;
-  res.granted.assign(static_cast<std::size_t>(requests.size()) + 1, kTimeNever);
-
-  Graph tree_graph = tree.as_graph();
+  Graph tree_graph;
   Simulator sim;
-  Network<TokenMsg> net(tree_graph, sim, latency);
-
+  Network<TokenMsg, Latency, Handler> net;
   // The token's position and the queue index it has served so far.
-  NodeId token_node = requests.root();
+  NodeId token_node;
 
-  // Forwarding logic: when the token is free at `token_node` having served
-  // order[i], dispatch it toward order[i+1] once that request's completion
-  // time has passed.
-  std::function<void(std::size_t)> dispatch_next = [&](std::size_t served) {
+  TokenDriver(const Tree& t, const RequestSet& reqs, const QueuingOutcome& out, Time hold_ticks,
+              Latency latency)
+      : tree(t),
+        requests(reqs),
+        outcome(out),
+        hold(hold_ticks),
+        order(out.order()),
+        tree_graph(t.as_graph()),
+        net(tree_graph, sim, std::move(latency)),
+        token_node(reqs.root()) {
+    res.granted.assign(static_cast<std::size_t>(reqs.size()) + 1, kTimeNever);
+    // One token: a single in-flight message plus one pending hold/dispatch
+    // event at any instant.
+    sim.reserve(4);
+    net.reserve_messages(2);
+  }
+
+  /// When the token is free at `token_node` having served order[served],
+  /// dispatch it toward order[served+1] once that request's completion time
+  /// has passed.
+  void dispatch_next(std::size_t served) {
     if (served + 1 >= order.size()) return;
     RequestId next_id = order[served + 1];
     const auto& c = outcome.completion(next_id);
     NodeId dest = requests.by_id(next_id).node;
     Time start = std::max(sim.now(), c.completed_at);
-    sim.at(start, [&, served, dest]() {
-      if (token_node == dest) {
-        // Local handoff (repeated requests from one node).
-        RequestId id = order[served + 1];
-        res.granted[static_cast<std::size_t>(id)] = sim.now();
-        res.makespan = std::max(res.makespan, sim.now() + hold_ticks);
-        sim.at(sim.now() + hold_ticks, [&, served]() { dispatch_next(served + 1); });
-        return;
-      }
-      // First hop along the tree path.
-      auto path = tree.path(token_node, dest);
-      ARROWDQ_ASSERT(path.size() >= 2);
-      res.token_travel += tree_graph.edge_weight(path[0], path[1]);
-      ++res.token_messages;
-      net.send(path[0], path[1], TokenMsg{dest, served + 1});
-    });
-  };
+    sim.at(start, DepartEvent{this, served, dest});
+  }
 
-  net.set_handler([&](NodeId /*from*/, NodeId at, const TokenMsg& m) {
+  void depart(std::size_t served, NodeId dest) {
+    if (token_node == dest) {
+      // Local handoff (repeated requests from one node).
+      RequestId id = order[served + 1];
+      res.granted[static_cast<std::size_t>(id)] = sim.now();
+      res.makespan = std::max(res.makespan, sim.now() + hold);
+      sim.at(sim.now() + hold, HoldDoneEvent{this, served + 1});
+      return;
+    }
+    // First hop along the tree path.
+    auto path = tree.path(token_node, dest);
+    ARROWDQ_ASSERT(path.size() >= 2);
+    res.token_travel += tree_graph.edge_weight(path[0], path[1]);
+    ++res.token_messages;
+    net.send(path[0], path[1], TokenMsg{dest, served + 1});
+  }
+
+  void handle(NodeId /*from*/, NodeId at, const TokenMsg& m) {
     if (at != m.destination) {
       // Continue along the tree path toward the destination.
       auto path = tree.path(at, m.destination);
@@ -72,13 +102,45 @@ TokenSimResult simulate_token_passing(const Tree& tree, const RequestSet& reques
     token_node = at;
     RequestId id = order[m.order_index];
     res.granted[static_cast<std::size_t>(id)] = sim.now();
-    res.makespan = std::max(res.makespan, sim.now() + hold_ticks);
-    sim.at(sim.now() + hold_ticks, [&, m]() { dispatch_next(m.order_index); });
-  });
+    res.makespan = std::max(res.makespan, sim.now() + hold);
+    sim.at(sim.now() + hold, HoldDoneEvent{this, m.order_index});
+  }
 
-  dispatch_next(0);
-  sim.run();
-  return res;
+  struct DepartEvent {
+    TokenDriver* d;
+    std::size_t served;
+    NodeId dest;
+    void operator()() const { d->depart(served, dest); }
+  };
+  struct HoldDoneEvent {
+    TokenDriver* d;
+    std::size_t served;
+    void operator()() const { d->dispatch_next(served); }
+  };
+  static_assert(Simulator::template fits_inline_v<DepartEvent> &&
+                    Simulator::template fits_inline_v<HoldDoneEvent>,
+                "token events must stay on the simulator's inline path");
+};
+
+template <typename Latency>
+inline void TokenHandler<Latency>::operator()(NodeId from, NodeId at, const TokenMsg& m) const {
+  d->handle(from, at, m);
+}
+
+}  // namespace
+
+TokenSimResult simulate_token_passing(const Tree& tree, const RequestSet& requests,
+                                      const QueuingOutcome& outcome, Time hold_ticks,
+                                      LatencyModel& latency) {
+  ARROWDQ_ASSERT_MSG(hold_ticks >= 0, "hold time must be >= 0");
+  return with_static_latency(latency, [&](auto lat) {
+    using L = decltype(lat);
+    TokenDriver<L, TokenHandler<L>> driver(tree, requests, outcome, hold_ticks, std::move(lat));
+    driver.net.set_handler(TokenHandler<L>{&driver});
+    driver.dispatch_next(0);
+    driver.sim.run();
+    return std::move(driver.res);
+  });
 }
 
 }  // namespace arrowdq

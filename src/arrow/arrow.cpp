@@ -1,14 +1,108 @@
 #include "arrow/arrow.hpp"
 
+#include <functional>
+#include <utility>
+
 #include "support/assert.hpp"
 
 namespace arrowdq {
 
+namespace {
+
+/// Per-run protocol driver: owns the network (templated on the latency
+/// sampler and the handler, so the default path has no virtual `sample` and
+/// no std::function dispatch) and borrows the engine's pointer/id state so
+/// post-run inspection (`links()`, `sink_node()`) keeps working.
+template <typename Latency, typename Handler>
+class OneShotDriver {
+ public:
+  OneShotDriver(const Graph& tree_graph, Simulator& sim, Latency latency, Time service_time,
+                std::size_t reserve_msgs, std::vector<NodeId>& link,
+                std::vector<RequestId>& last_req, QueuingOutcome& out)
+      : graph_(tree_graph),
+        sim_(sim),
+        net_(tree_graph, sim, std::move(latency)),
+        link_(link),
+        last_req_(last_req),
+        out_(out) {
+    net_.reserve_messages(reserve_msgs);
+    net_.set_service_time(service_time);
+  }
+
+  void install(Handler h) { net_.set_handler(std::move(h)); }
+
+  void schedule(const RequestSet& requests) {
+    for (const Request& r : requests.real()) sim_.at(r.time, IssueEvent{this, r});
+  }
+
+  std::uint64_t edge_messages() const { return net_.stats().edge_messages; }
+
+  void issue(const Request& r) {
+    NodeId v = r.node;
+    auto vi = static_cast<std::size_t>(v);
+    if (link_[vi] == v) {
+      // v is the sink: queue behind v's previous request locally, no messages.
+      RequestId pred = last_req_[vi];
+      ARROWDQ_ASSERT(pred != kNoRequest);
+      last_req_[vi] = r.id;
+      out_.record(Completion{r.id, pred, sim_.now(), 0, 0});
+      return;
+    }
+    NodeId target = link_[vi];
+    last_req_[vi] = r.id;
+    link_[vi] = v;
+    net_.send(v, target, ArrowMsg{r.id, 1, graph_.edge_weight(v, target)});
+  }
+
+  void receive(NodeId from, NodeId at, const ArrowMsg& msg) {
+    auto ui = static_cast<std::size_t>(at);
+    NodeId next = link_[ui];
+    link_[ui] = from;  // path reversal
+    if (next != at) {
+      net_.send(at, next,
+                ArrowMsg{msg.req, msg.hops + 1, msg.dist + graph_.edge_weight(at, next)});
+      return;
+    }
+    // `at` is the sink: msg.req is queued behind at's last issued request.
+    RequestId pred = last_req_[ui];
+    ARROWDQ_ASSERT_MSG(pred != kNoRequest, "sink without an id — broken initial state");
+    out_.record(Completion{msg.req, pred, sim_.now(), msg.hops, msg.dist});
+  }
+
+ private:
+  struct IssueEvent {
+    OneShotDriver* driver;
+    Request r;
+    void operator()() const { driver->issue(r); }
+  };
+  static_assert(Simulator::template fits_inline_v<IssueEvent>,
+                "IssueEvent must stay on the simulator's inline path");
+
+  const Graph& graph_;
+  Simulator& sim_;
+  Network<ArrowMsg, Latency, Handler> net_;
+  std::vector<NodeId>& link_;
+  std::vector<RequestId>& last_req_;
+  QueuingOutcome& out_;
+};
+
+/// Typed handler for the statically dispatched path.
+template <typename Latency>
+struct ArrowHandler {
+  OneShotDriver<Latency, ArrowHandler>* driver = nullptr;
+  void operator()(NodeId from, NodeId to, const ArrowMsg& m) const {
+    driver->receive(from, to, m);
+  }
+};
+
+}  // namespace
+
 ArrowEngine::ArrowEngine(const Tree& tree, LatencyModel& latency)
     : tree_(tree), latency_(latency), tree_graph_(tree.as_graph()) {}
 
-QueuingOutcome ArrowEngine::run(const RequestSet& requests) {
-  ARROWDQ_ASSERT(requests.root() >= 0 && requests.root() < tree_.node_count());
+void ArrowEngine::prepare(const RequestSet& requests) {
+  ARROWDQ_ASSERT_MSG(requests.root() >= 0 && requests.root() < tree_.node_count(),
+                     "request root is not a tree node");
   auto n = static_cast<std::size_t>(tree_.node_count());
 
   // Initial configuration: all pointers lead to the root (Figure 1); the
@@ -28,57 +122,39 @@ QueuingOutcome ArrowEngine::run(const RequestSet& requests) {
   // messages (at most a few per tree node at any instant).
   sim_.reserve(static_cast<std::size_t>(requests.size()) + 2 * n);
   messages_ = 0;
-  Network<ArrowMsg> net(tree_graph_, sim_, latency_);
-  net.reserve_messages(2 * n);
-  net.set_service_time(service_time_);
+}
 
+QueuingOutcome ArrowEngine::run(const RequestSet& requests) {
+  prepare(requests);
+  const auto n = static_cast<std::size_t>(tree_.node_count());
   QueuingOutcome out(requests.size());
-  net.set_handler([this, &net, &out](NodeId from, NodeId to, const ArrowMsg& msg) {
-    receive(net, from, to, msg, out);
+  with_static_latency(latency_, [&](auto lat) {
+    using L = decltype(lat);
+    OneShotDriver<L, ArrowHandler<L>> driver(tree_graph_, sim_, std::move(lat), service_time_,
+                                             2 * n, link_, last_req_, out);
+    driver.install(ArrowHandler<L>{&driver});
+    driver.schedule(requests);
+    sim_.run();
+    messages_ = driver.edge_messages();
   });
-
-  for (const Request& r : requests.real()) {
-    sim_.at(r.time, [this, &net, r, &out]() { issue(net, r, out); });
-  }
-
-  sim_.run();
-  messages_ = net.stats().edge_messages;
   ARROWDQ_ASSERT_MSG(out.is_complete(), "arrow did not complete all requests");
   return out;
 }
 
-void ArrowEngine::issue(Network<ArrowMsg>& net, const Request& r, QueuingOutcome& out) {
-  NodeId v = r.node;
-  auto vi = static_cast<std::size_t>(v);
-  if (link_[vi] == v) {
-    // v is the sink: queue behind v's previous request locally, no messages.
-    RequestId pred = last_req_[vi];
-    ARROWDQ_ASSERT(pred != kNoRequest);
-    last_req_[vi] = r.id;
-    out.record(Completion{r.id, pred, sim_.now(), 0, 0});
-    return;
-  }
-  NodeId target = link_[vi];
-  last_req_[vi] = r.id;
-  link_[vi] = v;
-  net.send(v, target,
-           ArrowMsg{r.id, 1, tree_graph_.edge_weight(v, target)});
-}
-
-void ArrowEngine::receive(Network<ArrowMsg>& net, NodeId from, NodeId at, const ArrowMsg& msg,
-                          QueuingOutcome& out) {
-  auto ui = static_cast<std::size_t>(at);
-  NodeId next = link_[ui];
-  link_[ui] = from;  // path reversal
-  if (next != at) {
-    net.send(at, next,
-             ArrowMsg{msg.req, msg.hops + 1, msg.dist + tree_graph_.edge_weight(at, next)});
-    return;
-  }
-  // `at` is the sink: msg.req is queued behind at's last issued request.
-  RequestId pred = last_req_[ui];
-  ARROWDQ_ASSERT_MSG(pred != kNoRequest, "sink without an id — broken initial state");
-  out.record(Completion{msg.req, pred, sim_.now(), msg.hops, msg.dist});
+QueuingOutcome ArrowEngine::run_dynamic(const RequestSet& requests) {
+  prepare(requests);
+  const auto n = static_cast<std::size_t>(tree_.node_count());
+  QueuingOutcome out(requests.size());
+  using Handler = std::function<void(NodeId, NodeId, const ArrowMsg&)>;
+  OneShotDriver<VirtualSampler, Handler> driver(tree_graph_, sim_, VirtualSampler{latency_},
+                                                service_time_, 2 * n, link_, last_req_, out);
+  driver.install(
+      [&driver](NodeId from, NodeId to, const ArrowMsg& m) { driver.receive(from, to, m); });
+  driver.schedule(requests);
+  sim_.run();
+  messages_ = driver.edge_messages();
+  ARROWDQ_ASSERT_MSG(out.is_complete(), "arrow did not complete all requests");
+  return out;
 }
 
 NodeId ArrowEngine::sink_node() const {

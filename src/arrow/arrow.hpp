@@ -49,7 +49,14 @@ class ArrowEngine {
   /// processing).
   void set_service_time(Time ticks) { service_time_ = ticks; }
 
+  /// Statically dispatched execution: the standard latency models are
+  /// devirtualized once per run and the network handler is a typed callable.
   QueuingOutcome run(const RequestSet& requests);
+
+  /// The same protocol forced onto the dynamically dispatched path (virtual
+  /// latency sampling + std::function handler). Tick-identical to run() by
+  /// construction; kept as the benchmark/test reference.
+  QueuingOutcome run_dynamic(const RequestSet& requests);
 
   /// Post-run pointer state (index = node, value = link target).
   const std::vector<NodeId>& links() const { return link_; }
@@ -60,9 +67,8 @@ class ArrowEngine {
   Simulator& sim() { return sim_; }
 
  private:
-  void issue(Network<ArrowMsg>& net, const Request& r, QueuingOutcome& out);
-  void receive(Network<ArrowMsg>& net, NodeId from, NodeId at, const ArrowMsg& msg,
-               QueuingOutcome& out);
+  /// Reset per-run protocol state (pointers, ids, simulator) for `requests`.
+  void prepare(const RequestSet& requests);
 
   const Tree& tree_;
   LatencyModel& latency_;

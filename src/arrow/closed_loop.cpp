@@ -1,5 +1,7 @@
 #include "arrow/closed_loop.hpp"
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/network.hpp"
@@ -20,14 +22,20 @@ struct LoopMsg {
 };
 
 /// Closed-loop arrow driver. The protocol core mirrors ArrowEngine; requests
-/// are generated on the fly, one outstanding per node.
+/// are generated on the fly, one outstanding per node. Templated on the
+/// latency sampler and the network handler so the default path runs with no
+/// virtual `sample` call and no std::function dispatch between a delivery
+/// and the protocol logic (`run_arrow_closed_loop_dynamic` instantiates the
+/// same driver with both dynamic layers for benchmarking and equivalence
+/// tests).
+template <typename Latency, typename Handler>
 class Driver {
  public:
-  Driver(const Tree& tree, LatencyModel& latency, const ClosedLoopConfig& config)
+  Driver(const Tree& tree, Latency latency, const ClosedLoopConfig& config)
       : tree_(tree),
         config_(config),
         graph_(tree.as_graph()),
-        net_(graph_, sim_, latency),
+        net_(graph_, sim_, std::move(latency)),
         link_(static_cast<std::size_t>(tree.node_count())),
         last_req_(static_cast<std::size_t>(tree.node_count()), kNoRequest),
         issued_(static_cast<std::size_t>(tree.node_count()), 0),
@@ -38,16 +46,16 @@ class Driver {
     sim_.reserve(4 * n);
     net_.reserve_messages(2 * n);
     net_.set_service_time(config.service_time);
-    net_.set_handler([this](NodeId from, NodeId to, const LoopMsg& m) { receive(from, to, m); });
     NodeId root = tree.root();
     for (NodeId v = 0; v < tree.node_count(); ++v)
       link_[static_cast<std::size_t>(v)] = v == root ? v : tree.parent(v);
     last_req_[static_cast<std::size_t>(root)] = kRootRequest;
   }
 
+  void install(Handler h) { net_.set_handler(std::move(h)); }
+
   ClosedLoopResult run() {
-    for (NodeId v = 0; v < tree_.node_count(); ++v)
-      sim_.at(0, [this, v]() { issue(v); });
+    for (NodeId v = 0; v < tree_.node_count(); ++v) sim_.at(0, IssueEvent{this, v});
     sim_.run();
     ClosedLoopResult res;
     res.makespan = sim_.now();
@@ -63,33 +71,6 @@ class Driver {
                                       ? 0.0
                                       : latencies_.mean() / static_cast<double>(kTicksPerUnit);
     return res;
-  }
-
- private:
-  Time notify_latency(NodeId from, NodeId to) const {
-    if (config_.notify_latency) return config_.notify_latency(from, to);
-    return kTicksPerUnit;  // complete graph, unit pairwise latency
-  }
-
-  void issue(NodeId v) {
-    auto vi = static_cast<std::size_t>(v);
-    if (issued_[vi] >= config_.requests_per_node) return;
-    ++issued_[vi];
-    ++next_id_;
-    RequestId a = next_id_;
-    issue_time_[vi] = sim_.now();
-    if (link_[vi] == v) {
-      RequestId pred = last_req_[vi];
-      ARROWDQ_ASSERT(pred != kNoRequest);
-      last_req_[vi] = a;
-      // Predecessor found locally: the reply is local too (zero latency).
-      round_done(v);
-      return;
-    }
-    NodeId target = link_[vi];
-    last_req_[vi] = a;
-    link_[vi] = v;
-    net_.send(v, target, LoopMsg{MsgKind::kQueue, a, v, 1});
   }
 
   void receive(NodeId from, NodeId at, const LoopMsg& m) {
@@ -114,6 +95,42 @@ class Driver {
     }
   }
 
+  void issue(NodeId v) {
+    auto vi = static_cast<std::size_t>(v);
+    if (issued_[vi] >= config_.requests_per_node) return;
+    ++issued_[vi];
+    ++next_id_;
+    RequestId a = next_id_;
+    issue_time_[vi] = sim_.now();
+    if (link_[vi] == v) {
+      RequestId pred = last_req_[vi];
+      ARROWDQ_ASSERT(pred != kNoRequest);
+      last_req_[vi] = a;
+      // Predecessor found locally: the reply is local too (zero latency).
+      round_done(v);
+      return;
+    }
+    NodeId target = link_[vi];
+    last_req_[vi] = a;
+    link_[vi] = v;
+    net_.send(v, target, LoopMsg{MsgKind::kQueue, a, v, 1});
+  }
+
+ private:
+  /// The one event the driver itself schedules: issue node v's next request.
+  struct IssueEvent {
+    Driver* driver;
+    NodeId v;
+    void operator()() const { driver->issue(v); }
+  };
+  static_assert(Simulator::template fits_inline_v<IssueEvent>,
+                "IssueEvent must stay on the simulator's inline path");
+
+  Time notify_latency(NodeId from, NodeId to) const {
+    if (config_.notify_latency) return config_.notify_latency(from, to);
+    return kTicksPerUnit;  // complete graph, unit pairwise latency
+  }
+
   void round_done(NodeId v) {
     latencies_.add(static_cast<double>(sim_.now() - issue_time_[static_cast<std::size_t>(v)]));
     // Re-issue through the event loop (not recursively) so long local-only
@@ -121,14 +138,14 @@ class Driver {
     // one service interval of local CPU time — without this, a node holding
     // the tail would complete its whole budget of local requests in zero
     // simulated time, which no real processor can do.
-    sim_.in(config_.service_time, [this, v]() { issue(v); });
+    sim_.in(config_.service_time, IssueEvent{this, v});
   }
 
   const Tree& tree_;
   const ClosedLoopConfig& config_;
   Graph graph_;
   Simulator sim_;
-  Network<LoopMsg> net_;
+  Network<LoopMsg, Latency, Handler> net_;
   std::vector<NodeId> link_;
   std::vector<RequestId> last_req_;
   std::vector<std::int64_t> issued_;
@@ -137,12 +154,36 @@ class Driver {
   RequestId next_id_ = kRootRequest;
 };
 
+/// Typed handler for the statically dispatched path: one pointer, direct
+/// call, fully inlinable into Network::deliver.
+template <typename Latency>
+struct LoopHandler {
+  Driver<Latency, LoopHandler>* driver = nullptr;
+  void operator()(NodeId from, NodeId to, const LoopMsg& m) const {
+    driver->receive(from, to, m);
+  }
+};
+
 }  // namespace
 
 ClosedLoopResult run_arrow_closed_loop(const Tree& tree, LatencyModel& latency,
                                        const ClosedLoopConfig& config) {
-  ARROWDQ_ASSERT(config.requests_per_node >= 0);
-  Driver driver(tree, latency, config);
+  ARROWDQ_ASSERT_MSG(config.requests_per_node >= 0, "requests_per_node must be >= 0");
+  return with_static_latency(latency, [&](auto lat) {
+    using L = decltype(lat);
+    Driver<L, LoopHandler<L>> driver(tree, std::move(lat), config);
+    driver.install(LoopHandler<L>{&driver});
+    return driver.run();
+  });
+}
+
+ClosedLoopResult run_arrow_closed_loop_dynamic(const Tree& tree, LatencyModel& latency,
+                                               const ClosedLoopConfig& config) {
+  ARROWDQ_ASSERT_MSG(config.requests_per_node >= 0, "requests_per_node must be >= 0");
+  using Handler = std::function<void(NodeId, NodeId, const LoopMsg&)>;
+  Driver<VirtualSampler, Handler> driver(tree, VirtualSampler{latency}, config);
+  driver.install(
+      [&driver](NodeId from, NodeId to, const LoopMsg& m) { driver.receive(from, to, m); });
   return driver.run();
 }
 

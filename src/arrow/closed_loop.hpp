@@ -44,7 +44,17 @@ struct ClosedLoopResult {
 };
 
 /// Run the closed-loop workload with the arrow protocol on spanning tree T.
+/// Statically dispatched: the four standard latency models are devirtualized
+/// once per run and the network handler is a typed callable (no per-message
+/// vtable or std::function indirection).
 ClosedLoopResult run_arrow_closed_loop(const Tree& tree, LatencyModel& latency,
                                        const ClosedLoopConfig& config);
+
+/// The same driver forced onto the dynamically dispatched path (virtual
+/// latency sampling + std::function handler). Tick-identical to
+/// run_arrow_closed_loop by construction; kept as the benchmark/test
+/// reference for the static-dispatch speedup.
+ClosedLoopResult run_arrow_closed_loop_dynamic(const Tree& tree, LatencyModel& latency,
+                                               const ClosedLoopConfig& config);
 
 }  // namespace arrowdq

@@ -30,22 +30,29 @@ struct CentralMsg {
 };
 
 /// Shared machinery: a star-shaped protocol where every request goes to the
-/// center and a reply returns. Only send_with_latency is used, so the graph
-/// passed to Network is a placeholder for node count / service state.
+/// center and a reply returns. Only send_with_latency is used (the sampler
+/// is never consulted), so the graph passed to Network is a placeholder for
+/// node count / service state and the latency parameter is a stateless
+/// value type. Templated on the handler so deliveries dispatch through a
+/// typed callable instead of a std::function.
+template <typename Handler>
 class CentralCore {
  public:
-  CentralCore(NodeId node_count, const DistTicksFn& dist, const CentralizedConfig& config)
+  CentralCore(NodeId node_count, const DistTicksFn& dist, const CentralizedConfig& config,
+              std::size_t reserve_events, std::size_t reserve_msgs)
       : placeholder_(make_path(node_count)),
-        dummy_latency_(),
-        net_(placeholder_, sim_, dummy_latency_),
+        net_(placeholder_, sim_, SyncSampler{}),
         dist_(dist),
         config_(config) {
-    ARROWDQ_ASSERT(config.center >= 0 && config.center < node_count);
+    ARROWDQ_ASSERT_MSG(config.center >= 0 && config.center < node_count,
+                       "center must be a node");
+    sim_.reserve(reserve_events);
+    net_.reserve_messages(reserve_msgs);
     net_.set_service_time(config.service_time);
   }
 
   Simulator& sim() { return sim_; }
-  Network<CentralMsg>& net() { return net_; }
+  Network<CentralMsg, SyncSampler, Handler>& net() { return net_; }
   RequestId tail() const { return tail_; }
 
   /// Processes a request at the center: returns the predecessor and advances
@@ -61,25 +68,57 @@ class CentralCore {
 
  private:
   Graph placeholder_;
-  SynchronousLatency dummy_latency_;
   Simulator sim_;
-  Network<CentralMsg> net_;
+  Network<CentralMsg, SyncSampler, Handler> net_;
   DistTicksFn dist_;
   CentralizedConfig config_;
   RequestId tail_ = kRootRequest;
 };
 
-}  // namespace
+// --- one-shot ---------------------------------------------------------------
 
-QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
-                               const DistTicksFn& dist, const CentralizedConfig& config) {
-  CentralCore core(node_count, dist, config);
-  QueuingOutcome out(requests.size());
-  const NodeId center = config.center;
-  std::vector<Time> issue_time(static_cast<std::size_t>(requests.size()) + 1, 0);
-  std::vector<Weight> travel(static_cast<std::size_t>(requests.size()) + 1, 0);
+struct OneShot;
 
-  core.net().set_handler([&](NodeId /*from*/, NodeId at, const CentralMsg& m) {
+struct OneShotHandler {
+  OneShot* d = nullptr;
+  inline void operator()(NodeId from, NodeId at, const CentralMsg& m) const;
+};
+
+struct OneShot {
+  CentralCore<OneShotHandler> core;
+  QueuingOutcome& out;
+  std::vector<Weight> travel;
+
+  OneShot(NodeId node_count, const RequestSet& requests, const DistTicksFn& dist,
+          const CentralizedConfig& config, QueuingOutcome& out_ref)
+      : core(node_count, dist, config,
+             /*reserve_events=*/2 * static_cast<std::size_t>(requests.size()) + 2,
+             /*reserve_msgs=*/static_cast<std::size_t>(requests.size()) + 1),
+        out(out_ref),
+        travel(static_cast<std::size_t>(requests.size()) + 1, 0) {}
+
+  struct IssueEvent {
+    OneShot* d;
+    Request r;
+    void operator()() const { d->issue(r); }
+  };
+  static_assert(Simulator::template fits_inline_v<IssueEvent>,
+                "IssueEvent must stay on the simulator's inline path");
+
+  void issue(const Request& r) {
+    const NodeId center = core.config().center;
+    if (r.node == center) {
+      RequestId pred = core.enqueue(r.id);
+      out.record(Completion{r.id, pred, core.sim().now(), 0, 0});
+      return;
+    }
+    Time d = core.dist(r.node, center);
+    core.net().send_with_latency(r.node, center, d,
+                                 CentralMsg{Kind::kRequest, r.id, kNoRequest, r.node});
+  }
+
+  void handle(NodeId /*from*/, NodeId at, const CentralMsg& m) {
+    const NodeId center = core.config().center;
     if (m.kind == Kind::kRequest) {
       ARROWDQ_ASSERT(at == center);
       RequestId pred = core.enqueue(m.req);
@@ -96,26 +135,97 @@ QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
                             /*hops=*/2,
                             static_cast<Weight>(2 * travel[static_cast<std::size_t>(m.req)])});
     }
-  });
+  }
+};
 
-  for (const Request& r : requests.real()) {
-    ARROWDQ_ASSERT(r.node >= 0 && r.node < node_count);
-    issue_time[static_cast<std::size_t>(r.id)] = r.time;
-    core.sim().at(r.time, [&core, &out, r, center]() {
-      if (r.node == center) {
-        RequestId pred = core.enqueue(r.id);
-        out.record(Completion{r.id, pred, core.sim().now(), 0, 0});
-        return;
-      }
-      Time d = core.dist(r.node, center);
-      core.net().send_with_latency(r.node, center, d,
-                                   CentralMsg{Kind::kRequest, r.id, kNoRequest, r.node});
-    });
-    travel[static_cast<std::size_t>(r.id)] =
-        ticks_to_units(core.dist(r.node, center));
+inline void OneShotHandler::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
+  d->handle(from, at, m);
+}
+
+// --- closed loop ------------------------------------------------------------
+
+struct Loop;
+
+struct LoopHandler {
+  Loop* d = nullptr;
+  inline void operator()(NodeId from, NodeId at, const CentralMsg& m) const;
+};
+
+struct Loop {
+  CentralCore<LoopHandler> core;
+  std::int64_t requests_per_node;
+  std::vector<std::int64_t> issued;
+  std::vector<Time> issue_time;
+  StatAccumulator latencies;
+  RequestId next_id = kRootRequest;
+
+  Loop(NodeId node_count, std::int64_t reqs_per_node, const DistTicksFn& dist,
+       const CentralizedConfig& config)
+      : core(node_count, dist, config,
+             /*reserve_events=*/2 * static_cast<std::size_t>(node_count) + 2,
+             /*reserve_msgs=*/static_cast<std::size_t>(node_count) + 1),
+        requests_per_node(reqs_per_node),
+        issued(static_cast<std::size_t>(node_count), 0),
+        issue_time(static_cast<std::size_t>(node_count), 0) {}
+
+  struct IssueEvent {
+    Loop* d;
+    NodeId v;
+    void operator()() const { d->issue(v); }
+  };
+  static_assert(Simulator::template fits_inline_v<IssueEvent>,
+                "IssueEvent must stay on the simulator's inline path");
+
+  void issue(NodeId v) {
+    auto vi = static_cast<std::size_t>(v);
+    if (issued[vi] >= requests_per_node) return;
+    ++issued[vi];
+    issue_time[vi] = core.sim().now();
+    RequestId a = ++next_id;
+    const NodeId center = core.config().center;
+    if (v == center) {
+      core.enqueue(a);
+      latencies.add(0.0);
+      core.sim().in(core.config().service_time, IssueEvent{this, v});
+      return;
+    }
+    core.net().send_with_latency(v, center, core.dist(v, center),
+                                 CentralMsg{Kind::kRequest, a, kNoRequest, v});
   }
 
-  core.sim().run();
+  void handle(NodeId /*from*/, NodeId at, const CentralMsg& m) {
+    const NodeId center = core.config().center;
+    if (m.kind == Kind::kRequest) {
+      RequestId pred = core.enqueue(m.req);
+      core.net().send_with_latency(center, m.requester, core.dist(center, m.requester),
+                                   CentralMsg{Kind::kReply, m.req, pred, m.requester});
+    } else {
+      auto vi = static_cast<std::size_t>(at);
+      latencies.add(static_cast<double>(core.sim().now() - issue_time[vi]));
+      core.sim().in(core.config().service_time, IssueEvent{this, at});
+    }
+  }
+};
+
+inline void LoopHandler::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
+  d->handle(from, at, m);
+}
+
+}  // namespace
+
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
+                               const DistTicksFn& dist, const CentralizedConfig& config) {
+  QueuingOutcome out(requests.size());
+  OneShot driver(node_count, requests, dist, config, out);
+  driver.core.net().set_handler(OneShotHandler{&driver});
+  const NodeId center = config.center;
+  for (const Request& r : requests.real()) {
+    ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
+    driver.core.sim().at(r.time, OneShot::IssueEvent{&driver, r});
+    driver.travel[static_cast<std::size_t>(r.id)] =
+        ticks_to_units(driver.core.dist(r.node, center));
+  }
+  driver.core.sim().run();
   ARROWDQ_ASSERT_MSG(out.is_complete(), "centralized protocol did not complete all requests");
   return out;
 }
@@ -124,51 +234,20 @@ CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
                                                   std::int64_t requests_per_node,
                                                   const DistTicksFn& dist,
                                                   const CentralizedConfig& config) {
-  CentralCore core(node_count, dist, config);
-  const NodeId center = config.center;
-  std::vector<std::int64_t> issued(static_cast<std::size_t>(node_count), 0);
-  std::vector<Time> issue_time(static_cast<std::size_t>(node_count), 0);
-  StatAccumulator latencies;
-  RequestId next_id = kRootRequest;
-
-  // Forward declaration via std::function so the handler can re-issue.
-  std::function<void(NodeId)> issue = [&](NodeId v) {
-    auto vi = static_cast<std::size_t>(v);
-    if (issued[vi] >= requests_per_node) return;
-    ++issued[vi];
-    issue_time[vi] = core.sim().now();
-    RequestId a = ++next_id;
-    if (v == center) {
-      core.enqueue(a);
-      latencies.add(0.0);
-      core.sim().in(config.service_time, [&issue, v]() { issue(v); });
-      return;
-    }
-    core.net().send_with_latency(v, center, core.dist(v, center),
-                                 CentralMsg{Kind::kRequest, a, kNoRequest, v});
-  };
-
-  core.net().set_handler([&](NodeId /*from*/, NodeId at, const CentralMsg& m) {
-    if (m.kind == Kind::kRequest) {
-      RequestId pred = core.enqueue(m.req);
-      core.net().send_with_latency(center, m.requester, core.dist(center, m.requester),
-                                   CentralMsg{Kind::kReply, m.req, pred, m.requester});
-    } else {
-      auto vi = static_cast<std::size_t>(at);
-      latencies.add(static_cast<double>(core.sim().now() - issue_time[vi]));
-      core.sim().in(config.service_time, [&issue, at]() { issue(at); });
-    }
-  });
-
-  for (NodeId v = 0; v < node_count; ++v) core.sim().at(0, [&issue, v]() { issue(v); });
-  core.sim().run();
+  Loop driver(node_count, requests_per_node, dist, config);
+  driver.core.net().set_handler(LoopHandler{&driver});
+  for (NodeId v = 0; v < node_count; ++v)
+    driver.core.sim().at(0, Loop::IssueEvent{&driver, v});
+  driver.core.sim().run();
 
   CentralizedLoopResult res;
-  res.makespan = core.sim().now();
+  res.makespan = driver.core.sim().now();
   res.total_requests = static_cast<std::int64_t>(node_count) * requests_per_node;
-  res.messages = core.net().stats().direct_messages;
+  res.messages = driver.core.net().stats().direct_messages;
   res.avg_round_latency_units =
-      latencies.count() == 0 ? 0.0 : latencies.mean() / static_cast<double>(kTicksPerUnit);
+      driver.latencies.count() == 0
+          ? 0.0
+          : driver.latencies.mean() / static_cast<double>(kTicksPerUnit);
   return res;
 }
 

@@ -10,40 +10,81 @@
 namespace arrowdq {
 
 namespace {
+
 struct FindMsg {
   RequestId req = kNoRequest;
   NodeId requester = kNoNode;
   std::int32_t hops = 0;
   Weight dist_units = 0;
 };
-}  // namespace
 
-QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      const DistTicksFn& dist,
-                                      const PointerForwardingConfig& config) {
-  ARROWDQ_ASSERT(node_count >= 1);
-  ARROWDQ_ASSERT(config.initial_owner >= 0 && config.initial_owner < node_count);
-  ARROWDQ_ASSERT_MSG(requests.root() == config.initial_owner,
-                     "request-set root must equal the initial owner");
+struct Forwarder;
 
-  Graph placeholder = make_path(node_count);
+struct ForwardHandler {
+  Forwarder* d = nullptr;
+  inline void operator()(NodeId from, NodeId at, const FindMsg& m) const;
+};
+
+/// Driver state: pointer hints plus the typed-handler network. Only
+/// send_with_latency is used (arbitrary node pairs on the complete
+/// communication graph), so the sampler is a stateless placeholder.
+struct Forwarder {
+  Graph placeholder;
   Simulator sim;
-  SynchronousLatency dummy;
-  Network<FindMsg> net(placeholder, sim, dummy);
-  net.set_service_time(config.service_time);
+  Network<FindMsg, SyncSampler, ForwardHandler> net;
+  const DistTicksFn& dist;
+  const PointerForwardingConfig& config;
+  QueuingOutcome& out;
+  std::vector<NodeId> hint;
+  std::vector<RequestId> last_req;
+  std::int32_t hop_cap;
 
-  std::vector<NodeId> hint(static_cast<std::size_t>(node_count));
-  std::vector<RequestId> last_req(static_cast<std::size_t>(node_count), kNoRequest);
-  for (NodeId v = 0; v < node_count; ++v) hint[static_cast<std::size_t>(v)] = config.initial_owner;
-  last_req[static_cast<std::size_t>(config.initial_owner)] = kRootRequest;
+  Forwarder(NodeId node_count, const RequestSet& requests, const DistTicksFn& dist_fn,
+            const PointerForwardingConfig& cfg, QueuingOutcome& out_ref)
+      : placeholder(make_path(node_count)),
+        net(placeholder, sim, SyncSampler{}),
+        dist(dist_fn),
+        config(cfg),
+        out(out_ref),
+        hint(static_cast<std::size_t>(node_count)),
+        last_req(static_cast<std::size_t>(node_count), kNoRequest),
+        // A single find visits each node at most a few times even under
+        // heavy concurrency; this cap only exists to turn a protocol bug
+        // into a loud failure instead of a hang.
+        hop_cap(8 * node_count + 16) {
+    sim.reserve(2 * static_cast<std::size_t>(requests.size()) + 2);
+    net.reserve_messages(static_cast<std::size_t>(requests.size()) + 1);
+    net.set_service_time(cfg.service_time);
+    for (NodeId v = 0; v < node_count; ++v)
+      hint[static_cast<std::size_t>(v)] = cfg.initial_owner;
+    last_req[static_cast<std::size_t>(cfg.initial_owner)] = kRootRequest;
+  }
 
-  QueuingOutcome out(requests.size());
-  // A single find visits each node at most a few times even under heavy
-  // concurrency; this cap only exists to turn a protocol bug into a loud
-  // failure instead of a hang.
-  const std::int32_t hop_cap = 8 * node_count + 16;
+  struct IssueEvent {
+    Forwarder* d;
+    Request r;
+    void operator()() const { d->issue(r); }
+  };
+  static_assert(Simulator::template fits_inline_v<IssueEvent>,
+                "IssueEvent must stay on the simulator's inline path");
 
-  net.set_handler([&](NodeId from, NodeId at, const FindMsg& m) {
+  void issue(const Request& r) {
+    auto vi = static_cast<std::size_t>(r.node);
+    if (hint[vi] == r.node) {
+      RequestId pred = last_req[vi];
+      ARROWDQ_ASSERT(pred != kNoRequest);
+      last_req[vi] = r.id;
+      out.record(Completion{r.id, pred, sim.now(), 0, 0});
+      return;
+    }
+    NodeId target = hint[vi];
+    last_req[vi] = r.id;
+    hint[vi] = r.node;
+    Weight leg = ticks_to_units(dist(r.node, target));
+    net.send_with_latency(r.node, target, dist(r.node, target), FindMsg{r.id, r.node, 1, leg});
+  }
+
+  void handle(NodeId from, NodeId at, const FindMsg& m) {
     ARROWDQ_ASSERT_MSG(m.hops <= hop_cap, "pointer-forwarding find did not terminate");
     auto ui = static_cast<std::size_t>(at);
     NodeId next = hint[ui];
@@ -57,29 +98,32 @@ QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& reque
     Weight leg = ticks_to_units(dist(at, next));
     net.send_with_latency(at, next, dist(at, next),
                           FindMsg{m.req, m.requester, m.hops + 1, m.dist_units + leg});
-  });
-
-  for (const Request& r : requests.real()) {
-    ARROWDQ_ASSERT(r.node >= 0 && r.node < node_count);
-    sim.at(r.time, [&, r]() {
-      auto vi = static_cast<std::size_t>(r.node);
-      if (hint[vi] == r.node) {
-        RequestId pred = last_req[vi];
-        ARROWDQ_ASSERT(pred != kNoRequest);
-        last_req[vi] = r.id;
-        out.record(Completion{r.id, pred, sim.now(), 0, 0});
-        return;
-      }
-      NodeId target = hint[vi];
-      last_req[vi] = r.id;
-      hint[vi] = r.node;
-      Weight leg = ticks_to_units(dist(r.node, target));
-      net.send_with_latency(r.node, target, dist(r.node, target),
-                            FindMsg{r.id, r.node, 1, leg});
-    });
   }
+};
 
-  sim.run();
+inline void ForwardHandler::operator()(NodeId from, NodeId at, const FindMsg& m) const {
+  d->handle(from, at, m);
+}
+
+}  // namespace
+
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      const DistTicksFn& dist,
+                                      const PointerForwardingConfig& config) {
+  ARROWDQ_ASSERT_MSG(node_count >= 1, "need at least one node");
+  ARROWDQ_ASSERT_MSG(config.initial_owner >= 0 && config.initial_owner < node_count,
+                     "initial owner must be a node");
+  ARROWDQ_ASSERT_MSG(requests.root() == config.initial_owner,
+                     "request-set root must equal the initial owner");
+
+  QueuingOutcome out(requests.size());
+  Forwarder driver(node_count, requests, dist, config, out);
+  driver.net.set_handler(ForwardHandler{&driver});
+  for (const Request& r : requests.real()) {
+    ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
+    driver.sim.at(r.time, Forwarder::IssueEvent{&driver, r});
+  }
+  driver.sim.run();
   ARROWDQ_ASSERT_MSG(out.is_complete(), "pointer forwarding did not complete all requests");
   return out;
 }

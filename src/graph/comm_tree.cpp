@@ -10,9 +10,9 @@ namespace arrowdq {
 
 double expected_comm_cost(const Tree& tree, const std::vector<double>& probs) {
   auto n = tree.node_count();
-  ARROWDQ_ASSERT(static_cast<NodeId>(probs.size()) == n);
+  ARROWDQ_ASSERT_MSG(static_cast<NodeId>(probs.size()) == n, "probability vector size must equal n");
   double mass = std::accumulate(probs.begin(), probs.end(), 0.0);
-  ARROWDQ_ASSERT(mass > 0.0);
+  ARROWDQ_ASSERT_MSG(mass > 0.0, "probability mass must be positive");
   double total = 0.0;
   for (NodeId u = 0; u < n; ++u) {
     double pu = probs[static_cast<std::size_t>(u)];
@@ -27,7 +27,7 @@ double expected_comm_cost(const Tree& tree, const std::vector<double>& probs) {
 }
 
 NodeId weighted_median(const Graph& g, const std::vector<double>& probs) {
-  ARROWDQ_ASSERT(static_cast<NodeId>(probs.size()) == g.node_count());
+  ARROWDQ_ASSERT_MSG(static_cast<NodeId>(probs.size()) == g.node_count(), "probability vector size must equal n");
   NodeId best = 0;
   double best_cost = -1.0;
   for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -52,13 +52,13 @@ Tree weighted_median_spt(const Graph& g, const std::vector<double>& probs) {
 }
 
 std::vector<double> uniform_probs(NodeId n) {
-  ARROWDQ_ASSERT(n > 0);
+  ARROWDQ_ASSERT_MSG(n > 0, "node count must be > 0");
   return std::vector<double>(static_cast<std::size_t>(n), 1.0 / static_cast<double>(n));
 }
 
 std::vector<double> hotspot_probs(NodeId n, NodeId hot, double hot_mass) {
-  ARROWDQ_ASSERT(n > 0 && hot >= 0 && hot < n);
-  ARROWDQ_ASSERT(hot_mass >= 0.0 && hot_mass <= 1.0);
+  ARROWDQ_ASSERT_MSG(n > 0 && hot >= 0 && hot < n, "hot node must be a node");
+  ARROWDQ_ASSERT_MSG(hot_mass >= 0.0 && hot_mass <= 1.0, "hot mass must be in [0, 1]");
   double rest = n > 1 ? (1.0 - hot_mass) / static_cast<double>(n - 1) : 0.0;
   std::vector<double> p(static_cast<std::size_t>(n), rest);
   p[static_cast<std::size_t>(hot)] = n > 1 ? hot_mass : 1.0;

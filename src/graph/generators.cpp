@@ -9,28 +9,28 @@
 namespace arrowdq {
 
 Graph make_path(NodeId n, Weight weight) {
-  ARROWDQ_ASSERT(n >= 1);
+  ARROWDQ_ASSERT_MSG(n >= 1, "node count must be >= 1");
   Graph g(n);
   for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, weight);
   return g;
 }
 
 Graph make_ring(NodeId n, Weight weight) {
-  ARROWDQ_ASSERT(n >= 3);
+  ARROWDQ_ASSERT_MSG(n >= 3, "ring needs >= 3 nodes");
   Graph g(n);
   for (NodeId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, weight);
   return g;
 }
 
 Graph make_star(NodeId n, Weight weight) {
-  ARROWDQ_ASSERT(n >= 1);
+  ARROWDQ_ASSERT_MSG(n >= 1, "node count must be >= 1");
   Graph g(n);
   for (NodeId i = 1; i < n; ++i) g.add_edge(0, i, weight);
   return g;
 }
 
 Graph make_complete(NodeId n, Weight weight) {
-  ARROWDQ_ASSERT(n >= 1);
+  ARROWDQ_ASSERT_MSG(n >= 1, "node count must be >= 1");
   Graph g(n);
   for (NodeId i = 0; i < n; ++i)
     for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j, weight);
@@ -38,7 +38,7 @@ Graph make_complete(NodeId n, Weight weight) {
 }
 
 Graph make_grid(NodeId rows, NodeId cols, Weight weight) {
-  ARROWDQ_ASSERT(rows >= 1 && cols >= 1);
+  ARROWDQ_ASSERT_MSG(rows >= 1 && cols >= 1, "grid dims must be >= 1");
   Graph g(rows * cols);
   auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r)
@@ -50,7 +50,7 @@ Graph make_grid(NodeId rows, NodeId cols, Weight weight) {
 }
 
 Graph make_torus(NodeId rows, NodeId cols, Weight weight) {
-  ARROWDQ_ASSERT(rows >= 3 && cols >= 3);
+  ARROWDQ_ASSERT_MSG(rows >= 3 && cols >= 3, "torus dims must be >= 3");
   Graph g(rows * cols);
   auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
   for (NodeId r = 0; r < rows; ++r)
@@ -62,14 +62,14 @@ Graph make_torus(NodeId rows, NodeId cols, Weight weight) {
 }
 
 Graph make_balanced_kary_tree(NodeId n, NodeId k, Weight weight) {
-  ARROWDQ_ASSERT(n >= 1 && k >= 1);
+  ARROWDQ_ASSERT_MSG(n >= 1 && k >= 1, "need n >= 1 and k >= 1");
   Graph g(n);
   for (NodeId i = 1; i < n; ++i) g.add_edge((i - 1) / k, i, weight);
   return g;
 }
 
 Graph make_caterpillar(NodeId spine, NodeId legs, Weight weight) {
-  ARROWDQ_ASSERT(spine >= 1 && legs >= 0);
+  ARROWDQ_ASSERT_MSG(spine >= 1 && legs >= 0, "need spine >= 1 and legs >= 0");
   Graph g(spine * (1 + legs));
   for (NodeId i = 0; i + 1 < spine; ++i) g.add_edge(i, i + 1, weight);
   for (NodeId i = 0; i < spine; ++i)
@@ -78,7 +78,7 @@ Graph make_caterpillar(NodeId spine, NodeId legs, Weight weight) {
 }
 
 Graph make_erdos_renyi(NodeId n, double p, Rng& rng) {
-  ARROWDQ_ASSERT(n >= 1);
+  ARROWDQ_ASSERT_MSG(n >= 1, "node count must be >= 1");
   double p_min = n > 1 ? 1.2 * std::log(static_cast<double>(n)) / static_cast<double>(n) : 0.0;
   p = std::clamp(p, p_min, 1.0);
   for (int attempt = 0; attempt < 1000; ++attempt) {
@@ -99,8 +99,8 @@ Graph make_erdos_renyi(NodeId n, double p, Rng& rng) {
 }
 
 Graph make_random_geometric(NodeId n, double radius, Rng& rng, Weight weight_scale) {
-  ARROWDQ_ASSERT(n >= 1);
-  ARROWDQ_ASSERT(weight_scale >= 1);
+  ARROWDQ_ASSERT_MSG(n >= 1, "node count must be >= 1");
+  ARROWDQ_ASSERT_MSG(weight_scale >= 1, "weight scale must be >= 1");
   for (int attempt = 0;; ++attempt) {
     std::vector<double> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
     for (NodeId i = 0; i < n; ++i) {
@@ -125,7 +125,7 @@ Graph make_random_geometric(NodeId n, double radius, Rng& rng, Weight weight_sca
 }
 
 Graph make_random_tree(NodeId n, Rng& rng, Weight weight) {
-  ARROWDQ_ASSERT(n >= 1);
+  ARROWDQ_ASSERT_MSG(n >= 1, "node count must be >= 1");
   Graph g(n);
   if (n == 1) return g;
   if (n == 2) {
@@ -156,7 +156,7 @@ Graph make_random_tree(NodeId n, Rng& rng, Weight weight) {
 }
 
 Graph make_hypercube(int dimensions, Weight weight) {
-  ARROWDQ_ASSERT(dimensions >= 0 && dimensions <= 20);
+  ARROWDQ_ASSERT_MSG(dimensions >= 0 && dimensions <= 20, "dimensions must be in [0, 20]");
   auto n = static_cast<NodeId>(NodeId{1} << dimensions);
   Graph g(n);
   for (NodeId v = 0; v < n; ++v)
@@ -168,7 +168,7 @@ Graph make_hypercube(int dimensions, Weight weight) {
 }
 
 Graph make_lollipop(NodeId clique, NodeId tail, Weight weight) {
-  ARROWDQ_ASSERT(clique >= 1 && tail >= 0);
+  ARROWDQ_ASSERT_MSG(clique >= 1 && tail >= 0, "need clique >= 1 and tail >= 0");
   Graph g(clique + tail);
   for (NodeId i = 0; i < clique; ++i)
     for (NodeId j = i + 1; j < clique; ++j) g.add_edge(i, j, weight);

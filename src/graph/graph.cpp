@@ -7,11 +7,11 @@
 
 namespace arrowdq {
 
-Graph::Graph(NodeId n) : adj_(static_cast<std::size_t>(n)) { ARROWDQ_ASSERT(n >= 0); }
+Graph::Graph(NodeId n) : adj_(static_cast<std::size_t>(n)) { ARROWDQ_ASSERT_MSG(n >= 0, "node count must be >= 0"); }
 
 void Graph::add_edge(NodeId u, NodeId v, Weight weight) {
-  ARROWDQ_ASSERT(u >= 0 && u < node_count());
-  ARROWDQ_ASSERT(v >= 0 && v < node_count());
+  ARROWDQ_ASSERT_MSG(u >= 0 && u < node_count(), "edge endpoint u out of range");
+  ARROWDQ_ASSERT_MSG(v >= 0 && v < node_count(), "edge endpoint v out of range");
   ARROWDQ_ASSERT_MSG(u != v, "self-loops are not allowed");
   ARROWDQ_ASSERT_MSG(weight > 0, "edge weights are positive latencies");
   adj_[static_cast<std::size_t>(u)].push_back({v, weight});

@@ -9,9 +9,9 @@ namespace arrowdq {
 Tree::Tree(std::vector<NodeId> parent, std::vector<Weight> weight_to_parent, NodeId root)
     : parent_(std::move(parent)), wparent_(std::move(weight_to_parent)), root_(root) {
   auto n = static_cast<NodeId>(parent_.size());
-  ARROWDQ_ASSERT(n >= 1);
-  ARROWDQ_ASSERT(wparent_.size() == parent_.size());
-  ARROWDQ_ASSERT(root_ >= 0 && root_ < n);
+  ARROWDQ_ASSERT_MSG(n >= 1, "tree needs >= 1 node");
+  ARROWDQ_ASSERT_MSG(wparent_.size() == parent_.size(), "parent/weight arrays must match");
+  ARROWDQ_ASSERT_MSG(root_ >= 0 && root_ < n, "root must be a node");
   ARROWDQ_ASSERT_MSG(parent_[static_cast<std::size_t>(root_)] == kNoNode,
                      "root's parent must be kNoNode");
 
@@ -173,7 +173,7 @@ Graph Tree::as_graph() const {
 }
 
 Tree Tree::rerooted(NodeId new_root) const {
-  ARROWDQ_ASSERT(new_root >= 0 && new_root < node_count());
+  ARROWDQ_ASSERT_MSG(new_root >= 0 && new_root < node_count(), "new root must be a node");
   auto n = static_cast<std::size_t>(node_count());
   std::vector<NodeId> np(n, kNoNode);
   std::vector<Weight> nw(n, 1);

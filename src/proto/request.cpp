@@ -7,7 +7,7 @@
 namespace arrowdq {
 
 RequestSet::RequestSet(NodeId root, std::vector<std::pair<NodeId, Time>> items) : root_(root) {
-  ARROWDQ_ASSERT(root >= 0);
+  ARROWDQ_ASSERT_MSG(root >= 0, "root must be a node id");
   std::stable_sort(items.begin(), items.end(),
                    [](const auto& a, const auto& b) { return a.second < b.second; });
   reqs_.reserve(items.size() + 1);
@@ -15,7 +15,7 @@ RequestSet::RequestSet(NodeId root, std::vector<std::pair<NodeId, Time>> items) 
   RequestId next = 1;
   for (const auto& [node, t] : items) {
     ARROWDQ_ASSERT_MSG(t >= 0, "request times are non-negative");
-    ARROWDQ_ASSERT(node >= 0);
+    ARROWDQ_ASSERT_MSG(node >= 0, "request node must be >= 0");
     reqs_.push_back(Request{next++, node, t});
   }
 }

@@ -1,49 +1,22 @@
 #include "sim/latency.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "support/assert.hpp"
 
 namespace arrowdq {
 
-namespace {
-Time fraction_ticks(double fraction, Weight weight) {
-  double ticks = fraction * static_cast<double>(units_to_ticks(weight));
-  return std::max<Time>(1, static_cast<Time>(std::llround(ticks)));
-}
-}  // namespace
-
-Time SynchronousLatency::sample(NodeId, NodeId, Weight weight) {
-  return units_to_ticks(weight);
-}
-
-ScaledLatency::ScaledLatency(double fraction) : fraction_(fraction) {
-  ARROWDQ_ASSERT(fraction > 0.0 && fraction <= 1.0);
-}
-
-Time ScaledLatency::sample(NodeId, NodeId, Weight weight) {
-  return fraction_ticks(fraction_, weight);
+ScaledLatency::ScaledLatency(double fraction) : s_{fraction} {
+  ARROWDQ_ASSERT_MSG(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
 }
 
 UniformAsyncLatency::UniformAsyncLatency(std::uint64_t seed, double min_fraction)
-    : rng_(seed), min_fraction_(min_fraction) {
-  ARROWDQ_ASSERT(min_fraction > 0.0 && min_fraction <= 1.0);
-}
-
-Time UniformAsyncLatency::sample(NodeId, NodeId, Weight weight) {
-  double f = rng_.next_double(min_fraction_, 1.0);
-  return fraction_ticks(f, weight);
+    : s_{Rng(seed), min_fraction} {
+  ARROWDQ_ASSERT_MSG(min_fraction > 0.0 && min_fraction <= 1.0, "min_fraction must be in (0, 1]");
 }
 
 TruncatedExpLatency::TruncatedExpLatency(std::uint64_t seed, double mean_fraction)
-    : rng_(seed), mean_fraction_(mean_fraction) {
-  ARROWDQ_ASSERT(mean_fraction > 0.0 && mean_fraction <= 1.0);
-}
-
-Time TruncatedExpLatency::sample(NodeId, NodeId, Weight weight) {
-  double f = std::min(1.0, rng_.next_exponential(1.0 / mean_fraction_));
-  return fraction_ticks(f, weight);
+    : s_{Rng(seed), mean_fraction} {
+  ARROWDQ_ASSERT_MSG(mean_fraction > 0.0 && mean_fraction <= 1.0,
+                     "mean_fraction must be in (0, 1]");
 }
 
 std::unique_ptr<LatencyModel> make_synchronous() {

@@ -5,8 +5,20 @@
 // normalized so the slowest message between adjacent nodes takes one unit;
 // we provide randomized models whose per-message delay is uniform or
 // heavy-tailed within (0, 1] units per unit of edge weight.
+//
+// Two-tier design: the *samplers* (SyncSampler, ScaledSampler, UniformSampler,
+// TruncExpSampler) are concrete value types with an inline `operator()` — the
+// statically dispatched hot path the Network templates over, with no vtable
+// between a send and its latency draw. The classic `LatencyModel` hierarchy
+// survives as a thin adapter over the samplers for call sites that need
+// runtime polymorphism (configuration, ownership via unique_ptr, bench
+// tables); `with_static_latency` bridges the two, dispatching *once per run*
+// from a dynamic model to its concrete sampler so the per-message loop never
+// sees the vtable again.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 
@@ -14,6 +26,74 @@
 #include "support/types.hpp"
 
 namespace arrowdq {
+
+namespace detail {
+/// fraction of the synchronous latency, floored at one tick.
+inline Time fraction_ticks(double fraction, Weight weight) {
+  double ticks = fraction * static_cast<double>(units_to_ticks(weight));
+  return std::max<Time>(1, static_cast<Time>(std::llround(ticks)));
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Value-type samplers: the statically dispatched tier. Each is a callable
+// `Time operator()(NodeId from, NodeId to, Weight weight)` returning >= 1.
+// ---------------------------------------------------------------------------
+
+/// Synchronous: exactly weight * kTicksPerUnit.
+struct SyncSampler {
+  Time operator()(NodeId, NodeId, Weight weight) const { return units_to_ticks(weight); }
+  const char* name() const { return "synchronous"; }
+};
+
+/// Constant fraction of the synchronous latency (0 < fraction <= 1):
+/// models a uniformly fast asynchronous network.
+struct ScaledSampler {
+  double fraction = 1.0;
+  Time operator()(NodeId, NodeId, Weight weight) const {
+    return detail::fraction_ticks(fraction, weight);
+  }
+  const char* name() const { return "scaled"; }
+};
+
+/// Uniform in [min_fraction, 1] of the synchronous latency per message.
+struct UniformSampler {
+  Rng rng;
+  double min_fraction = 0.05;
+  Time operator()(NodeId, NodeId, Weight weight) {
+    return detail::fraction_ticks(rng.next_double(min_fraction, 1.0), weight);
+  }
+  const char* name() const { return "uniform-async"; }
+};
+
+/// Heavy-tailed: latency = clamp(exp-distributed, (0,1]) of synchronous;
+/// most messages fast, occasional slow ones — the adversarial flavour of
+/// Section 3.8 where the "1" normalization is achieved by the slowest link.
+struct TruncExpSampler {
+  Rng rng;
+  double mean_fraction = 0.3;
+  Time operator()(NodeId, NodeId, Weight weight) {
+    double f = std::min(1.0, rng.next_exponential(1.0 / mean_fraction));
+    return detail::fraction_ticks(f, weight);
+  }
+  const char* name() const { return "trunc-exp"; }
+};
+
+/// Non-owning handle to a sampler living elsewhere (typically inside a
+/// LatencyModel adapter): keeps the RNG state shared with the owner while
+/// the call itself stays direct and inlinable.
+template <typename S>
+struct SamplerRef {
+  S* sampler = nullptr;
+  Time operator()(NodeId from, NodeId to, Weight weight) {
+    return (*sampler)(from, to, weight);
+  }
+  const char* name() const { return sampler->name(); }
+};
+
+// ---------------------------------------------------------------------------
+// Dynamic tier: the LatencyModel hierarchy, now a thin adapter.
+// ---------------------------------------------------------------------------
 
 class LatencyModel {
  public:
@@ -27,54 +107,81 @@ class LatencyModel {
   virtual const char* name() const = 0;
 };
 
-/// Synchronous: exactly weight * kTicksPerUnit.
-class SynchronousLatency final : public LatencyModel {
- public:
-  Time sample(NodeId, NodeId, Weight weight) override;
-  const char* name() const override { return "synchronous"; }
+/// Fallback sampler for unknown LatencyModel subclasses: pays the vtable on
+/// every draw. Implicitly constructible from a model reference so legacy
+/// `Network<M>(graph, sim, model)` call sites keep compiling unchanged.
+struct VirtualSampler {
+  LatencyModel* model = nullptr;
+  VirtualSampler() = default;
+  VirtualSampler(LatencyModel& m) : model(&m) {}  // NOLINT(google-explicit-constructor)
+  Time operator()(NodeId from, NodeId to, Weight weight) {
+    return model->sample(from, to, weight);
+  }
+  const char* name() const { return model->name(); }
 };
 
-/// Constant fraction of the synchronous latency (0 < fraction <= 1):
-/// models a uniformly fast asynchronous network.
+class SynchronousLatency final : public LatencyModel {
+ public:
+  Time sample(NodeId from, NodeId to, Weight weight) override { return s_(from, to, weight); }
+  const char* name() const override { return s_.name(); }
+  SyncSampler& sampler() { return s_; }
+
+ private:
+  SyncSampler s_;
+};
+
 class ScaledLatency final : public LatencyModel {
  public:
   explicit ScaledLatency(double fraction);
-  Time sample(NodeId, NodeId, Weight weight) override;
-  const char* name() const override { return "scaled"; }
+  Time sample(NodeId from, NodeId to, Weight weight) override { return s_(from, to, weight); }
+  const char* name() const override { return s_.name(); }
+  ScaledSampler& sampler() { return s_; }
 
  private:
-  double fraction_;
+  ScaledSampler s_;
 };
 
-/// Uniform in [min_fraction, 1] of the synchronous latency per message.
 class UniformAsyncLatency final : public LatencyModel {
  public:
   UniformAsyncLatency(std::uint64_t seed, double min_fraction = 0.05);
-  Time sample(NodeId, NodeId, Weight weight) override;
-  const char* name() const override { return "uniform-async"; }
+  Time sample(NodeId from, NodeId to, Weight weight) override { return s_(from, to, weight); }
+  const char* name() const override { return s_.name(); }
+  UniformSampler& sampler() { return s_; }
 
  private:
-  Rng rng_;
-  double min_fraction_;
+  UniformSampler s_;
 };
 
-/// Heavy-tailed: latency = clamp(exp-distributed, (0,1]) of synchronous;
-/// most messages fast, occasional slow ones — the adversarial flavour of
-/// Section 3.8 where the "1" normalization is achieved by the slowest link.
 class TruncatedExpLatency final : public LatencyModel {
  public:
   TruncatedExpLatency(std::uint64_t seed, double mean_fraction = 0.3);
-  Time sample(NodeId, NodeId, Weight weight) override;
-  const char* name() const override { return "trunc-exp"; }
+  Time sample(NodeId from, NodeId to, Weight weight) override { return s_(from, to, weight); }
+  const char* name() const override { return s_.name(); }
+  TruncExpSampler& sampler() { return s_; }
 
  private:
-  Rng rng_;
-  double mean_fraction_;
+  TruncExpSampler s_;
 };
 
 std::unique_ptr<LatencyModel> make_synchronous();
 std::unique_ptr<LatencyModel> make_scaled(double fraction);
 std::unique_ptr<LatencyModel> make_uniform_async(std::uint64_t seed, double min_fraction = 0.05);
 std::unique_ptr<LatencyModel> make_truncated_exp(std::uint64_t seed, double mean_fraction = 0.3);
+
+/// One-time static dispatch: invoke `fn` with the concrete sampler behind
+/// `model` (state shared with the model, stateless kinds passed by value),
+/// or with a VirtualSampler for subclasses this header does not know. The
+/// cost of the dynamic_cast chain is paid once per *run*, not per message —
+/// callers templated on the sampler type then sample with a direct call.
+template <typename Fn>
+decltype(auto) with_static_latency(LatencyModel& model, Fn&& fn) {
+  if (auto* p = dynamic_cast<SynchronousLatency*>(&model)) return fn(p->sampler());
+  if (auto* p = dynamic_cast<ScaledLatency*>(&model)) return fn(p->sampler());
+  if (auto* p = dynamic_cast<UniformAsyncLatency*>(&model))
+    return fn(SamplerRef<UniformSampler>{&p->sampler()});
+  if (auto* p = dynamic_cast<TruncatedExpLatency*>(&model))
+    return fn(SamplerRef<TruncExpSampler>{&p->sampler()});
+  return fn(VirtualSampler{model});
+}
 
 }  // namespace arrowdq

@@ -17,9 +17,17 @@
 // pool and is dispatched through the single stored handler — no per-send
 // closure, no allocation after the pool warms up. The FIFO clamp is a flat
 // array indexed by the graph's dense directed-edge id (Graph::find_edge,
-// O(1)), replacing the old unordered_map keyed on packed endpoints. With a
-// serial service time the arrival re-arms its own pool slot for the
-// completion instant instead of copying the message into a second closure.
+// O(1)).
+//
+// Static dispatch: the network is templated on both the latency sampler and
+// the handler. On the default path the protocol drivers instantiate
+// `Network<M, ConcreteSampler, TypedHandlerStruct>`, so a send samples its
+// latency with an inlinable direct call and a delivery invokes the protocol
+// handler without an indirect std::function dispatch — the whole
+// send → schedule → deliver → handle chain is visible to the optimizer as
+// one loop. The defaults (`VirtualSampler`, `std::function`) keep every
+// legacy `Network<M>(graph, sim, model)` call site source-compatible on the
+// dynamically dispatched path.
 #pragma once
 
 #include <cstdint>
@@ -41,24 +49,34 @@ struct NetworkStats {
   Time total_edge_latency = 0;        // sum of sampled edge latencies (ticks)
 };
 
-template <typename M>
+template <typename M, typename Latency = VirtualSampler,
+          typename Handler = std::function<void(NodeId from, NodeId to, const M& msg)>>
 class Network {
  public:
-  /// Handler invoked when a message is processed at its destination.
-  using Handler = std::function<void(NodeId from, NodeId to, const M& msg)>;
+  // Guard rails on the fast path: messages are copied in and out of the
+  // in-flight pool and must stay trivially copyable and within the
+  // simulator's inline-event budget, so a future field addition cannot
+  // silently push deliveries onto a slow path.
+  static_assert(std::is_trivially_copyable_v<M>,
+                "network message types must be trivially copyable");
+  static_assert(sizeof(M) <= Simulator::kInlineStorage,
+                "network message types must fit the 48-byte inline-event budget");
 
-  Network(const Graph& graph, Simulator& sim, LatencyModel& latency)
+  Network(const Graph& graph, Simulator& sim, Latency latency)
       : graph_(graph),
         sim_(sim),
-        latency_(latency),
+        latency_(std::move(latency)),
         busy_until_(static_cast<std::size_t>(graph.node_count()), 0),
         fifo_ready_(graph.dir_edge_count(), 0) {}
 
-  void set_handler(Handler h) { handler_ = std::move(h); }
+  void set_handler(Handler h) {
+    handler_ = std::move(h);
+    handler_set_ = true;
+  }
 
   /// Serial processing cost per message at every node, in ticks.
   void set_service_time(Time ticks) {
-    ARROWDQ_ASSERT(ticks >= 0);
+    ARROWDQ_ASSERT_MSG(ticks >= 0, "service time must be >= 0");
     service_time_ = ticks;
   }
   Time service_time() const { return service_time_; }
@@ -72,6 +90,7 @@ class Network {
 
   const Graph& graph() const { return graph_; }
   Simulator& sim() { return sim_; }
+  Latency& latency() { return latency_; }
   const NetworkStats& stats() const { return stats_; }
 
   /// Send over graph edge {from, to}; latency sampled from the model and
@@ -79,12 +98,12 @@ class Network {
   void send(NodeId from, NodeId to, M msg) {
     // Adding edges renumbers the dense directed ids, which would silently
     // alias fifo_ready_ entries — catch any mutation, not just growth past
-    // the old size.
-    ARROWDQ_ASSERT_MSG(graph_.dir_edge_count() == fifo_ready_.size(),
-                       "graph gained edges after Network construction");
+    // the old size. Debug-only: a per-send size re-check is pure hot-loop
+    // overhead in Release.
+    ARROWDQ_ASSERT(graph_.dir_edge_count() == fifo_ready_.size());
     DirEdgeRef edge = graph_.find_edge(from, to);
     ARROWDQ_ASSERT_MSG(edge, "send over a non-edge");
-    Time lat = latency_.sample(from, to, edge.weight);
+    Time lat = latency_(from, to, edge.weight);
     ARROWDQ_ASSERT(lat >= 1);
     Time deliver = sim_.now() + lat;
     // FIFO clamp: never deliver before an earlier message on this edge.
@@ -93,7 +112,7 @@ class Network {
     ready = deliver;
     ++stats_.edge_messages;
     stats_.total_edge_latency += lat;
-    schedule_processing(from, to, deliver, std::move(msg));
+    schedule_processing(from, to, deliver, msg);
   }
 
   /// Send with an explicit latency (ticks), e.g. along a shortest path of
@@ -102,7 +121,7 @@ class Network {
   void send_with_latency(NodeId from, NodeId to, Time latency, M msg) {
     ARROWDQ_ASSERT(latency >= 0);
     ++stats_.direct_messages;
-    schedule_processing(from, to, sim_.now() + latency, std::move(msg));
+    schedule_processing(from, to, sim_.now() + latency, msg);
   }
 
  private:
@@ -120,20 +139,22 @@ class Network {
     std::uint32_t slot;
     void operator()() const { net->deliver(slot); }
   };
+  static_assert(Simulator::template fits_inline_v<DeliveryEvent>,
+                "DeliveryEvent must stay on the simulator's inline path");
 
-  void schedule_processing(NodeId from, NodeId to, Time deliver, M msg) {
+  void schedule_processing(NodeId from, NodeId to, Time deliver, const M& msg) {
     std::uint32_t slot;
     if (!free_.empty()) {
       slot = free_.back();
       free_.pop_back();
       Pending& p = pool_[slot];
-      p.msg = std::move(msg);
+      p.msg = msg;
       p.from = from;
       p.to = to;
       p.in_service = false;
     } else {
       slot = static_cast<std::uint32_t>(pool_.size());
-      pool_.push_back(Pending{std::move(msg), from, to, false});
+      pool_.push_back(Pending{msg, from, to, false});
     }
     sim_.at(deliver, DeliveryEvent{this, slot});
   }
@@ -152,20 +173,27 @@ class Network {
       sim_.at(done, DeliveryEvent{this, slot});
       return;
     }
-    ARROWDQ_ASSERT_MSG(handler_, "no handler installed");
-    // Move the record out and recycle the slot first: the handler may send,
+    if constexpr (std::is_constructible_v<bool, const Handler&>) {
+      ARROWDQ_ASSERT_MSG(static_cast<bool>(handler_), "no handler installed");
+    } else {
+      // Typed handlers carry no emptiness state of their own; the flag
+      // keeps "forgot set_handler" loud under the Debug/ASan CI job.
+      ARROWDQ_ASSERT(handler_set_);
+    }
+    // Copy the record out and recycle the slot first: the handler may send,
     // and that send can reuse this slot immediately.
     NodeId from = p.from;
     NodeId to = p.to;
-    M msg = std::move(p.msg);
+    M msg = p.msg;
     free_.push_back(slot);
     handler_(from, to, msg);
   }
 
   const Graph& graph_;
   Simulator& sim_;
-  LatencyModel& latency_;
-  Handler handler_;
+  Latency latency_;
+  Handler handler_{};
+  bool handler_set_ = false;
   Time service_time_ = 0;
   std::vector<Time> busy_until_;
   std::vector<Time> fifo_ready_;  // indexed by dense directed-edge id

@@ -4,6 +4,7 @@ namespace arrowdq {
 
 // Instantiate every queue variant here once; consumers link against these
 // instead of re-instantiating the template per translation unit.
+template class BasicSimulator<BucketedEventQueue>;
 template class BasicSimulator<BinaryEventQueue>;
 template class BasicSimulator<FourAryEventQueue>;
 template class BasicSimulator<PairingEventQueue>;

@@ -14,6 +14,15 @@
 // Each event's invoke wrapper copies the callable out of the arena and
 // frees the slot *before* running it, which keeps nested scheduling safe
 // against arena growth and lets the freed slot be reused immediately.
+//
+// Same-tick batch draining: step() pulls the entire run of entries sharing
+// the earliest timestamp out of the queue in one pass (Queue::pop_run) and
+// executes them from a flat buffer, so bursty instants — the n simultaneous
+// issue() events of a closed loop, multicast fan-outs — pay one drain
+// instead of log-n heap work per event. Events scheduled *during* a batch
+// at the same instant carry higher sequence numbers than everything in the
+// buffer, so running them in the next refill preserves the exact (time,
+// seq) order of the unbatched core; the golden determinism suite pins this.
 #pragma once
 
 #include <cstddef>
@@ -42,12 +51,22 @@ class BasicSimulator {
   /// schedule without touching the heap.
   static constexpr std::size_t kInlineStorage = 48;
 
+  /// True when F schedules on the zero-allocation inline path. Protocol
+  /// event types static_assert this so a future field addition cannot
+  /// silently fall onto the heap-boxed path.
+  template <typename F>
+  static constexpr bool fits_inline_v =
+      sizeof(F) <= kInlineStorage && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_trivially_copyable_v<F> && std::is_trivially_destructible_v<F>;
+
   BasicSimulator() = default;
   BasicSimulator(const BasicSimulator&) = delete;
   BasicSimulator& operator=(const BasicSimulator&) = delete;
   BasicSimulator(BasicSimulator&& other) noexcept
       : queue_(std::move(other.queue_)),
         slots_(std::move(other.slots_)),
+        batch_(std::move(other.batch_)),
+        batch_pos_(other.batch_pos_),
         free_head_(other.free_head_),
         now_(other.now_),
         next_seq_(other.next_seq_),
@@ -59,6 +78,8 @@ class BasicSimulator {
       discard_pending();
       queue_ = std::move(other.queue_);
       slots_ = std::move(other.slots_);
+      batch_ = std::move(other.batch_);
+      batch_pos_ = other.batch_pos_;
       free_head_ = other.free_head_;
       now_ = other.now_;
       next_seq_ = other.next_seq_;
@@ -85,8 +106,7 @@ class BasicSimulator {
     ARROWDQ_ASSERT_MSG(next_seq_ < EventEntry::kMaxSeq, "event sequence space exhausted");
     using Fn = std::decay_t<F>;
     std::uint32_t slot;
-    if constexpr (sizeof(Fn) <= kInlineStorage && alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>) {
+    if constexpr (fits_inline_v<Fn>) {
       slot = acquire_slot();
       Slot& s = slots_[slot];
       ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(fn));
@@ -123,9 +143,15 @@ class BasicSimulator {
   }
 
   /// Execute the single earliest event. Returns false if none pending.
+  /// Refills the same-tick batch buffer from the queue when it runs dry.
   bool step() {
-    if (queue_.empty()) return false;
-    EventEntry e = queue_.pop();
+    if (batch_pos_ == batch_.size()) {
+      batch_.clear();
+      batch_pos_ = 0;
+      if (queue_.empty()) return false;
+      queue_.pop_run(batch_);
+    }
+    EventEntry e = batch_[batch_pos_++];
     ARROWDQ_ASSERT(e.t >= now_);
     now_ = e.t;
     ++executed_;
@@ -145,7 +171,7 @@ class BasicSimulator {
   /// Afterwards now() == t_end if the queue drained earlier than t_end.
   std::uint64_t run_until(Time t_end) {
     std::uint64_t n = 0;
-    while (!queue_.empty() && queue_.top_time() <= t_end) {
+    while (!idle() && next_time() <= t_end) {
       step();
       ++n;
     }
@@ -153,9 +179,11 @@ class BasicSimulator {
     return n;
   }
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return batch_pos_ == batch_.size() && queue_.empty(); }
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t events_pending() const { return queue_.size(); }
+  std::size_t events_pending() const {
+    return queue_.size() + (batch_.size() - batch_pos_);
+  }
 
  private:
   static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
@@ -169,6 +197,11 @@ class BasicSimulator {
     alignas(std::max_align_t) unsigned char storage[kInlineStorage];
   };
   static_assert(std::is_trivially_copyable_v<Slot>);
+
+  /// Earliest pending event time; undefined when idle().
+  Time next_time() const {
+    return batch_pos_ < batch_.size() ? batch_[batch_pos_].t : queue_.top_time();
+  }
 
   std::uint32_t acquire_slot() {
     std::uint32_t slot = free_head_;
@@ -193,6 +226,8 @@ class BasicSimulator {
   /// behind that clear() resets.
   void reset_moved_from() {
     queue_.clear();
+    batch_.clear();
+    batch_pos_ = 0;
     free_head_ = kNoSlot;
     now_ = 0;
     next_seq_ = 0;
@@ -200,8 +235,13 @@ class BasicSimulator {
   }
 
   /// Frees heap-boxed callables of never-executed events (destruction or
-  /// move-assignment over a simulator abandoned mid-run).
+  /// move-assignment over a simulator abandoned mid-run), including any
+  /// still waiting in the drained same-tick batch.
   void discard_pending() {
+    for (; batch_pos_ < batch_.size(); ++batch_pos_) {
+      Slot& s = slots_[batch_[batch_pos_].slot()];
+      if (s.destroy) s.destroy(s.storage);
+    }
     while (!queue_.empty()) {
       EventEntry e = queue_.pop();
       Slot& s = slots_[e.slot()];
@@ -211,17 +251,25 @@ class BasicSimulator {
 
   Queue queue_;
   std::vector<Slot> slots_;
+  /// Current same-tick run, drained from the queue in one pop_run; entries
+  /// at batch_pos_.. are pending, earlier ones already executed.
+  std::vector<EventEntry> batch_;
+  std::size_t batch_pos_ = 0;
   std::uint32_t free_head_ = kNoSlot;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };
 
-/// The default simulator. The implicit binary heap over 16-byte handles
-/// beat both the 4-ary and the pairing heap on every benchmark workload
-/// (see event_queue.hpp and bench_throughput).
-using Simulator = BasicSimulator<BinaryEventQueue>;
+/// The default simulator. Protocol workloads are tie-heavy (service times
+/// and unit latencies quantize timestamps), so the calendar-style bucketed
+/// queue — O(1) per event, one heap operation per *instant* — beats every
+/// comparison heap end-to-end; the binary heap over 16-byte handles remains
+/// the strongest general-purpose alternate (see event_queue.hpp and
+/// bench_throughput).
+using Simulator = BasicSimulator<BucketedEventQueue>;
 
+extern template class BasicSimulator<BucketedEventQueue>;
 extern template class BasicSimulator<BinaryEventQueue>;
 extern template class BasicSimulator<FourAryEventQueue>;
 extern template class BasicSimulator<PairingEventQueue>;

@@ -1,8 +1,15 @@
-// Lightweight always-on assertion for protocol invariants.
+// Assertion macros, split by cost/audience:
 //
-// Protocol-level invariants (single sink at quiescence, FIFO delivery, valid
-// permutation orders) are cheap relative to simulation work and guard against
-// silent corruption, so they stay enabled in release builds.
+//  * ARROWDQ_ASSERT_MSG — always on, even in Release. Guards API misuse and
+//    protocol-level invariants whose violation means silent corruption
+//    (single sink at quiescence, valid permutation orders, sending over a
+//    non-edge). These are cheap relative to the work they guard.
+//  * ARROWDQ_ASSERT — internal consistency checks on hot paths (per-event,
+//    per-send). Compiled out under NDEBUG (the default Release build) so the
+//    simulation hot loop pays nothing for them; the Debug/ASan CI job keeps
+//    them enabled. The disabled form still odr-uses the expression via an
+//    unevaluated sizeof, so variables referenced only by asserts do not
+//    trigger -Wunused warnings and the expression keeps type-checking.
 #pragma once
 
 #include <cstdio>
@@ -17,12 +24,16 @@ namespace arrowdq::detail {
 }
 }  // namespace arrowdq::detail
 
-#define ARROWDQ_ASSERT(expr)                                                \
-  do {                                                                      \
-    if (!(expr)) ::arrowdq::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
-  } while (0)
-
 #define ARROWDQ_ASSERT_MSG(expr, msg)                                      \
   do {                                                                     \
     if (!(expr)) ::arrowdq::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+#if defined(NDEBUG)
+#define ARROWDQ_ASSERT(expr) ((void)sizeof(!(expr)))
+#else
+#define ARROWDQ_ASSERT(expr)                                                \
+  do {                                                                      \
+    if (!(expr)) ::arrowdq::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+#endif

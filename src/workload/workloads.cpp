@@ -21,7 +21,7 @@ RequestSet one_shot_all(NodeId n, NodeId root) {
 }
 
 RequestSet sequential_random(NodeId n, NodeId root, int count, Weight gap_units, Rng& rng) {
-  ARROWDQ_ASSERT(count >= 0 && gap_units >= 0);
+  ARROWDQ_ASSERT_MSG(count >= 0 && gap_units >= 0, "need count >= 0 and gap >= 0");
   std::vector<std::pair<NodeId, Time>> items;
   items.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -34,8 +34,8 @@ RequestSet sequential_random(NodeId n, NodeId root, int count, Weight gap_units,
 namespace {
 RequestSet poisson_impl(NodeId n, NodeId root, int count, double rate_per_unit, NodeId hot_node,
                         double hot_probability, Rng& rng) {
-  ARROWDQ_ASSERT(count >= 0);
-  ARROWDQ_ASSERT(rate_per_unit > 0.0);
+  ARROWDQ_ASSERT_MSG(count >= 0, "count must be >= 0");
+  ARROWDQ_ASSERT_MSG(rate_per_unit > 0.0, "rate must be > 0");
   std::vector<std::pair<NodeId, Time>> items;
   items.reserve(static_cast<std::size_t>(count));
   double t_units = 0.0;
@@ -60,14 +60,14 @@ RequestSet poisson_uniform(NodeId n, NodeId root, int count, double rate_per_uni
 
 RequestSet poisson_hotspot(NodeId n, NodeId root, int count, double rate_per_unit,
                            NodeId hot_node, double hot_probability, Rng& rng) {
-  ARROWDQ_ASSERT(hot_node >= 0 && hot_node < n);
-  ARROWDQ_ASSERT(hot_probability >= 0.0 && hot_probability <= 1.0);
+  ARROWDQ_ASSERT_MSG(hot_node >= 0 && hot_node < n, "hot node must be a node");
+  ARROWDQ_ASSERT_MSG(hot_probability >= 0.0 && hot_probability <= 1.0, "hot probability must be in [0, 1]");
   return poisson_impl(n, root, count, rate_per_unit, hot_node, hot_probability, rng);
 }
 
 RequestSet bursty(NodeId n, NodeId root, int bursts, int burst_size, Weight burst_gap_units,
                   Rng& rng) {
-  ARROWDQ_ASSERT(bursts >= 0 && burst_size >= 0 && burst_gap_units >= 0);
+  ARROWDQ_ASSERT_MSG(bursts >= 0 && burst_size >= 0 && burst_gap_units >= 0, "burst parameters must be >= 0");
   std::vector<std::pair<NodeId, Time>> items;
   items.reserve(static_cast<std::size_t>(bursts) * static_cast<std::size_t>(burst_size));
   for (int b = 0; b < bursts; ++b) {
@@ -81,7 +81,7 @@ RequestSet bursty(NodeId n, NodeId root, int bursts, int burst_size, Weight burs
 }
 
 RequestSet localized_burst(NodeId lo, NodeId hi, NodeId root, int count, Rng& rng) {
-  ARROWDQ_ASSERT(lo <= hi);
+  ARROWDQ_ASSERT_MSG(lo <= hi, "need lo <= hi");
   std::vector<std::pair<NodeId, Time>> items;
   items.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
