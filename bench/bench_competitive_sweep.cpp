@@ -7,20 +7,20 @@
 // theorem's reference quantity s*log2(D). Expected shape: the ratio column
 // never exceeds a small constant times the reference column.
 //
-// The (family × workload) grid is embarrassingly parallel: every cell is an
-// independent seeded simulation plus an offline analysis, so the whole
-// table is computed through SweepRunner::map (ARROWDQ_SWEEP_THREADS caps
-// the pool; results are identical for any thread count).
+// Every (family x workload) cell is one Experiment (custom topology + fixed
+// workload, keep_outcome so the QueuingOutcome feeds the offline analysis)
+// swept through run_experiments — the grid is embarrassingly parallel
+// (ARROWDQ_SWEEP_THREADS caps the pool; results are identical for any
+// thread count).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/competitive.hpp"
-#include "arrow/arrow.hpp"
+#include "exp/experiment.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
-#include "sim/sweep.hpp"
 #include "support/random.hpp"
 #include "support/table.hpp"
 #include "workload/workloads.hpp"
@@ -32,7 +32,7 @@ namespace {
 struct Job {
   std::string family;
   std::string load;
-  Graph graph;
+  Graph graph;  // kept alongside the experiment for the offline analysis
   Tree tree;
   RequestSet reqs;
 };
@@ -101,10 +101,27 @@ int main() {
     add_family(jobs, "ring-16", g, shortest_path_tree(g, 0), 7);
   }
 
+  // One Experiment per cell: arrow one-shot on the job's (graph, tree,
+  // requests) under the synchronous model, retaining the outcome.
+  std::vector<Experiment> exps;
+  exps.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    Experiment e;
+    e.protocol = ProtocolSpec::arrow_one_shot();
+    e.topology = TopologySpec::custom(job.graph, job.tree);
+    e.workload = WorkloadSpec::fixed(job.reqs);
+    e.latency = LatencySpec::synchronous();
+    e.keep_outcome = true;
+    e.label = job.family + " " + job.load;
+    exps.push_back(std::move(e));
+  }
+
+  // The sweep runs the protocol; the offline analysis of each outcome rides
+  // along on the same deterministic parallel map.
   std::vector<RowData> rows = runner.map<RowData>(jobs.size(), [&](std::size_t i) {
     const Job& job = jobs[i];
-    auto out = run_arrow(job.tree, job.reqs);
-    auto rep = analyze_competitive(job.graph, job.tree, job.reqs, out, 13);
+    RunResult res = run_experiment(exps[i]);
+    auto rep = analyze_competitive(job.graph, job.tree, job.reqs, *res.outcome, 13);
     RowData row;
     row.family = job.family;
     row.load = job.load;

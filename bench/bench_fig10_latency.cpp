@@ -8,6 +8,10 @@
 // Serial per-node message handling (a small fraction of the link latency,
 // per the Section 3.1 modelling note) is what lets the central node saturate.
 //
+// Both curves are two protocol values of the same Experiment grid: the whole
+// figure is one declarative scenario list swept through run_experiments
+// (protocol is just another axis).
+//
 // Expected shape (paper): centralized grows linearly with the processor
 // count; arrow shows an initial sub-linear rise and then stays nearly flat,
 // ending well below centralized.
@@ -16,17 +20,12 @@
 // 100000 — the shape is identical, the default just runs faster) and
 // ARROWDQ_SWEEP_THREADS (default: all cores — every (procs, protocol) point
 // is an independent simulation, so the whole figure regenerates in parallel
-// through SweepRunner with results identical to a serial run).
+// with results identical to a serial run).
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "arrow/closed_loop.hpp"
-#include "baseline/centralized.hpp"
-#include "graph/generators.hpp"
-#include "graph/spanning_tree.hpp"
-#include "sim/latency.hpp"
-#include "sim/sweep.hpp"
+#include "exp/experiment.hpp"
 #include "support/table.hpp"
 
 using namespace arrowdq;
@@ -53,36 +52,32 @@ int main() {
                "arrow_avg_lat", "central_avg_lat"});
 
   const std::vector<NodeId> procs = {2, 4, 8, 16, 24, 32, 48, 64, 76};
-  struct Row {
-    ClosedLoopResult arrow;
-    CentralizedLoopResult central;
-  };
-  std::vector<Row> rows = runner.map<Row>(procs.size(), [&](std::size_t i) {
-    const NodeId n = procs[i];
-    Graph g = make_complete(n);
-    Tree t = balanced_binary_overlay(g);
-
-    SynchronousLatency sync;
-    ClosedLoopConfig cfg;
-    cfg.requests_per_node = reqs_per_node;
-    cfg.service_time = service;
-
-    CentralizedConfig ccfg;
-    ccfg.center = 0;
-    ccfg.service_time = service;
-    return Row{run_arrow_closed_loop(t, sync, cfg),
-               run_centralized_closed_loop(n, reqs_per_node, unit_dist_fn(), ccfg)};
-  });
+  // The grid: procs x {arrow closed loop, centralized closed loop}, arrow
+  // rows first so results[i] / results[procs.size() + i] pair up per size.
+  std::vector<Experiment> exps;
+  for (ProtocolSpec proto : {ProtocolSpec::arrow_closed_loop(service),
+                             ProtocolSpec::centralized(0, service)}) {
+    for (NodeId n : procs) {
+      Experiment e;
+      e.protocol = proto;
+      e.topology = TopologySpec::complete(n);
+      e.latency = LatencySpec::synchronous();
+      e.rounds = reqs_per_node;
+      exps.push_back(std::move(e));
+    }
+  }
+  std::vector<ExperimentResult> results = run_experiments(exps, runner);
 
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    const Row& r = rows[i];
+    const RunResult& arrow = results[i].result;
+    const RunResult& central = results[procs.size() + i].result;
     table.row()
         .cell(static_cast<std::int64_t>(procs[i]))
-        .cell(ticks_to_units_d(r.arrow.makespan), 1)
-        .cell(ticks_to_units_d(r.central.makespan), 1)
-        .cell(static_cast<double>(r.arrow.makespan) / static_cast<double>(r.central.makespan), 3)
-        .cell(r.arrow.avg_round_latency_units, 3)
-        .cell(r.central.avg_round_latency_units, 3);
+        .cell(ticks_to_units_d(arrow.makespan), 1)
+        .cell(ticks_to_units_d(central.makespan), 1)
+        .cell(static_cast<double>(arrow.makespan) / static_cast<double>(central.makespan), 3)
+        .cell(arrow.avg_round_latency_units, 3)
+        .cell(central.avg_round_latency_units, 3);
   }
   emit_table(table, "fig10_latency");
   std::printf("\nexpected shape: centralized column grows ~linearly in procs; arrow stays "

@@ -97,6 +97,28 @@ std::uint64_t schedule_run_protocol(std::size_t n_events) {
   return sink;
 }
 
+/// Exactly DeliveryEvent-shaped 16-byte capture (pointer + index): the event
+/// the Network schedules for every in-flight message. Drives the arena
+/// slot-density probe — a 16-byte inline budget packs these two-per-cache-
+/// line (32-byte slots) instead of one-per-line (64-byte slots).
+template <typename Sim>
+std::uint64_t schedule_run_net_sized(std::size_t n_events) {
+  struct NetSizedEvent {
+    std::uint64_t* sink;
+    std::uint32_t slot;
+    void operator()() const { *sink += slot; }
+  };
+  static_assert(sizeof(NetSizedEvent) == 16);
+  static_assert(Sim::template fits_inline_v<NetSizedEvent>);
+  Sim sim;
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < n_events; ++i)
+    sim.at(static_cast<Time>(mix64(i) % 100000),
+           NetSizedEvent{&sink, static_cast<std::uint32_t>(i)});
+  sim.run();
+  return sink;
+}
+
 // --- 2. network message streams ------------------------------------------
 
 struct Ping {
@@ -329,6 +351,21 @@ int run(int argc, char** argv) {
   std::printf("  pooled binary heap   %8.1f ns/event  %12.0f events/s  (%.2fx)\n",
               evt_bin.ns_per_item, evt_bin.per_sec, st_legacy / st_bin);
 
+  // 1c. Arena slot density: 16-byte (network DeliveryEvent-sized) captures
+  // through the default 64-byte-slot arena vs the 32-byte-slot compact
+  // arena (InlineBytes 48 vs 16, same bucketed queue).
+  double sc_default = time_best(
+      reps, [&] { sink += schedule_run_net_sized<Simulator>(n_events); });
+  double sc_compact = time_best(
+      reps, [&] { sink += schedule_run_net_sized<CompactSimulator>(n_events); });
+  Rate evc_default = rate(sc_default, static_cast<double>(n_events));
+  Rate evc_compact = rate(sc_compact, static_cast<double>(n_events));
+  std::printf("event_core_compact n=%zu (16B network-sized captures)\n", n_events);
+  std::printf("  64B slots (default)  %8.1f ns/event  %12.0f events/s\n",
+              evc_default.ns_per_item, evc_default.per_sec);
+  std::printf("  32B slots (compact)  %8.1f ns/event  %12.0f events/s  (%.2fx)\n",
+              evc_compact.ns_per_item, evc_compact.per_sec, sc_default / sc_compact);
+
   // 2. Network streams at the three dispatch levels.
   const NodeId chains = 32;
   const int hops = quick ? 2000 : 20000;
@@ -453,6 +490,18 @@ int run(int argc, char** argv) {
                n_events, evt_legacy.seconds, evt_legacy.per_sec, evt_legacy.ns_per_item,
                evt_bucket.seconds, evt_bucket.per_sec, evt_bucket.ns_per_item, evt_bin.seconds,
                evt_bin.per_sec, evt_bin.ns_per_item, st_legacy / st_bucket, st_legacy / st_bin);
+  std::fprintf(f,
+               "  \"event_core_compact\": {\n"
+               "    \"n_events\": %zu,\n"
+               "    \"event_capture_bytes\": 16,\n"
+               "    \"slot_64b_default\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f},\n"
+               "    \"slot_32b_compact\": {\"seconds\": %.6f, \"events_per_sec\": %.0f, "
+               "\"ns_per_event\": %.2f},\n"
+               "    \"speedup_compact_vs_default\": %.3f\n  },\n",
+               n_events, evc_default.seconds, evc_default.per_sec, evc_default.ns_per_item,
+               evc_compact.seconds, evc_compact.per_sec, evc_compact.ns_per_item,
+               sc_default / sc_compact);
   std::fprintf(f,
                "  \"network\": {\n"
                "    \"n_messages\": %.0f,\n"

@@ -21,9 +21,7 @@
 #include <vector>
 
 #include "analysis/competitive.hpp"
-#include "arrow/arrow.hpp"
-#include "baseline/centralized.hpp"
-#include "baseline/pointer_forwarding.hpp"
+#include "exp/experiment.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
 #include "graph/spanning_tree.hpp"
@@ -112,13 +110,23 @@ RequestSet parse_load(const std::string& spec, NodeId n, NodeId root, Rng& rng) 
   usage("unknown load kind");
 }
 
-std::unique_ptr<LatencyModel> parse_model(const std::string& spec, std::uint64_t seed) {
+LatencySpec parse_model(const std::string& spec, std::uint64_t seed) {
   auto p = split(spec, ':');
-  if (p[0] == "sync") return make_synchronous();
-  if (p[0] == "scaled") return make_scaled(p.size() > 1 ? std::atof(p[1].c_str()) : 0.5);
-  if (p[0] == "uniform") return make_uniform_async(seed ^ 0xFACE);
-  if (p[0] == "exp") return make_truncated_exp(seed ^ 0xBEEF);
+  if (p[0] == "sync") return LatencySpec::synchronous();
+  if (p[0] == "scaled") return LatencySpec::scaled(p.size() > 1 ? std::atof(p[1].c_str()) : 0.5);
+  if (p[0] == "uniform") return LatencySpec::uniform_async(seed ^ 0xFACE);
+  if (p[0] == "exp") return LatencySpec::truncated_exp(seed ^ 0xBEEF);
   usage("unknown latency model");
+}
+
+ProtocolSpec parse_protocol(const std::string& proto, NodeId root) {
+  if (proto == "arrow") return ProtocolSpec::arrow_one_shot();
+  if (proto == "centralized") return ProtocolSpec::centralized(root);
+  if (proto == "ivy")
+    return ProtocolSpec::pointer_forwarding(ForwardingMode::kCompressToRequester);
+  if (proto == "reversal")
+    return ProtocolSpec::pointer_forwarding(ForwardingMode::kReverseToSender);
+  usage("unknown protocol");
 }
 
 }  // namespace
@@ -150,23 +158,18 @@ int main(int argc, char** argv) {
   Rng wrng = rng.split();
   RequestSet reqs = parse_load(load_spec, g.node_count(), t.root(), wrng);
 
-  QueuingOutcome out = [&]() {
-    if (proto == "arrow") {
-      auto model = parse_model(model_spec, seed);
-      return run_arrow(t, reqs, *model);
-    }
-    if (proto == "centralized") {
-      AllPairs apsp(g);
-      return run_centralized(g.node_count(), reqs, apsp_dist_fn(apsp),
-                             CentralizedConfig{t.root()});
-    }
-    PointerForwardingConfig cfg;
-    cfg.initial_owner = t.root();
-    if (proto == "ivy") cfg.mode = ForwardingMode::kCompressToRequester;
-    else if (proto == "reversal") cfg.mode = ForwardingMode::kReverseToSender;
-    else usage("unknown protocol");
-    return run_pointer_forwarding(g.node_count(), reqs, unit_dist_fn(), cfg);
-  }();
+  // One declarative experiment: the parsed graph/tree/load become a custom
+  // topology + fixed workload, the protocol and model are just axis values.
+  // All protocols route messages over dG of the parsed graph (the baselines
+  // through the APSP oracle), so topology changes affect every column.
+  Experiment e;
+  e.protocol = parse_protocol(proto, t.root());
+  e.topology = TopologySpec::custom(g, t);
+  e.workload = WorkloadSpec::fixed(reqs);
+  e.latency = parse_model(model_spec, seed);
+  e.keep_outcome = true;
+  RunResult result = run_experiment(e);
+  const QueuingOutcome& out = *result.outcome;
 
   if (csv) {
     std::printf("request,node,issue_units,predecessor,latency_units,hops,distance_units\n");

@@ -1,36 +1,47 @@
-// Quickstart: run the arrow protocol on a small grid network and inspect
-// the queuing order, per-request latencies, and the competitive analysis.
+// Quickstart: describe an experiment — protocol, topology, workload,
+// latency model — as one declarative value, run it, and inspect the queuing
+// order, per-request latencies, and the competitive analysis.
 //
 //   $ ./quickstart
 #include <cstdio>
 
 #include "analysis/competitive.hpp"
-#include "arrow/arrow.hpp"
-#include "graph/generators.hpp"
+#include "exp/experiment.hpp"
 #include "graph/metrics.hpp"
-#include "graph/spanning_tree.hpp"
-#include "workload/workloads.hpp"
 
 using namespace arrowdq;
 
 int main() {
-  // 1. Build the network: a 5x5 grid of processors with unit-latency links.
-  Graph g = make_grid(5, 5);
+  // 1. Describe the whole scenario as one value: the arrow protocol on a
+  //    5x5 grid of processors (shortest-path spanning tree), every node
+  //    concurrently requesting to join the queue, synchronous latency.
+  //    Swapping any axis — protocol = ProtocolSpec::centralized(),
+  //    latency = LatencySpec::uniform_async(7) — is a one-line change.
+  Experiment e;
+  e.protocol = ProtocolSpec::arrow_one_shot();
+  e.topology = TopologySpec::grid(5, 5);
+  e.workload = WorkloadSpec::one_shot_all();
+  e.latency = LatencySpec::synchronous();
+  e.keep_outcome = true;  // retain the full QueuingOutcome for analysis
 
-  // 2. Pick the pre-selected spanning tree the protocol will run on.
-  Tree t = shortest_path_tree(g, /*root=*/0);
+  // 2. Materialize the network to report its shape (run_experiment builds
+  //    its own private copies from the same spec).
+  Graph g = e.topology.build_graph();
+  Tree t = e.topology.build_tree(g);
   TreeQuality q = tree_quality(g, t);
   std::printf("network: n=%d  graph diameter=%lld  tree diameter=%lld  stretch=%.2f\n",
               q.nodes, static_cast<long long>(q.graph_diameter),
               static_cast<long long>(q.tree_diameter), q.stretch);
 
-  // 3. Issue a workload: every node concurrently requests to join the queue.
-  RequestSet reqs = one_shot_all(g.node_count(), /*root=*/0);
+  // 3. Run the protocol (validated) and read the uniform metrics.
+  RunResult r = run_experiment(e);
+  std::printf("\n%s: %lld requests, %llu messages, makespan %.1f units\n",
+              e.default_label().c_str(), static_cast<long long>(r.total_requests),
+              static_cast<unsigned long long>(r.messages), ticks_to_units_d(r.makespan));
 
-  // 4. Run the protocol (synchronous model) and validate the outcome.
-  QueuingOutcome out = run_arrow(t, reqs);
-
-  // 5. Inspect the total order the protocol built.
+  // 4. Inspect the total order the protocol built.
+  RequestSet reqs = e.workload.build(g.node_count(), t.root());
+  const QueuingOutcome& out = *r.outcome;
   std::printf("\nqueue order (request ids, 0 = virtual root request):\n  ");
   for (RequestId id : out.order()) std::printf("%d ", id);
   std::printf("\n\nper-request completions:\n");
@@ -41,7 +52,7 @@ int main() {
                 ticks_to_units_d(c.completed_at - reqs.by_id(id).time), c.hops);
   }
 
-  // 6. Competitive analysis against the offline optimum (Theorem 3.19).
+  // 5. Competitive analysis against the offline optimum (Theorem 3.19).
   CompetitiveReport rep = analyze_competitive(g, t, reqs, out, /*exact_limit=*/12);
   std::printf("\ncompetitive analysis:\n");
   std::printf("  cost(arrow)          = %.1f units\n", ticks_to_units_d(rep.cost_arrow));

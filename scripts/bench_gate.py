@@ -3,6 +3,12 @@
 committed baseline and fail on real regressions.
 
 Usage: bench_gate.py BASELINE.json FRESH.json [--tolerance 0.25]
+       bench_gate.py --validate-sweep SWEEP.json
+
+The second form validates the JSON a `sweep_main --json` run emits (the CI
+perf-smoke job feeds it `sweep_main --smoke`): schema only — every scenario
+row must carry the uniform metric keys with sane types and the declared
+scenario count must match — no performance thresholds.
 
 Every gated metric is a throughput number *normalized by the legacy-core
 reference measured in the same run* (the bench runs the pre-rewrite core in
@@ -69,12 +75,87 @@ def speedup(doc, metric, reference):
     return value / ref
 
 
+SWEEP_PROTOCOLS = {"arrow", "arrow-loop", "centralized", "forwarding", "token"}
+
+# (key, allowed types, allow negative). Every scenario row of an
+# experiment-sweep JSON must carry all of them.
+SWEEP_SCENARIO_KEYS = [
+    ("label", str, False),
+    ("protocol", str, False),
+    ("topology", str, False),
+    ("nodes", int, False),
+    ("latency", str, False),
+    ("workload", str, False),
+    ("rounds", int, False),
+    ("makespan_units", (int, float), False),
+    ("total_requests", int, False),
+    ("messages", int, False),
+    ("total_hops", int, False),
+    ("avg_hops_per_request", (int, float), False),
+    ("avg_round_latency_units", (int, float), False),
+    ("total_latency_units", (int, float), False),
+    ("seconds", (int, float), False),
+]
+
+
+def validate_sweep(path):
+    with open(path) as f:
+        doc = json.load(f)
+    errors = []
+    if doc.get("bench") != "experiment_sweep":
+        errors.append(f'bench must be "experiment_sweep", got {doc.get("bench")!r}')
+    for key in ("threads", "seed", "scenario_count", "total_requests", "wall_seconds"):
+        if not isinstance(doc.get(key), (int, float)):
+            errors.append(f"missing or non-numeric top-level key {key!r}")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        errors.append("scenarios must be a non-empty array")
+        scenarios = []
+    if isinstance(doc.get("scenario_count"), int) and len(scenarios) != doc["scenario_count"]:
+        errors.append(f"scenario_count={doc['scenario_count']} but "
+                      f"{len(scenarios)} scenario rows")
+    protocols_seen = set()
+    for i, row in enumerate(scenarios):
+        if not isinstance(row, dict):
+            errors.append(f"scenario[{i}] is not an object")
+            continue
+        for key, types, _ in SWEEP_SCENARIO_KEYS:
+            value = row.get(key)
+            if not isinstance(value, types) or isinstance(value, bool):
+                errors.append(f"scenario[{i}].{key} missing or wrong type "
+                              f"({type(value).__name__})")
+            elif isinstance(value, (int, float)) and value < 0:
+                errors.append(f"scenario[{i}].{key} is negative ({value})")
+        proto = row.get("protocol")
+        if isinstance(proto, str):
+            protocols_seen.add(proto)
+            if proto not in SWEEP_PROTOCOLS:
+                errors.append(f"scenario[{i}].protocol {proto!r} not one of "
+                              f"{sorted(SWEEP_PROTOCOLS)}")
+    if errors:
+        for e in errors[:20]:
+            print(f"bench_gate: sweep schema error: {e}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"bench_gate: ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+    print(f"bench_gate: sweep JSON OK — {len(scenarios)} scenarios across "
+          f"{len(protocols_seen)} protocol(s): {', '.join(sorted(protocols_seen))}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
     ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument("--validate-sweep", metavar="SWEEP_JSON",
+                    help="schema-check a sweep_main --json output instead of gating")
     args = ap.parse_args()
+
+    if args.validate_sweep:
+        return validate_sweep(args.validate_sweep)
+    if args.baseline is None or args.fresh is None:
+        ap.error("baseline and fresh JSON paths are required unless --validate-sweep is used")
 
     with open(args.baseline) as f:
         baseline = json.load(f)

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "arrow/arrow.hpp"
+#include "exp/experiment.hpp"
 #include "support/assert.hpp"
 
 namespace arrowdq {
@@ -33,7 +33,7 @@ CounterResult counter_from_outcome(const Tree& tree, const RequestSet& requests,
 }
 
 CounterResult run_counter(const Tree& tree, const RequestSet& requests) {
-  auto outcome = run_arrow(tree, requests);
+  auto outcome = arrow_outcome(tree, requests);
   return counter_from_outcome(tree, requests, outcome);
 }
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "arrow/arrow.hpp"
+#include "exp/experiment.hpp"
 #include "support/assert.hpp"
 
 namespace arrowdq {
@@ -35,7 +35,7 @@ DirectoryResult directory_from_outcome(const Tree& tree, const RequestSet& reque
 }
 
 DirectoryResult run_directory(const Tree& tree, const RequestSet& requests, Time use_ticks) {
-  auto outcome = run_arrow(tree, requests);
+  auto outcome = arrow_outcome(tree, requests);
   return directory_from_outcome(tree, requests, outcome, use_ticks);
 }
 

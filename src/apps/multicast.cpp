@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "arrow/arrow.hpp"
+#include "exp/experiment.hpp"
 #include "support/assert.hpp"
 
 namespace arrowdq {
@@ -50,7 +50,7 @@ MulticastResult multicast_from_outcome(const Tree& tree, const RequestSet& reque
 }
 
 MulticastResult run_ordered_multicast(const Tree& tree, const RequestSet& requests) {
-  auto outcome = run_arrow(tree, requests);
+  auto outcome = arrow_outcome(tree, requests);
   return multicast_from_outcome(tree, requests, outcome);
 }
 

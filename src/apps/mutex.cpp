@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "arrow/arrow.hpp"
+#include "exp/experiment.hpp"
 #include "support/assert.hpp"
 
 namespace arrowdq {
@@ -54,7 +54,7 @@ MutexResult mutex_from_outcome(const Tree& tree, const RequestSet& requests,
 }
 
 MutexResult run_mutex(const Tree& tree, const RequestSet& requests, Time cs_ticks) {
-  auto outcome = run_arrow(tree, requests);
+  auto outcome = arrow_outcome(tree, requests);
   return mutex_from_outcome(tree, requests, outcome, cs_ticks);
 }
 

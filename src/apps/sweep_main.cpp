@@ -1,19 +1,29 @@
-// sweep_main — parallel closed-loop scenario sweep CLI.
+// sweep_main — parallel experiment sweep CLI over the unified Experiment API.
 //
-// Runs a grid of independent Figure-10-style closed-loop simulations
-// (node counts × latency models) through SweepRunner's thread pool and
-// prints one row per scenario plus aggregate throughput. Results are
-// deterministic: per-scenario RNG seeds, fixed output order, identical
-// numbers for any --threads value.
+// Builds the full cross-product protocol × topology × node count × latency
+// (× repeat) as a list of declarative Experiment values, shards it across
+// SweepRunner's thread pool, and prints one row per scenario plus aggregate
+// throughput. Results are deterministic: per-scenario seeds derived from
+// --seed, fixed output order, identical numbers for any --threads value.
 //
 // Examples:
-//   sweep_main                                    # default grid, all cores
-//   sweep_main --nodes 64,256,1024 --reqs 200
-//   sweep_main --threads 4 --latency uniform:0.1 --seed 7
-//   sweep_main --latency sync,exp:0.3 --service-frac 16 --repeat 3
+//   sweep_main                                          # default grid, all cores
+//   sweep_main --protocol arrow-loop,centralized --nodes 64,256 --reqs 200
+//   sweep_main --protocol arrow,forwarding,token --workload poisson:24:0.5
+//   sweep_main --topology complete,randtree --latency sync,exp:0.3 --json out.json
+//   sweep_main --smoke --json sweep_smoke.json          # CI cross-protocol smoke
 //
-// Latency specs: sync | scaled:F | uniform:MIN_FRACTION | exp:MEAN_FRACTION
-// (comma-separate several to cross them with the node counts).
+// Axes
+//   --protocol  arrow | arrow-loop | centralized | forwarding | token
+//   --topology  complete | path | randtree | wtree | grid:RxC
+//   --nodes     N1,N2,...      (applied to every non-grid topology)
+//   --latency   sync | scaled:F | uniform:MIN | exp:MEAN
+//   --workload  oneshot | poisson:COUNT:RATE | bursty:B:SIZE:GAP |
+//               sequential:COUNT:GAP        (one-shot protocols only)
+//   --reqs      closed-loop rounds per node (arrow-loop, centralized)
+//
+// JSON: --json FILE emits the cross-product with uniform metrics per
+// scenario (schema validated by scripts/bench_gate.py --validate-sweep).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,9 +31,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/generators.hpp"
-#include "graph/spanning_tree.hpp"
-#include "sim/sweep.hpp"
+#include "exp/experiment.hpp"
 #include "support/table.hpp"
 
 using namespace arrowdq;
@@ -31,13 +39,18 @@ using namespace arrowdq;
 namespace {
 
 struct Options {
+  std::vector<std::string> protocols = {"arrow-loop"};
+  std::vector<std::string> topologies = {"complete"};
   std::vector<NodeId> nodes = {64, 128, 256, 512};
   std::vector<std::string> latencies = {"sync"};
+  std::string workload = "oneshot";
   std::int64_t reqs_per_node = 100;
   Time service_divisor = 16;  // service = kTicksPerUnit / divisor (0 = free)
   unsigned threads = 0;       // 0 = hardware concurrency
   std::uint64_t seed = 1;
-  int repeat = 1;  // replicas per grid point (distinct seeds)
+  int repeat = 1;             // replicas per grid point (distinct seeds)
+  std::string json_path;      // empty = no JSON
+  bool smoke = false;
 };
 
 std::vector<std::string> split_csv(const char* s) {
@@ -55,7 +68,46 @@ std::vector<std::string> split_csv(const char* s) {
   return out;
 }
 
-bool parse_latency(const std::string& s, std::uint64_t seed, LatencySpec& out) {
+bool parse_protocol(const std::string& s, ProtocolSpec& out, Time service) {
+  if (s == "arrow") {
+    out = ProtocolSpec::arrow_one_shot(service);
+  } else if (s == "arrow-loop") {
+    out = ProtocolSpec::arrow_closed_loop(service);
+  } else if (s == "centralized") {
+    out = ProtocolSpec::centralized(0, service);
+  } else if (s == "forwarding") {
+    out = ProtocolSpec::pointer_forwarding(ForwardingMode::kCompressToRequester, service);
+  } else if (s == "token") {
+    out = ProtocolSpec::token_passing(service);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
+  if (s == "complete") {
+    out = TopologySpec::complete(nodes);
+  } else if (s == "path") {
+    out = TopologySpec::path(nodes);
+  } else if (s == "randtree") {
+    out = TopologySpec::random_tree(nodes, /*seed=*/0);  // seeded per scenario
+  } else if (s == "wtree") {
+    out = TopologySpec::weighted_tree(nodes, /*seed=*/0);
+  } else if (s.rfind("grid:", 0) == 0) {
+    auto x = s.find('x', 5);
+    if (x == std::string::npos) return false;
+    NodeId rows = static_cast<NodeId>(std::atoi(s.c_str() + 5));
+    NodeId cols = static_cast<NodeId>(std::atoi(s.c_str() + x + 1));
+    if (rows < 1 || cols < 1) return false;
+    out = TopologySpec::grid(rows, cols);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_latency(const std::string& s, LatencySpec& out) {
   auto colon = s.find(':');
   const std::string kind = s.substr(0, colon);
   const double param = colon == std::string::npos ? -1.0 : std::atof(s.c_str() + colon + 1);
@@ -64,23 +116,119 @@ bool parse_latency(const std::string& s, std::uint64_t seed, LatencySpec& out) {
   } else if (kind == "scaled") {
     out = LatencySpec::scaled(param > 0 ? param : 0.5);
   } else if (kind == "uniform") {
-    out = LatencySpec::uniform_async(seed, param > 0 ? param : 0.05);
+    out = LatencySpec::uniform_async(/*seed=*/0, param > 0 ? param : 0.05);
   } else if (kind == "exp") {
-    out = LatencySpec::truncated_exp(seed, param > 0 ? param : 0.3);
+    out = LatencySpec::truncated_exp(/*seed=*/0, param > 0 ? param : 0.3);
   } else {
     return false;
   }
   return true;
 }
 
+bool parse_workload(const std::string& s, WorkloadSpec& out) {
+  // Missing fields surface as -1 so malformed specs fail parsing here
+  // (usage error) instead of aborting later on a generator invariant.
+  auto field = [&s](int idx) -> double {
+    std::size_t pos = 0;
+    for (int i = 0; i < idx; ++i) {
+      pos = s.find(':', pos);
+      if (pos == std::string::npos) return -1.0;
+      ++pos;
+    }
+    return std::atof(s.c_str() + pos);
+  };
+  if (s == "oneshot") {
+    out = WorkloadSpec::one_shot_all();
+  } else if (s.rfind("poisson:", 0) == 0) {
+    if (field(1) <= 0 || field(2) <= 0) return false;
+    out = WorkloadSpec::poisson(static_cast<int>(field(1)), field(2), /*seed=*/0);
+  } else if (s.rfind("bursty:", 0) == 0) {
+    if (field(1) <= 0 || field(2) <= 0 || field(3) < 0) return false;
+    out = WorkloadSpec::bursty_load(static_cast<int>(field(1)), static_cast<int>(field(2)),
+                                    static_cast<Weight>(field(3)), /*seed=*/0);
+  } else if (s.rfind("sequential:", 0) == 0) {
+    if (field(1) <= 0 || field(2) < 0) return false;
+    out = WorkloadSpec::sequential(static_cast<int>(field(1)),
+                                   static_cast<Weight>(field(2)), /*seed=*/0);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool is_closed_loop_protocol(const ProtocolSpec& p) {
+  return p.kind == Protocol::kArrowClosedLoop || p.kind == Protocol::kCentralized;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: sweep_main [--nodes N1,N2,..] [--reqs N] [--threads T]\n"
-               "                  [--latency SPEC1,SPEC2,..] [--service-frac D] [--seed S]\n"
-               "                  [--repeat R]\n"
+               "usage: sweep_main [--protocol P1,P2,..] [--topology T1,T2,..]\n"
+               "                  [--nodes N1,N2,..] [--latency SPEC1,SPEC2,..]\n"
+               "                  [--workload W] [--reqs N] [--service-frac D]\n"
+               "                  [--threads T] [--seed S] [--repeat R]\n"
+               "                  [--json FILE] [--smoke]\n"
+               "  P: arrow | arrow-loop | centralized | forwarding | token\n"
+               "  T: complete | path | randtree | wtree | grid:RxC\n"
                "  SPEC: sync | scaled:F | uniform:MIN | exp:MEAN\n"
+               "  W: oneshot | poisson:COUNT:RATE | bursty:B:SIZE:GAP | sequential:COUNT:GAP\n"
                "  service time = one unit / D ticks (0 = free local processing)\n");
   return 2;
+}
+
+/// JSON string escaping is overkill for our generated labels, but keep the
+/// output well-formed even if a topology token sneaks in a backslash.
+void json_escaped(std::FILE* f, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') std::fputc('\\', f);
+    std::fputc(c, f);
+  }
+}
+
+int emit_json(const std::string& path, const Options& opt, unsigned threads,
+              const std::vector<Experiment>& exps, const std::vector<ExperimentResult>& results,
+              double wall) {
+  std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::int64_t total_reqs = 0;
+  for (const ExperimentResult& r : results) total_reqs += r.result.total_requests;
+  std::fprintf(f, "{\n  \"bench\": \"experiment_sweep\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", opt.smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"threads\": %u,\n  \"seed\": %llu,\n", threads,
+               static_cast<unsigned long long>(opt.seed));
+  std::fprintf(f, "  \"scenario_count\": %zu,\n  \"total_requests\": %lld,\n",
+               results.size(), static_cast<long long>(total_reqs));
+  std::fprintf(f, "  \"wall_seconds\": %.6f,\n  \"scenarios\": [\n", wall);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const Experiment& e = exps[i];
+    std::fprintf(f, "    {\"label\": \"");
+    json_escaped(f, r.label);
+    std::fprintf(f, "\", \"protocol\": \"%s\", \"topology\": \"%s\", \"nodes\": %d, ",
+                 e.protocol.name(), e.topology.family_name(), e.topology.nodes);
+    std::fprintf(f, "\"latency\": \"%s\", \"workload\": \"%s\", \"rounds\": %lld,\n",
+                 e.latency.name(), is_closed_loop_protocol(e.protocol) ? "closed-loop"
+                                                                       : e.workload.name(),
+                 static_cast<long long>(e.rounds));
+    std::fprintf(f,
+                 "     \"makespan_units\": %.3f, \"total_requests\": %lld, "
+                 "\"messages\": %llu, \"total_hops\": %lld,\n",
+                 ticks_to_units_d(r.result.makespan),
+                 static_cast<long long>(r.result.total_requests),
+                 static_cast<unsigned long long>(r.result.messages),
+                 static_cast<long long>(r.result.total_hops));
+    std::fprintf(f,
+                 "     \"avg_hops_per_request\": %.4f, \"avg_round_latency_units\": %.4f, "
+                 "\"total_latency_units\": %.3f, \"seconds\": %.6f}%s\n",
+                 r.result.avg_hops_per_request, r.result.avg_round_latency_units,
+                 ticks_to_units_d(r.result.total_latency), r.seconds,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (f != stdout) std::fclose(f);
+  return 0;
 }
 
 }  // namespace
@@ -95,12 +243,18 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--nodes")) {
+    if (!std::strcmp(argv[i], "--protocol")) {
+      opt.protocols = split_csv(next("--protocol"));
+    } else if (!std::strcmp(argv[i], "--topology")) {
+      opt.topologies = split_csv(next("--topology"));
+    } else if (!std::strcmp(argv[i], "--nodes")) {
       opt.nodes.clear();
       for (const auto& tok : split_csv(next("--nodes")))
         opt.nodes.push_back(static_cast<NodeId>(std::atoi(tok.c_str())));
     } else if (!std::strcmp(argv[i], "--latency")) {
       opt.latencies = split_csv(next("--latency"));
+    } else if (!std::strcmp(argv[i], "--workload")) {
+      opt.workload = next("--workload");
     } else if (!std::strcmp(argv[i], "--reqs")) {
       opt.reqs_per_node = std::atoll(next("--reqs"));
     } else if (!std::strcmp(argv[i], "--threads")) {
@@ -111,61 +265,107 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
     } else if (!std::strcmp(argv[i], "--repeat")) {
       opt.repeat = std::atoi(next("--repeat"));
+    } else if (!std::strcmp(argv[i], "--json")) {
+      opt.json_path = next("--json");
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      opt.smoke = true;
     } else {
       return usage();
     }
   }
-  if (opt.nodes.empty() || opt.latencies.empty() || opt.repeat < 1) return usage();
+  if (opt.smoke) {
+    // CI cross-protocol smoke: every protocol, two topology families, two
+    // latency regimes, small sizes — finishes in well under a second.
+    opt.protocols = {"arrow", "arrow-loop", "centralized", "forwarding", "token"};
+    opt.topologies = {"complete", "randtree"};
+    opt.nodes = {16, 32};
+    opt.latencies = {"sync", "uniform:0.1"};
+    opt.workload = "poisson:24:0.5";
+    opt.reqs_per_node = 20;
+    opt.repeat = 1;
+    if (opt.json_path.empty()) opt.json_path = "sweep_smoke.json";
+  }
+  if (opt.nodes.empty() || opt.latencies.empty() || opt.protocols.empty() ||
+      opt.topologies.empty() || opt.repeat < 1)
+    return usage();
 
   const Time service = opt.service_divisor == 0 ? 0 : kTicksPerUnit / opt.service_divisor;
 
-  std::vector<SweepScenario> scenarios;
+  WorkloadSpec workload;
+  if (!parse_workload(opt.workload, workload)) return usage();
+
+  // The cross-product: protocol x topology x nodes x latency x repeat, each
+  // cell seeded independently through Experiment::with_seed.
+  std::vector<Experiment> exps;
   std::uint64_t scenario_seed = opt.seed;
-  for (NodeId n : opt.nodes) {
-    Graph g = make_complete(n);
-    Tree t = balanced_binary_overlay(g);
-    for (const std::string& lat_str : opt.latencies) {
-      for (int r = 0; r < opt.repeat; ++r) {
-        ++scenario_seed;
-        LatencySpec spec;
-        if (!parse_latency(lat_str, scenario_seed, spec)) return usage();
-        ClosedLoopConfig cfg;
-        cfg.requests_per_node = opt.reqs_per_node;
-        cfg.service_time = service;
-        char label[96];
-        std::snprintf(label, sizeof label, "n=%d %s%s", n, spec.name(),
-                      opt.repeat > 1 ? ("#" + std::to_string(r)).c_str() : "");
-        scenarios.push_back(SweepScenario{label, t, spec, cfg});
+  for (const std::string& proto_str : opt.protocols) {
+    ProtocolSpec proto;
+    if (!parse_protocol(proto_str, proto, service)) return usage();
+    for (const std::string& topo_str : opt.topologies) {
+      // grid:RxC carries its own size; crossing it with --nodes would just
+      // emit identical duplicate scenarios.
+      const bool fixed_size = topo_str.rfind("grid:", 0) == 0;
+      const std::vector<NodeId> sizes = fixed_size ? std::vector<NodeId>{0} : opt.nodes;
+      for (NodeId n : sizes) {
+        TopologySpec topo;
+        if (!parse_topology(topo_str, n, topo)) return usage();
+        for (const std::string& lat_str : opt.latencies) {
+          LatencySpec lat;
+          if (!parse_latency(lat_str, lat)) return usage();
+          for (int r = 0; r < opt.repeat; ++r) {
+            Experiment e;
+            e.protocol = proto;
+            e.topology = topo;
+            e.latency = lat;
+            if (is_closed_loop_protocol(proto))
+              e.rounds = opt.reqs_per_node;
+            else
+              e.workload = workload;
+            e = e.with_seed(++scenario_seed);
+            e.label = e.default_label();
+            if (opt.repeat > 1) e.label += "#" + std::to_string(r);
+            exps.push_back(std::move(e));
+          }
+        }
       }
     }
   }
 
   SweepRunner runner(opt.threads);
-  std::printf("=== closed-loop sweep: %zu scenarios, %lld reqs/node, %u threads ===\n\n",
-              scenarios.size(), static_cast<long long>(opt.reqs_per_node), runner.threads());
+  std::printf("=== experiment sweep: %zu scenarios (%zu protocols x %zu topologies x %zu sizes "
+              "x %zu latencies x %d), %u threads ===\n\n",
+              exps.size(), opt.protocols.size(), opt.topologies.size(), opt.nodes.size(),
+              opt.latencies.size(), opt.repeat, runner.threads());
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<SweepResult> results = runner.run(scenarios);
+  std::vector<ExperimentResult> results = run_experiments(exps, runner);
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0).count();
 
-  Table table({"scenario", "makespan(units)", "avg_lat(units)", "hops/req", "tree_msgs",
-               "sim_reqs", "secs"});
+  Table table({"scenario", "makespan(units)", "reqs", "msgs", "hops/req", "avg_lat(units)",
+               "secs"});
   std::int64_t total_reqs = 0;
-  for (const SweepResult& r : results) {
+  for (const ExperimentResult& r : results) {
     total_reqs += r.result.total_requests;
     table.row()
         .cell(r.label)
         .cell(ticks_to_units_d(r.result.makespan), 1)
-        .cell(r.result.avg_round_latency_units, 3)
-        .cell(r.result.avg_hops_per_request, 3)
-        .cell(static_cast<std::int64_t>(r.result.tree_messages))
         .cell(r.result.total_requests)
+        .cell(static_cast<std::int64_t>(r.result.messages))
+        .cell(r.result.avg_hops_per_request, 3)
+        .cell(r.result.avg_round_latency_units, 3)
         .cell(r.seconds, 4);
   }
   emit_table(table, "sweep");
-  std::printf("\n%zu scenarios, %lld simulated requests in %.3f s wall  (%.0f reqs/s, %.1f scen/s)\n",
+  std::printf("\n%zu scenarios, %lld simulated requests in %.3f s wall  (%.0f reqs/s, %.1f "
+              "scen/s)\n",
               results.size(), static_cast<long long>(total_reqs), wall,
-              static_cast<double>(total_reqs) / wall, static_cast<double>(results.size()) / wall);
+              static_cast<double>(total_reqs) / wall,
+              static_cast<double>(results.size()) / wall);
+
+  if (!opt.json_path.empty()) {
+    if (int rc = emit_json(opt.json_path, opt, runner.threads(), exps, results, wall)) return rc;
+    if (opt.json_path != "-") std::printf("wrote %s\n", opt.json_path.c_str());
+  }
   return 0;
 }

@@ -80,22 +80,20 @@ struct TokenDriver {
       sim.at(sim.now() + hold, HoldDoneEvent{this, served + 1});
       return;
     }
-    // First hop along the tree path.
-    auto path = tree.path(token_node, dest);
-    ARROWDQ_ASSERT(path.size() >= 2);
-    res.token_travel += tree_graph.edge_weight(path[0], path[1]);
+    // First hop along the tree path (next_hop: O(log n), no allocation).
+    NodeId hop = tree.next_hop(token_node, dest);
+    res.token_travel += tree_graph.edge_weight(token_node, hop);
     ++res.token_messages;
-    net.send(path[0], path[1], TokenMsg{dest, served + 1});
+    net.send(token_node, hop, TokenMsg{dest, served + 1});
   }
 
   void handle(NodeId /*from*/, NodeId at, const TokenMsg& m) {
     if (at != m.destination) {
       // Continue along the tree path toward the destination.
-      auto path = tree.path(at, m.destination);
-      ARROWDQ_ASSERT(path.size() >= 2);
-      res.token_travel += tree_graph.edge_weight(path[0], path[1]);
+      NodeId hop = tree.next_hop(at, m.destination);
+      res.token_travel += tree_graph.edge_weight(at, hop);
       ++res.token_messages;
-      net.send(path[0], path[1], TokenMsg{m.destination, m.order_index});
+      net.send(at, hop, TokenMsg{m.destination, m.order_index});
       return;
     }
     // Token arrived at the requester.

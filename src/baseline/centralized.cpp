@@ -10,13 +10,9 @@
 
 namespace arrowdq {
 
-DistTicksFn apsp_dist_fn(const AllPairs& apsp) {
-  return [&apsp](NodeId u, NodeId v) { return units_to_ticks(apsp.dist(u, v)); };
-}
+DistTicksFn apsp_dist_fn(const AllPairs& apsp) { return DistTicksFn(ApspDist{&apsp}); }
 
-DistTicksFn unit_dist_fn() {
-  return [](NodeId u, NodeId v) { return u == v ? Time{0} : kTicksPerUnit; };
-}
+DistTicksFn unit_dist_fn() { return DistTicksFn(UnitDist{}); }
 
 namespace {
 
@@ -34,11 +30,13 @@ struct CentralMsg {
 /// is never consulted), so the graph passed to Network is a placeholder for
 /// node count / service state and the latency parameter is a stateless
 /// value type. Templated on the handler so deliveries dispatch through a
-/// typed callable instead of a std::function.
-template <typename Handler>
+/// typed callable, and on the distance oracle so the per-message distance
+/// draw is a direct call (no std::function on the run path for the standard
+/// unit/APSP oracles).
+template <typename Dist, typename Handler>
 class CentralCore {
  public:
-  CentralCore(NodeId node_count, const DistTicksFn& dist, const CentralizedConfig& config,
+  CentralCore(NodeId node_count, Dist dist, const CentralizedConfig& config,
               std::size_t reserve_events, std::size_t reserve_msgs)
       : placeholder_(make_path(node_count)),
         net_(placeholder_, sim_, SyncSampler{}),
@@ -70,26 +68,29 @@ class CentralCore {
   Graph placeholder_;
   Simulator sim_;
   Network<CentralMsg, SyncSampler, Handler> net_;
-  DistTicksFn dist_;
+  Dist dist_;
   CentralizedConfig config_;
   RequestId tail_ = kRootRequest;
 };
 
 // --- one-shot ---------------------------------------------------------------
 
+template <typename Dist>
 struct OneShot;
 
+template <typename Dist>
 struct OneShotHandler {
-  OneShot* d = nullptr;
+  OneShot<Dist>* d = nullptr;
   inline void operator()(NodeId from, NodeId at, const CentralMsg& m) const;
 };
 
+template <typename Dist>
 struct OneShot {
-  CentralCore<OneShotHandler> core;
+  CentralCore<Dist, OneShotHandler<Dist>> core;
   QueuingOutcome& out;
   std::vector<Weight> travel;
 
-  OneShot(NodeId node_count, const RequestSet& requests, const DistTicksFn& dist,
+  OneShot(NodeId node_count, const RequestSet& requests, Dist dist,
           const CentralizedConfig& config, QueuingOutcome& out_ref)
       : core(node_count, dist, config,
              /*reserve_events=*/2 * static_cast<std::size_t>(requests.size()) + 2,
@@ -138,28 +139,32 @@ struct OneShot {
   }
 };
 
-inline void OneShotHandler::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
+template <typename Dist>
+inline void OneShotHandler<Dist>::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
   d->handle(from, at, m);
 }
 
 // --- closed loop ------------------------------------------------------------
 
+template <typename Dist>
 struct Loop;
 
+template <typename Dist>
 struct LoopHandler {
-  Loop* d = nullptr;
+  Loop<Dist>* d = nullptr;
   inline void operator()(NodeId from, NodeId at, const CentralMsg& m) const;
 };
 
+template <typename Dist>
 struct Loop {
-  CentralCore<LoopHandler> core;
+  CentralCore<Dist, LoopHandler<Dist>> core;
   std::int64_t requests_per_node;
   std::vector<std::int64_t> issued;
   std::vector<Time> issue_time;
   StatAccumulator latencies;
   RequestId next_id = kRootRequest;
 
-  Loop(NodeId node_count, std::int64_t reqs_per_node, const DistTicksFn& dist,
+  Loop(NodeId node_count, std::int64_t reqs_per_node, Dist dist,
        const CentralizedConfig& config)
       : core(node_count, dist, config,
              /*reserve_events=*/2 * static_cast<std::size_t>(node_count) + 2,
@@ -207,21 +212,21 @@ struct Loop {
   }
 };
 
-inline void LoopHandler::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
+template <typename Dist>
+inline void LoopHandler<Dist>::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
   d->handle(from, at, m);
 }
 
-}  // namespace
-
-QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
-                               const DistTicksFn& dist, const CentralizedConfig& config) {
+template <typename Dist>
+QueuingOutcome run_centralized_impl(NodeId node_count, const RequestSet& requests, Dist dist,
+                                    const CentralizedConfig& config) {
   QueuingOutcome out(requests.size());
-  OneShot driver(node_count, requests, dist, config, out);
-  driver.core.net().set_handler(OneShotHandler{&driver});
+  OneShot<Dist> driver(node_count, requests, dist, config, out);
+  driver.core.net().set_handler(OneShotHandler<Dist>{&driver});
   const NodeId center = config.center;
   for (const Request& r : requests.real()) {
     ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
-    driver.core.sim().at(r.time, OneShot::IssueEvent{&driver, r});
+    driver.core.sim().at(r.time, typename OneShot<Dist>::IssueEvent{&driver, r});
     driver.travel[static_cast<std::size_t>(r.id)] =
         ticks_to_units(driver.core.dist(r.node, center));
   }
@@ -230,14 +235,14 @@ QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
   return out;
 }
 
-CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
-                                                  std::int64_t requests_per_node,
-                                                  const DistTicksFn& dist,
-                                                  const CentralizedConfig& config) {
-  Loop driver(node_count, requests_per_node, dist, config);
-  driver.core.net().set_handler(LoopHandler{&driver});
+template <typename Dist>
+CentralizedLoopResult run_centralized_closed_loop_impl(NodeId node_count,
+                                                       std::int64_t requests_per_node, Dist dist,
+                                                       const CentralizedConfig& config) {
+  Loop<Dist> driver(node_count, requests_per_node, dist, config);
+  driver.core.net().set_handler(LoopHandler<Dist>{&driver});
   for (NodeId v = 0; v < node_count; ++v)
-    driver.core.sim().at(0, Loop::IssueEvent{&driver, v});
+    driver.core.sim().at(0, typename Loop<Dist>::IssueEvent{&driver, v});
   driver.core.sim().run();
 
   CentralizedLoopResult res;
@@ -249,6 +254,57 @@ CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
           ? 0.0
           : driver.latencies.mean() / static_cast<double>(kTicksPerUnit);
   return res;
+}
+
+}  // namespace
+
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, UnitDist dist,
+                               const CentralizedConfig& config) {
+  return run_centralized_impl(node_count, requests, dist, config);
+}
+
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, ApspDist dist,
+                               const CentralizedConfig& config) {
+  return run_centralized_impl(node_count, requests, dist, config);
+}
+
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, FnDist dist,
+                               const CentralizedConfig& config) {
+  return run_centralized_impl(node_count, requests, dist, config);
+}
+
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
+                               const DistTicksFn& dist, const CentralizedConfig& config) {
+  return with_static_dist(dist, [&](auto oracle) {
+    return run_centralized_impl(node_count, requests, oracle, config);
+  });
+}
+
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
+                                                  std::int64_t requests_per_node, UnitDist dist,
+                                                  const CentralizedConfig& config) {
+  return run_centralized_closed_loop_impl(node_count, requests_per_node, dist, config);
+}
+
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
+                                                  std::int64_t requests_per_node, ApspDist dist,
+                                                  const CentralizedConfig& config) {
+  return run_centralized_closed_loop_impl(node_count, requests_per_node, dist, config);
+}
+
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
+                                                  std::int64_t requests_per_node, FnDist dist,
+                                                  const CentralizedConfig& config) {
+  return run_centralized_closed_loop_impl(node_count, requests_per_node, dist, config);
+}
+
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
+                                                  std::int64_t requests_per_node,
+                                                  const DistTicksFn& dist,
+                                                  const CentralizedConfig& config) {
+  return with_static_dist(dist, [&](auto oracle) {
+    return run_centralized_closed_loop_impl(node_count, requests_per_node, oracle, config);
+  });
 }
 
 }  // namespace arrowdq

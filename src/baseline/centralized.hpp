@@ -12,8 +12,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "baseline/dist.hpp"
 #include "graph/graph.hpp"
 #include "graph/shortest_paths.hpp"
 #include "proto/queuing.hpp"
@@ -21,15 +21,6 @@
 #include "support/types.hpp"
 
 namespace arrowdq {
-
-/// Pairwise latency oracle in ticks.
-using DistTicksFn = std::function<Time(NodeId, NodeId)>;
-
-/// dG-based oracle from a precomputed APSP (must outlive the returned fn).
-DistTicksFn apsp_dist_fn(const AllPairs& apsp);
-
-/// Complete-graph oracle: one unit between any two distinct nodes.
-DistTicksFn unit_dist_fn();
 
 struct CentralizedConfig {
   NodeId center = 0;
@@ -39,6 +30,17 @@ struct CentralizedConfig {
 /// One-shot execution. Completion is recorded when the center's reply (the
 /// predecessor's identity) reaches the requester, matching Section 5's
 /// completion definition.
+///
+/// The oracle overloads are the statically dispatched tier (direct
+/// per-message distance draws); the DistTicksFn overload probes for a
+/// wrapped UnitDist/ApspDist once per run (with_static_dist) and otherwise
+/// falls back to the type-erased per-message call.
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, UnitDist dist,
+                               const CentralizedConfig& config);
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, ApspDist dist,
+                               const CentralizedConfig& config);
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, FnDist dist,
+                               const CentralizedConfig& config);
 QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
                                const DistTicksFn& dist, const CentralizedConfig& config);
 
@@ -50,7 +52,14 @@ struct CentralizedLoopResult {
 };
 
 /// Closed-loop driver matching run_arrow_closed_loop: every node performs
-/// `requests_per_node` rounds, re-issuing when the reply arrives.
+/// `requests_per_node` rounds, re-issuing when the reply arrives. Same
+/// oracle-overload scheme as run_centralized.
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count, std::int64_t requests_per_node,
+                                                  UnitDist dist, const CentralizedConfig& config);
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count, std::int64_t requests_per_node,
+                                                  ApspDist dist, const CentralizedConfig& config);
+CentralizedLoopResult run_centralized_closed_loop(NodeId node_count, std::int64_t requests_per_node,
+                                                  FnDist dist, const CentralizedConfig& config);
 CentralizedLoopResult run_centralized_closed_loop(NodeId node_count, std::int64_t requests_per_node,
                                                   const DistTicksFn& dist,
                                                   const CentralizedConfig& config);

@@ -1,0 +1,66 @@
+// Pairwise latency oracles for the complete-communication-graph baselines
+// (centralized, pointer forwarding), mirroring the two-tier latency design
+// of sim/latency.hpp.
+//
+// The *oracles* (UnitDist, ApspDist) are concrete value types with an inline
+// `operator()` — the statically dispatched tier the baseline drivers
+// template over, so the per-message distance draw is a direct, inlinable
+// call. The classic `DistTicksFn` (std::function) survives as the dynamic
+// tier for configuration and legacy call sites; `with_static_dist` bridges
+// the two *once per run* by probing the std::function's stored target
+// (unit_dist_fn / apsp_dist_fn wrap exactly these oracle types), falling
+// back to a FnDist adapter — which pays the type-erased call per message —
+// only for caller-supplied closures.
+#pragma once
+
+#include <functional>
+
+#include "graph/shortest_paths.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// Dynamic-tier pairwise latency oracle in ticks.
+using DistTicksFn = std::function<Time(NodeId, NodeId)>;
+
+/// Complete-graph oracle: one unit between any two distinct nodes (the
+/// Section 5 SP2 setup).
+struct UnitDist {
+  Time operator()(NodeId u, NodeId v) const { return u == v ? Time{0} : kTicksPerUnit; }
+  const char* name() const { return "unit"; }
+};
+
+/// dG-based oracle over a precomputed APSP (must outlive the oracle).
+struct ApspDist {
+  const AllPairs* apsp = nullptr;
+  Time operator()(NodeId u, NodeId v) const { return units_to_ticks(apsp->dist(u, v)); }
+  const char* name() const { return "apsp"; }
+};
+
+/// Fallback oracle for arbitrary DistTicksFn closures: pays the type-erased
+/// call on every draw. The referenced function must outlive the oracle.
+struct FnDist {
+  const DistTicksFn* fn = nullptr;
+  Time operator()(NodeId u, NodeId v) const { return (*fn)(u, v); }
+  const char* name() const { return "fn"; }
+};
+
+/// dG-based oracle from a precomputed APSP (must outlive the returned fn).
+DistTicksFn apsp_dist_fn(const AllPairs& apsp);
+
+/// Complete-graph oracle: one unit between any two distinct nodes.
+DistTicksFn unit_dist_fn();
+
+/// One-time static dispatch: invoke `fn` with the concrete oracle stored in
+/// `dist` (unit_dist_fn and apsp_dist_fn wrap UnitDist/ApspDist, recovered
+/// via std::function::target), or with a FnDist adapter for anything else.
+/// The probe runs once per *run*; callers templated on the oracle type then
+/// draw distances with a direct call per message.
+template <typename Fn>
+decltype(auto) with_static_dist(const DistTicksFn& dist, Fn&& fn) {
+  if (const UnitDist* p = dist.target<UnitDist>()) return fn(*p);
+  if (const ApspDist* p = dist.target<ApspDist>()) return fn(*p);
+  return fn(FnDist{&dist});
+}
+
+}  // namespace arrowdq

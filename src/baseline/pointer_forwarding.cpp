@@ -18,28 +18,33 @@ struct FindMsg {
   Weight dist_units = 0;
 };
 
+template <typename Dist>
 struct Forwarder;
 
+template <typename Dist>
 struct ForwardHandler {
-  Forwarder* d = nullptr;
+  Forwarder<Dist>* d = nullptr;
   inline void operator()(NodeId from, NodeId at, const FindMsg& m) const;
 };
 
 /// Driver state: pointer hints plus the typed-handler network. Only
 /// send_with_latency is used (arbitrary node pairs on the complete
-/// communication graph), so the sampler is a stateless placeholder.
+/// communication graph), so the sampler is a stateless placeholder; the
+/// distance oracle is a value type, so the standard unit/APSP draws are
+/// direct calls (no std::function on the run path).
+template <typename Dist>
 struct Forwarder {
   Graph placeholder;
   Simulator sim;
-  Network<FindMsg, SyncSampler, ForwardHandler> net;
-  const DistTicksFn& dist;
+  Network<FindMsg, SyncSampler, ForwardHandler<Dist>> net;
+  Dist dist;
   const PointerForwardingConfig& config;
   QueuingOutcome& out;
   std::vector<NodeId> hint;
   std::vector<RequestId> last_req;
   std::int32_t hop_cap;
 
-  Forwarder(NodeId node_count, const RequestSet& requests, const DistTicksFn& dist_fn,
+  Forwarder(NodeId node_count, const RequestSet& requests, Dist dist_fn,
             const PointerForwardingConfig& cfg, QueuingOutcome& out_ref)
       : placeholder(make_path(node_count)),
         net(placeholder, sim, SyncSampler{}),
@@ -101,15 +106,14 @@ struct Forwarder {
   }
 };
 
-inline void ForwardHandler::operator()(NodeId from, NodeId at, const FindMsg& m) const {
+template <typename Dist>
+inline void ForwardHandler<Dist>::operator()(NodeId from, NodeId at, const FindMsg& m) const {
   d->handle(from, at, m);
 }
 
-}  // namespace
-
-QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      const DistTicksFn& dist,
-                                      const PointerForwardingConfig& config) {
+template <typename Dist>
+QueuingOutcome run_pointer_forwarding_impl(NodeId node_count, const RequestSet& requests,
+                                           Dist dist, const PointerForwardingConfig& config) {
   ARROWDQ_ASSERT_MSG(node_count >= 1, "need at least one node");
   ARROWDQ_ASSERT_MSG(config.initial_owner >= 0 && config.initial_owner < node_count,
                      "initial owner must be a node");
@@ -117,15 +121,40 @@ QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& reque
                      "request-set root must equal the initial owner");
 
   QueuingOutcome out(requests.size());
-  Forwarder driver(node_count, requests, dist, config, out);
-  driver.net.set_handler(ForwardHandler{&driver});
+  Forwarder<Dist> driver(node_count, requests, dist, config, out);
+  driver.net.set_handler(ForwardHandler<Dist>{&driver});
   for (const Request& r : requests.real()) {
     ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
-    driver.sim.at(r.time, Forwarder::IssueEvent{&driver, r});
+    driver.sim.at(r.time, typename Forwarder<Dist>::IssueEvent{&driver, r});
   }
   driver.sim.run();
   ARROWDQ_ASSERT_MSG(out.is_complete(), "pointer forwarding did not complete all requests");
   return out;
+}
+
+}  // namespace
+
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      UnitDist dist, const PointerForwardingConfig& config) {
+  return run_pointer_forwarding_impl(node_count, requests, dist, config);
+}
+
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      ApspDist dist, const PointerForwardingConfig& config) {
+  return run_pointer_forwarding_impl(node_count, requests, dist, config);
+}
+
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      FnDist dist, const PointerForwardingConfig& config) {
+  return run_pointer_forwarding_impl(node_count, requests, dist, config);
+}
+
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      const DistTicksFn& dist,
+                                      const PointerForwardingConfig& config) {
+  return with_static_dist(dist, [&](auto oracle) {
+    return run_pointer_forwarding_impl(node_count, requests, oracle, config);
+  });
 }
 
 }  // namespace arrowdq

@@ -18,7 +18,7 @@
 
 #include <cstdint>
 
-#include "baseline/centralized.hpp"  // DistTicksFn
+#include "baseline/dist.hpp"
 #include "proto/queuing.hpp"
 #include "proto/request.hpp"
 #include "support/types.hpp"
@@ -40,6 +40,16 @@ struct PointerForwardingConfig {
 /// One-shot execution on `node_count` nodes with pairwise latency `dist`.
 /// Completion per Definition 3.2: recorded when the find message reaches the
 /// node holding the predecessor request.
+///
+/// The oracle overloads are the statically dispatched tier; the DistTicksFn
+/// overload probes for a wrapped UnitDist/ApspDist once per run
+/// (with_static_dist) and otherwise pays the type-erased call per message.
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      UnitDist dist, const PointerForwardingConfig& config);
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      ApspDist dist, const PointerForwardingConfig& config);
+QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
+                                      FnDist dist, const PointerForwardingConfig& config);
 QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
                                       const DistTicksFn& dist,
                                       const PointerForwardingConfig& config);

@@ -1,0 +1,379 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "apps/token_sim.hpp"
+#include "arrow/arrow.hpp"
+#include "arrow/closed_loop.hpp"
+#include "baseline/centralized.hpp"
+#include "exp/registry.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+#include "workload/workloads.hpp"
+
+namespace arrowdq {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kArrowOneShot:
+      return "arrow";
+    case Protocol::kArrowClosedLoop:
+      return "arrow-loop";
+    case Protocol::kCentralized:
+      return "centralized";
+    case Protocol::kPointerForwarding:
+      return "forwarding";
+    case Protocol::kTokenPassing:
+      return "token";
+  }
+  return "?";
+}
+
+// --- topology ---------------------------------------------------------------
+
+Graph TopologySpec::build_graph() const {
+  switch (family) {
+    case Family::kComplete:
+      return make_complete(nodes);
+    case Family::kPath:
+      return make_path(nodes);
+    case Family::kGrid:
+      return make_grid(rows, cols);
+    case Family::kRandomTree: {
+      Rng rng(mix64(seed + 0x70b01061));
+      return make_random_tree(nodes, rng);
+    }
+    case Family::kWeightedTree: {
+      Rng rng(mix64(seed + 0x70b01062));
+      Graph skeleton = make_random_tree(nodes, rng);
+      Graph g(nodes);
+      for (const Edge& e : skeleton.edges())
+        g.add_edge(e.u, e.v,
+                   1 + static_cast<Weight>(rng.next_below(
+                           static_cast<std::uint64_t>(max_weight))));
+      return g;
+    }
+    case Family::kCustom:
+      ARROWDQ_ASSERT_MSG(custom_graph.has_value(), "custom topology without a graph");
+      return *custom_graph;
+  }
+  ARROWDQ_ASSERT_MSG(false, "unknown topology family");
+  return Graph{0};
+}
+
+Tree TopologySpec::build_tree(const Graph& g) const {
+  if (family == Family::kCustom) {
+    ARROWDQ_ASSERT_MSG(custom_tree.has_value(), "custom topology without a tree");
+    return *custom_tree;
+  }
+  switch (tree_kind) {
+    case TreeKind::kShortestPath:
+      return shortest_path_tree(g, root);
+    case TreeKind::kBalancedBinary:
+      return balanced_binary_overlay(g, root);
+    case TreeKind::kMst:
+      return kruskal_mst(g, root);
+    case TreeKind::kMedianSpt:
+      return median_spt(g);
+  }
+  ARROWDQ_ASSERT_MSG(false, "unknown tree kind");
+  return shortest_path_tree(g, root);
+}
+
+const char* TopologySpec::family_name() const {
+  switch (family) {
+    case Family::kComplete:
+      return "complete";
+    case Family::kPath:
+      return "path";
+    case Family::kGrid:
+      return "grid";
+    case Family::kRandomTree:
+      return "randtree";
+    case Family::kWeightedTree:
+      return "wtree";
+    case Family::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+// --- workload ---------------------------------------------------------------
+
+RequestSet WorkloadSpec::build(NodeId n, NodeId root) const {
+  switch (kind) {
+    case Kind::kOneShotAll:
+      // Qualified: the unqualified name would find the static factory.
+      return ::arrowdq::one_shot_all(n, root);
+    case Kind::kPoisson: {
+      Rng rng(mix64(seed + 0x10ad0001));
+      return poisson_uniform(n, root, count, rate_per_unit, rng);
+    }
+    case Kind::kBursty: {
+      Rng rng(mix64(seed + 0x10ad0002));
+      return bursty(n, root, bursts, burst_size, gap_units, rng);
+    }
+    case Kind::kSequential: {
+      Rng rng(mix64(seed + 0x10ad0003));
+      return sequential_random(n, root, count, gap_units, rng);
+    }
+    case Kind::kCustom:
+      ARROWDQ_ASSERT_MSG(custom.has_value(), "custom workload without a request set");
+      ARROWDQ_ASSERT_MSG(custom->root() == root,
+                         "custom workload root must match the topology root");
+      return *custom;
+  }
+  ARROWDQ_ASSERT_MSG(false, "unknown workload kind");
+  return RequestSet{root, {}};
+}
+
+const char* WorkloadSpec::name() const {
+  switch (kind) {
+    case Kind::kOneShotAll:
+      return "oneshot";
+    case Kind::kPoisson:
+      return "poisson";
+    case Kind::kBursty:
+      return "bursty";
+    case Kind::kSequential:
+      return "sequential";
+    case Kind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+// --- experiment -------------------------------------------------------------
+
+std::string Experiment::default_label() const {
+  std::string s = protocol.name();
+  s += ' ';
+  s += topology.family_name();
+  s += '-';
+  s += std::to_string(topology.nodes);
+  s += ' ';
+  s += latency.name();
+  return s;
+}
+
+Experiment Experiment::with_seed(std::uint64_t seed) const {
+  Experiment e = *this;
+  e.topology.seed = mix64(seed ^ 0x1070b0ULL);
+  e.workload.seed = mix64(seed ^ 0x2010adULL);
+  e.latency.seed = mix64(seed ^ 0x301a7eULL);  // ignored by deterministic kinds
+  return e;
+}
+
+namespace exp_detail {
+
+namespace {
+
+/// Latest completion time over all requests of a one-shot outcome.
+Time outcome_makespan(const QueuingOutcome& out) {
+  Time last = 0;
+  for (RequestId id = 1; id <= out.request_count(); ++id)
+    last = std::max(last, out.completion(id).completed_at);
+  return last;
+}
+
+/// Shared one-shot metric extraction (arrow, centralized, forwarding).
+void fill_one_shot(RunResult& r, const Experiment& e, const RequestSet& requests,
+                   QueuingOutcome out) {
+  r.makespan = outcome_makespan(out);
+  r.total_requests = requests.size();
+  r.total_hops = out.total_hops();
+  r.total_distance = out.total_distance();
+  r.total_latency = out.total_latency(requests);
+  r.avg_hops_per_request =
+      requests.size() == 0
+          ? 0.0
+          : static_cast<double>(r.total_hops) / static_cast<double>(requests.size());
+  if (e.keep_outcome) r.outcome = std::move(out);
+}
+
+}  // namespace
+
+template <>
+RunResult run_protocol<Protocol::kArrowOneShot>(const Experiment& e, Resolved& r) {
+  auto model = e.latency.make();
+  ArrowEngine engine(r.tree, *model);
+  engine.set_service_time(e.protocol.service_time);
+  QueuingOutcome out = engine.run(r.requests);
+  out.validate(r.requests);
+  RunResult res;
+  res.protocol = e.protocol.kind;
+  res.messages = engine.messages_sent();
+  fill_one_shot(res, e, r.requests, std::move(out));
+  return res;
+}
+
+template <>
+RunResult run_protocol<Protocol::kArrowClosedLoop>(const Experiment& e, Resolved& r) {
+  ARROWDQ_ASSERT_MSG(e.rounds > 0, "arrow closed loop needs rounds > 0");
+  auto model = e.latency.make();
+  ClosedLoopConfig cfg;
+  cfg.requests_per_node = e.rounds;
+  cfg.service_time = e.protocol.service_time;
+  ClosedLoopResult loop = run_arrow_closed_loop(r.tree, *model, cfg);
+  RunResult res;
+  res.protocol = e.protocol.kind;
+  res.makespan = loop.makespan;
+  res.total_requests = loop.total_requests;
+  res.messages = loop.tree_messages + loop.notify_messages;
+  res.total_hops = static_cast<std::int64_t>(loop.tree_messages);
+  res.avg_hops_per_request = loop.avg_hops_per_request;
+  res.avg_round_latency_units = loop.avg_round_latency_units;
+  return res;
+}
+
+template <>
+RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r) {
+  CentralizedConfig cfg;
+  cfg.center = e.protocol.center;
+  cfg.service_time = e.protocol.service_time;
+  const NodeId n = r.graph.node_count();
+  RunResult res;
+  res.protocol = e.protocol.kind;
+  if (e.rounds > 0) {
+    CentralizedLoopResult loop =
+        r.apsp ? run_centralized_closed_loop(n, e.rounds, ApspDist{&*r.apsp}, cfg)
+               : run_centralized_closed_loop(n, e.rounds, UnitDist{}, cfg);
+    res.makespan = loop.makespan;
+    res.total_requests = loop.total_requests;
+    res.messages = loop.messages;
+    res.total_hops = static_cast<std::int64_t>(loop.messages);
+    res.avg_hops_per_request =
+        loop.total_requests == 0
+            ? 0.0
+            : static_cast<double>(loop.messages) / static_cast<double>(loop.total_requests);
+    res.avg_round_latency_units = loop.avg_round_latency_units;
+    return res;
+  }
+  QueuingOutcome out = r.apsp ? run_centralized(n, r.requests, ApspDist{&*r.apsp}, cfg)
+                              : run_centralized(n, r.requests, UnitDist{}, cfg);
+  out.validate(r.requests);
+  res.messages = static_cast<std::uint64_t>(out.total_hops());
+  fill_one_shot(res, e, r.requests, std::move(out));
+  return res;
+}
+
+template <>
+RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolved& r) {
+  ARROWDQ_ASSERT_MSG(e.rounds == 0, "pointer forwarding has no closed-loop mode");
+  PointerForwardingConfig cfg;
+  cfg.mode = e.protocol.mode;
+  cfg.service_time = e.protocol.service_time;
+  cfg.initial_owner = r.tree.root();
+  const NodeId n = r.graph.node_count();
+  QueuingOutcome out =
+      r.apsp ? run_pointer_forwarding(n, r.requests, ApspDist{&*r.apsp}, cfg)
+             : run_pointer_forwarding(n, r.requests, UnitDist{}, cfg);
+  out.validate(r.requests);
+  RunResult res;
+  res.protocol = e.protocol.kind;
+  res.messages = static_cast<std::uint64_t>(out.total_hops());
+  fill_one_shot(res, e, r.requests, std::move(out));
+  return res;
+}
+
+template <>
+RunResult run_protocol<Protocol::kTokenPassing>(const Experiment& e, Resolved& r) {
+  // The token rides on an arrow execution: queue first (consuming the
+  // latency model's stream exactly as a standalone arrow run would), then
+  // circulate the token through the same model — identical to the legacy
+  // {run_arrow; simulate_token_passing} sequence.
+  auto model = e.latency.make();
+  ArrowEngine engine(r.tree, *model);
+  engine.set_service_time(e.protocol.service_time);
+  QueuingOutcome out = engine.run(r.requests);
+  out.validate(r.requests);
+  TokenSimResult token =
+      simulate_token_passing(r.tree, r.requests, out, e.protocol.hold_ticks, *model);
+  RunResult res;
+  res.protocol = e.protocol.kind;
+  res.makespan = token.makespan;
+  res.total_requests = r.requests.size();
+  res.messages = engine.messages_sent() + token.token_messages;
+  res.total_hops = static_cast<std::int64_t>(token.token_messages);
+  res.total_distance = token.token_travel;
+  res.total_latency = out.total_latency(r.requests);
+  res.avg_hops_per_request =
+      r.requests.size() == 0
+          ? 0.0
+          : static_cast<double>(token.token_messages) / static_cast<double>(r.requests.size());
+  if (e.keep_outcome) res.outcome = std::move(out);
+  return res;
+}
+
+namespace {
+
+bool is_closed_loop(const Experiment& e) {
+  return e.protocol.kind == Protocol::kArrowClosedLoop ||
+         (e.protocol.kind == Protocol::kCentralized && e.rounds > 0);
+}
+
+bool needs_apsp_oracle(const Experiment& e) {
+  if (e.protocol.kind != Protocol::kCentralized &&
+      e.protocol.kind != Protocol::kPointerForwarding)
+    return false;
+  // A complete unit-weight graph is exactly the UnitDist oracle; everything
+  // else routes distances through a per-run APSP table.
+  return e.topology.family != TopologySpec::Family::kComplete;
+}
+
+Resolved resolve(const Experiment& e) {
+  Resolved r;
+  r.graph = e.topology.build_graph();
+  r.tree = e.topology.build_tree(r.graph);
+  if (!is_closed_loop(e)) r.requests = e.workload.build(r.graph.node_count(), r.tree.root());
+  if (needs_apsp_oracle(e)) r.apsp.emplace(r.graph);
+  return r;
+}
+
+}  // namespace
+}  // namespace exp_detail
+
+RunResult run_experiment(const Experiment& e) {
+  const auto index = static_cast<std::size_t>(e.protocol.kind);
+  ARROWDQ_ASSERT_MSG(index < exp_detail::kDriverRegistry.size(), "unknown protocol");
+  exp_detail::Resolved r = exp_detail::resolve(e);
+  return exp_detail::kDriverRegistry[index](e, r);
+}
+
+std::vector<ExperimentResult> run_experiments(const std::vector<Experiment>& exps,
+                                              const SweepRunner& runner) {
+  return runner.map<ExperimentResult>(exps.size(), [&exps](std::size_t i) {
+    const Experiment& e = exps[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult res = run_experiment(e);
+    const auto t1 = std::chrono::steady_clock::now();
+    return ExperimentResult{e.label.empty() ? e.default_label() : e.label, std::move(res),
+                            std::chrono::duration<double>(t1 - t0).count()};
+  });
+}
+
+std::vector<ExperimentResult> run_experiments(const std::vector<Experiment>& exps) {
+  return run_experiments(exps, SweepRunner(1));
+}
+
+QueuingOutcome arrow_outcome(const Tree& tree, const RequestSet& requests) {
+  Experiment e;
+  e.protocol = ProtocolSpec::arrow_one_shot();
+  e.latency = LatencySpec::synchronous();
+  e.keep_outcome = true;
+  // Call the registry driver with a hand-built Resolved: the arrow driver
+  // reads only the tree and the requests, so going through TopologySpec/
+  // WorkloadSpec would round-trip a Graph and double-copy both inputs for
+  // nothing on this hot application-layer path.
+  exp_detail::Resolved r;
+  r.tree = tree;
+  r.requests = requests;
+  RunResult res = exp_detail::run_protocol<Protocol::kArrowOneShot>(e, r);
+  return std::move(*res.outcome);
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,338 @@
+// The unified experiment API: one declarative, value-type description for
+// every queuing protocol, topology, workload and latency regime in the
+// repository.
+//
+// The paper's central claim is *comparative* — arrow's distributed queuing
+// cost versus a centralized home node and pointer-forwarding schemes across
+// topologies and latency regimes. Before this layer each protocol was its
+// own free function with its own config and result structs; an `Experiment`
+// makes the comparison a data point in an axis product instead of a
+// hand-written driver:
+//
+//   Experiment e;
+//   e.protocol = ProtocolSpec::arrow_closed_loop(kTicksPerUnit / 16);
+//   e.topology = TopologySpec::complete(256);
+//   e.latency  = LatencySpec::uniform_async(/*seed=*/7, 0.1);
+//   e.rounds   = 1000;
+//   RunResult r = run_experiment(e);
+//
+// Resolution goes through a *compile-time registry* of statically
+// dispatched drivers (exp/registry.hpp): one function pointer per Protocol
+// value, each instantiating the PR-3 devirtualized hot path (value-type
+// latency samplers, typed network handlers, value-type distance oracles) —
+// the registry lookup is one indexed call per run, and no std::function or
+// virtual dispatch appears on the per-message path. Every driver is
+// tick-identical to the legacy free function it wraps
+// (tests/experiment_test.cpp pins all of them; the legacy entry points
+// survive as thin wrappers).
+//
+// Experiments are value objects: a worker thread can run one with no shared
+// mutable state, which is what lets run_experiments() shard a scenario list
+// across SweepRunner's pool with results bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/pointer_forwarding.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "proto/queuing.hpp"
+#include "proto/request.hpp"
+#include "sim/sweep.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+// ---------------------------------------------------------------------------
+// Protocol axis
+// ---------------------------------------------------------------------------
+
+enum class Protocol : std::uint8_t {
+  kArrowOneShot = 0,      // ArrowEngine on a fixed request set
+  kArrowClosedLoop = 1,   // Section 5 closed loop (Figure 10/11 driver)
+  kCentralized = 2,       // home-node baseline; closed loop iff rounds > 0
+  kPointerForwarding = 3, // Ivy/NTA family on the complete graph
+  kTokenPassing = 4,      // arrow + message-driven token circulation
+};
+inline constexpr int kProtocolCount = 5;
+
+const char* protocol_name(Protocol p);
+
+struct ProtocolSpec {
+  Protocol kind = Protocol::kArrowOneShot;
+  /// Serial per-node message processing cost in ticks (all protocols).
+  Time service_time = 0;
+  /// kCentralized: the globally known home node.
+  NodeId center = 0;
+  /// kPointerForwarding: pointer-update rule (compression vs reversal).
+  ForwardingMode mode = ForwardingMode::kCompressToRequester;
+  /// kTokenPassing: how long each request holds the token (ticks).
+  Time hold_ticks = 0;
+
+  const char* name() const { return protocol_name(kind); }
+
+  static ProtocolSpec arrow_one_shot(Time service_time = 0) {
+    ProtocolSpec s;
+    s.kind = Protocol::kArrowOneShot;
+    s.service_time = service_time;
+    return s;
+  }
+  static ProtocolSpec arrow_closed_loop(Time service_time = 0) {
+    ProtocolSpec s;
+    s.kind = Protocol::kArrowClosedLoop;
+    s.service_time = service_time;
+    return s;
+  }
+  static ProtocolSpec centralized(NodeId center = 0, Time service_time = 0) {
+    ProtocolSpec s;
+    s.kind = Protocol::kCentralized;
+    s.center = center;
+    s.service_time = service_time;
+    return s;
+  }
+  static ProtocolSpec pointer_forwarding(
+      ForwardingMode mode = ForwardingMode::kCompressToRequester, Time service_time = 0) {
+    ProtocolSpec s;
+    s.kind = Protocol::kPointerForwarding;
+    s.mode = mode;
+    s.service_time = service_time;
+    return s;
+  }
+  static ProtocolSpec token_passing(Time hold_ticks = 0) {
+    ProtocolSpec s;
+    s.kind = Protocol::kTokenPassing;
+    s.hold_ticks = hold_ticks;
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Topology axis
+// ---------------------------------------------------------------------------
+
+struct TopologySpec {
+  enum class Family : std::uint8_t {
+    kComplete,      // Section 5's SP2 model: K_n, unit pairwise latency
+    kPath,          // worst-stretch line
+    kGrid,          // rows x cols mesh
+    kRandomTree,    // uniform random labelled tree (Pruefer)
+    kWeightedTree,  // random tree, edge weights uniform in [1, max_weight]
+    kCustom,        // caller-supplied graph + tree
+  };
+  /// Spanning-tree construction for the arrow/token protocols.
+  enum class TreeKind : std::uint8_t {
+    kShortestPath,    // BFS/Dijkstra tree from `root`
+    kBalancedBinary,  // Section 5's balanced binary overlay (complete graphs)
+    kMst,             // Kruskal minimum spanning tree
+    kMedianSpt,       // Peleg-Reshef-style median SPT (ignores `root`)
+  };
+
+  Family family = Family::kComplete;
+  NodeId nodes = 64;
+  NodeId rows = 0, cols = 0;   // kGrid (nodes = rows * cols)
+  std::uint64_t seed = 0;      // randomized families
+  Weight max_weight = 9;       // kWeightedTree
+  TreeKind tree_kind = TreeKind::kShortestPath;
+  NodeId root = 0;
+  std::optional<Graph> custom_graph;  // kCustom
+  std::optional<Tree> custom_tree;    // kCustom
+
+  /// Materialize the communication graph G (a private copy per call, so
+  /// concurrent scenario workers never share Graph's lazy edge index).
+  Graph build_graph() const;
+  /// Materialize the pre-selected spanning tree T over `g`.
+  Tree build_tree(const Graph& g) const;
+  const char* family_name() const;
+
+  static TopologySpec complete(NodeId n) {
+    TopologySpec t;
+    t.family = Family::kComplete;
+    t.nodes = n;
+    t.tree_kind = TreeKind::kBalancedBinary;
+    return t;
+  }
+  static TopologySpec path(NodeId n) {
+    TopologySpec t;
+    t.family = Family::kPath;
+    t.nodes = n;
+    return t;
+  }
+  static TopologySpec grid(NodeId rows, NodeId cols) {
+    TopologySpec t;
+    t.family = Family::kGrid;
+    t.rows = rows;
+    t.cols = cols;
+    t.nodes = rows * cols;
+    return t;
+  }
+  static TopologySpec random_tree(NodeId n, std::uint64_t seed) {
+    TopologySpec t;
+    t.family = Family::kRandomTree;
+    t.nodes = n;
+    t.seed = seed;
+    return t;
+  }
+  static TopologySpec weighted_tree(NodeId n, std::uint64_t seed, Weight max_weight = 9) {
+    TopologySpec t;
+    t.family = Family::kWeightedTree;
+    t.nodes = n;
+    t.seed = seed;
+    t.max_weight = max_weight;
+    return t;
+  }
+  static TopologySpec custom(Graph g, Tree t) {
+    TopologySpec spec;
+    spec.family = Family::kCustom;
+    spec.nodes = g.node_count();
+    spec.root = t.root();
+    spec.custom_graph = std::move(g);
+    spec.custom_tree = std::move(t);
+    return spec;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Workload axis (one-shot protocols; closed loops generate their own load)
+// ---------------------------------------------------------------------------
+
+struct WorkloadSpec {
+  enum class Kind : std::uint8_t {
+    kOneShotAll,  // every node requests at t = 0
+    kPoisson,     // `count` Poisson arrivals from uniform nodes
+    kBursty,      // bursts of simultaneous requests
+    kSequential,  // widely spaced requests (Demmer-Herlihy regime)
+    kCustom,      // caller-supplied request set
+  };
+  Kind kind = Kind::kOneShotAll;
+  int count = 0;              // kPoisson / kSequential
+  double rate_per_unit = 1.0; // kPoisson
+  int bursts = 0;             // kBursty
+  int burst_size = 0;         // kBursty
+  Weight gap_units = 0;       // kBursty / kSequential
+  std::uint64_t seed = 0;     // randomized kinds
+  std::optional<RequestSet> custom;
+
+  /// Materialize the request schedule for an n-node topology rooted at
+  /// `root`. kCustom returns the stored set (its root must match).
+  RequestSet build(NodeId n, NodeId root) const;
+  const char* name() const;
+
+  static WorkloadSpec one_shot_all() { return {}; }
+  static WorkloadSpec poisson(int count, double rate_per_unit, std::uint64_t seed) {
+    WorkloadSpec w;
+    w.kind = Kind::kPoisson;
+    w.count = count;
+    w.rate_per_unit = rate_per_unit;
+    w.seed = seed;
+    return w;
+  }
+  static WorkloadSpec bursty_load(int bursts, int burst_size, Weight gap_units,
+                                  std::uint64_t seed) {
+    WorkloadSpec w;
+    w.kind = Kind::kBursty;
+    w.bursts = bursts;
+    w.burst_size = burst_size;
+    w.gap_units = gap_units;
+    w.seed = seed;
+    return w;
+  }
+  static WorkloadSpec sequential(int count, Weight gap_units, std::uint64_t seed) {
+    WorkloadSpec w;
+    w.kind = Kind::kSequential;
+    w.count = count;
+    w.gap_units = gap_units;
+    w.seed = seed;
+    return w;
+  }
+  static WorkloadSpec fixed(RequestSet requests) {
+    WorkloadSpec w;
+    w.kind = Kind::kCustom;
+    w.custom = std::move(requests);
+    return w;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The experiment and its uniform result
+// ---------------------------------------------------------------------------
+
+/// Uniform metrics every protocol driver fills in. Per-protocol semantics:
+///  * makespan        — one-shot: latest completion time; closed loop: time
+///                      the last node finished its rounds; token passing:
+///                      last token release.
+///  * messages        — every protocol message sent (tree/edge + direct).
+///  * total_hops      — message hops attributable to requests (arrow/find
+///                      traversals; token hops for kTokenPassing).
+///  * total_distance  — weighted traversal distance in units (one-shot
+///                      outcomes; token travel for kTokenPassing).
+///  * total_latency   — Definition 3.3 cost in ticks: sum over requests of
+///                      (completion - issue). One-shot protocols only; the
+///                      competitive-ratio numerator.
+///  * avg_round_latency_units — closed loops: mean issue->reply time.
+struct RunResult {
+  Protocol protocol = Protocol::kArrowOneShot;
+  Time makespan = 0;
+  std::int64_t total_requests = 0;
+  std::uint64_t messages = 0;
+  std::int64_t total_hops = 0;
+  Weight total_distance = 0;
+  Time total_latency = 0;
+  double avg_hops_per_request = 0.0;
+  double avg_round_latency_units = 0.0;
+  /// The full queuing outcome (one-shot protocols, keep_outcome only):
+  /// feeds analyze_competitive and the application layers.
+  std::optional<QueuingOutcome> outcome;
+};
+
+struct Experiment {
+  std::string label;  // empty -> default_label()
+  ProtocolSpec protocol;
+  TopologySpec topology;
+  WorkloadSpec workload;  // one-shot protocols; ignored by closed loops
+  LatencySpec latency;    // arrow/token protocols; baselines use dG oracles
+  /// Closed-loop rounds per node. Drives kArrowClosedLoop (must be > 0) and
+  /// switches kCentralized between its closed-loop (> 0) and one-shot (== 0,
+  /// workload-driven) modes.
+  std::int64_t rounds = 0;
+  /// Retain the QueuingOutcome in RunResult::outcome (one-shot protocols).
+  bool keep_outcome = false;
+
+  /// "protocol topology-n latency" summary used when `label` is empty.
+  std::string default_label() const;
+
+  /// Copy with per-component sub-seeds derived from `seed` (decorrelated via
+  /// mix64), so a scenario grid gets independent randomness per cell from
+  /// one master seed.
+  Experiment with_seed(std::uint64_t seed) const;
+};
+
+/// Run one experiment through the protocol registry. Asserts on malformed
+/// combinations (closed-loop rounds for pointer forwarding, rounds == 0 for
+/// kArrowClosedLoop).
+RunResult run_experiment(const Experiment& e);
+
+/// One sweep slot, in scenario order (mirrors SweepResult).
+struct ExperimentResult {
+  std::string label;
+  RunResult result;
+  double seconds = 0;  // wall time of this scenario on its worker
+};
+
+/// Sweep a scenario list across `runner`'s pool. Protocol is just another
+/// axis: the list may mix all five protocols freely. Results are in
+/// scenario order and bit-identical for any thread count.
+std::vector<ExperimentResult> run_experiments(const std::vector<Experiment>& exps,
+                                              const SweepRunner& runner);
+/// Serial convenience overload (thread count 1).
+std::vector<ExperimentResult> run_experiments(const std::vector<Experiment>& exps);
+
+/// Convenience for the application layers (mutex, counter, directory,
+/// multicast): run arrow one-shot on a concrete (tree, requests) pair under
+/// the synchronous model through the experiment registry and return the
+/// validated outcome. Tick-identical to the legacy run_arrow(tree, requests).
+QueuingOutcome arrow_outcome(const Tree& tree, const RequestSet& requests);
+
+}  // namespace arrowdq

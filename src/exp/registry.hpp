@@ -1,0 +1,65 @@
+// Compile-time protocol registry for the Experiment API.
+//
+// One entry per Protocol value: a plain function pointer to a fully typed
+// driver shim. Each shim is a `run_protocol<P>` specialization whose body
+// (exp/experiment.cpp) instantiates the statically dispatched simulation
+// stack — value-type latency samplers via with_static_latency, typed
+// network handlers, value-type distance oracles via with_static_dist — so
+// the only indirect call an experiment pays is this single registry lookup
+// per *run*; the per-message path stays exactly PR 3's devirtualized hot
+// loop, with no std::function anywhere on it.
+//
+// The registry is a constexpr array built at compile time; adding a protocol
+// means adding an enumerator, a specialization, and one array entry — the
+// static_assert below keeps the three in sync.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "exp/experiment.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace arrowdq {
+namespace exp_detail {
+
+/// Everything a driver needs, materialized once per run from the value
+/// specs: private graph/tree copies (Graph's lazy edge index is not
+/// thread-safe to share), the request schedule for one-shot protocols, and
+/// the APSP table behind the baselines' distance oracle on non-complete
+/// topologies.
+struct Resolved {
+  Graph graph;
+  Tree tree{std::vector<NodeId>{kNoNode}, std::vector<Weight>{1}, 0};
+  RequestSet requests{0, {}};    // empty for pure closed-loop runs
+  std::optional<AllPairs> apsp;  // engaged iff the dG oracle needs it
+};
+
+using DriverFn = RunResult (*)(const Experiment&, Resolved&);
+
+template <Protocol P>
+RunResult run_protocol(const Experiment& e, Resolved& r);
+
+template <>
+RunResult run_protocol<Protocol::kArrowOneShot>(const Experiment& e, Resolved& r);
+template <>
+RunResult run_protocol<Protocol::kArrowClosedLoop>(const Experiment& e, Resolved& r);
+template <>
+RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r);
+template <>
+RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolved& r);
+template <>
+RunResult run_protocol<Protocol::kTokenPassing>(const Experiment& e, Resolved& r);
+
+inline constexpr std::array<DriverFn, kProtocolCount> kDriverRegistry = {
+    &run_protocol<Protocol::kArrowOneShot>,
+    &run_protocol<Protocol::kArrowClosedLoop>,
+    &run_protocol<Protocol::kCentralized>,
+    &run_protocol<Protocol::kPointerForwarding>,
+    &run_protocol<Protocol::kTokenPassing>,
+};
+static_assert(kDriverRegistry.size() == static_cast<std::size_t>(kProtocolCount),
+              "every Protocol enumerator needs a registry entry");
+
+}  // namespace exp_detail
+}  // namespace arrowdq

@@ -141,6 +141,15 @@ std::vector<NodeId> Tree::path(NodeId u, NodeId v) const {
   return up_part;
 }
 
+NodeId Tree::next_hop(NodeId u, NodeId v) const {
+  ARROWDQ_ASSERT_MSG(u != v, "next_hop needs distinct endpoints");
+  // If u is an ancestor of v the path descends: the hop is v's ancestor one
+  // level below u. Otherwise the path first climbs toward the LCA.
+  if (depth(v) > depth(u) && ancestor_at_depth(v, depth(u)) == u)
+    return ancestor_at_depth(v, depth(u) + 1);
+  return parent(u);
+}
+
 std::pair<NodeId, NodeId> Tree::diameter_endpoints() const {
   // Double sweep: farthest node from the root, then farthest from that.
   auto farthest = [this](NodeId from) {

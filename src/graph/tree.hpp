@@ -51,6 +51,12 @@ class Tree {
   /// The node sequence of the tree path u -> v (inclusive of both ends).
   std::vector<NodeId> path(NodeId u, NodeId v) const;
 
+  /// First edge of the tree path u -> v, i.e. path(u, v)[1], computed in
+  /// O(log n) without materializing the path (u != v). Hop-by-hop message
+  /// forwarding (the token simulator) calls this once per edge traversed,
+  /// so it must not allocate.
+  NodeId next_hop(NodeId u, NodeId v) const;
+
   /// Weighted diameter of the tree (max pairwise dT).
   Weight diameter() const;
   /// Endpoints of a diameter path.

@@ -8,5 +8,6 @@ template class BasicSimulator<BucketedEventQueue>;
 template class BasicSimulator<BinaryEventQueue>;
 template class BasicSimulator<FourAryEventQueue>;
 template class BasicSimulator<PairingEventQueue>;
+template class BasicSimulator<BucketedEventQueue, 16>;  // CompactSimulator
 
 }  // namespace arrowdq

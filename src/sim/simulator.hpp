@@ -41,7 +41,12 @@
 
 namespace arrowdq {
 
-template <typename Queue>
+/// `InlineBytes` sets the arena's inline-callable budget and thereby the
+/// slot size (16-byte invoke/destroy header + storage): the default 48
+/// yields 64-byte slots (one cache line); 16 yields a 32-byte "compact"
+/// slot that doubles arena cache density for 16-byte events such as the
+/// network's DeliveryEvent (bench_throughput measures both).
+template <typename Queue, std::size_t InlineBytes = 48>
 class BasicSimulator {
  public:
   /// Compatibility alias; any callable (not just std::function) schedules.
@@ -49,7 +54,11 @@ class BasicSimulator {
 
   /// Callables at most this large (and trivially copyable/destructible)
   /// schedule without touching the heap.
-  static constexpr std::size_t kInlineStorage = 48;
+  static constexpr std::size_t kInlineStorage = InlineBytes;
+  // The storage doubles as a boxed-callable pointer and as the intrusive
+  // free-list link, so it can never shrink below either.
+  static_assert(InlineBytes >= sizeof(void*) && InlineBytes >= sizeof(std::uint32_t),
+                "inline storage must hold a pointer (boxed path) and a free-list index");
 
   /// True when F schedules on the zero-allocation inline path. Protocol
   /// event types static_assert this so a future field addition cannot
@@ -269,9 +278,18 @@ class BasicSimulator {
 /// bench_throughput).
 using Simulator = BasicSimulator<BucketedEventQueue>;
 
+/// 32-byte-slot variant (16-byte inline budget): double the arena cache
+/// density for drivers whose events are all pointer+index sized, at the
+/// cost of boxing anything larger. Measured against the default by
+/// bench_throughput's event_core_compact section; the 64-byte slot stays
+/// the default because every protocol driver also schedules 24-40-byte
+/// issue events that must not fall onto the heap path.
+using CompactSimulator = BasicSimulator<BucketedEventQueue, 16>;
+
 extern template class BasicSimulator<BucketedEventQueue>;
 extern template class BasicSimulator<BinaryEventQueue>;
 extern template class BasicSimulator<FourAryEventQueue>;
 extern template class BasicSimulator<PairingEventQueue>;
+extern template class BasicSimulator<BucketedEventQueue, 16>;
 
 }  // namespace arrowdq

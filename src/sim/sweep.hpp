@@ -15,6 +15,13 @@
 //    output order is the scenario order no matter how threads interleave,
 //    and the result values themselves are independent of the thread count
 //    (the dispatch_test suite pins this, including thread count 1).
+//
+// Two scenario layers ride on the same pool:
+//  * run(SweepScenario) — the original arrow-closed-loop sweep, kept for
+//    source compatibility;
+//  * run_experiments (exp/experiment.hpp) — the general form: any mix of
+//    protocols/topologies/workloads as declarative Experiment values,
+//    mapped through the same deterministic map() primitive.
 #pragma once
 
 #include <cstdint>
@@ -52,7 +59,9 @@ struct LatencySpec {
   }
 };
 
-/// One independent closed-loop simulation point.
+/// One independent arrow-closed-loop simulation point (the original,
+/// single-protocol scenario type; see exp/experiment.hpp for the general
+/// cross-protocol Experiment).
 struct SweepScenario {
   std::string label;
   Tree tree;

@@ -1,0 +1,414 @@
+// Coverage for the unified Experiment API (src/exp/).
+//
+//  * Every protocol driver in the registry must be tick-identical to the
+//    legacy free function it wraps: arrow one-shot (ArrowEngine::run),
+//    arrow closed loop (run_arrow_closed_loop), centralized one-shot and
+//    closed loop (run_centralized / run_centralized_closed_loop), pointer
+//    forwarding (run_pointer_forwarding, both modes) and token passing
+//    (run_arrow + simulate_token_passing), on seeded instances across all
+//    latency models.
+//  * run_experiments must be thread-count invariant on mixed-protocol
+//    scenario lists and must match serial run_experiment calls.
+//  * The declarative topology/workload specs must materialize exactly the
+//    generator calls they describe.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/token_sim.hpp"
+#include "arrow/arrow.hpp"
+#include "arrow/closed_loop.hpp"
+#include "baseline/centralized.hpp"
+#include "baseline/pointer_forwarding.hpp"
+#include "exp/experiment.hpp"
+#include "exp/registry.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/latency.hpp"
+#include "testutil.hpp"
+
+namespace arrowdq {
+namespace {
+
+LatencySpec latency_spec_for(int seed) {
+  switch (seed % 4) {
+    case 0:
+      return LatencySpec::synchronous();
+    case 1:
+      return LatencySpec::scaled(0.25 + 0.05 * (seed % 5));
+    case 2:
+      return LatencySpec::uniform_async(static_cast<std::uint64_t>(seed) * 31 + 7, 0.1);
+    default:
+      return LatencySpec::truncated_exp(static_cast<std::uint64_t>(seed) * 53 + 11, 0.4);
+  }
+}
+
+void expect_outcomes_equal(const QueuingOutcome& a, const QueuingOutcome& b, int seed) {
+  ASSERT_EQ(a.request_count(), b.request_count()) << "seed " << seed;
+  EXPECT_EQ(a.order(), b.order()) << "seed " << seed;
+  for (RequestId id = 1; id <= a.request_count(); ++id) {
+    const Completion& ca = a.completion(id);
+    const Completion& cb = b.completion(id);
+    EXPECT_EQ(ca.predecessor, cb.predecessor) << "seed " << seed << " req " << id;
+    EXPECT_EQ(ca.completed_at, cb.completed_at) << "seed " << seed << " req " << id;
+    EXPECT_EQ(ca.hops, cb.hops) << "seed " << seed << " req " << id;
+    EXPECT_EQ(ca.distance, cb.distance) << "seed " << seed << " req " << id;
+  }
+}
+
+/// Experiment over a pre-built (tree, requests) instance.
+Experiment instance_experiment(const testutil::TreeInstance& inst, ProtocolSpec protocol,
+                               LatencySpec latency) {
+  Experiment e;
+  e.protocol = protocol;
+  e.topology = TopologySpec::custom(inst.tree.as_graph(), inst.tree);
+  e.workload = WorkloadSpec::fixed(inst.requests);
+  e.latency = latency;
+  e.keep_outcome = true;
+  return e;
+}
+
+// --- tick-identity vs the legacy entry points ------------------------------
+
+TEST(Experiment, ArrowOneShotMatchesLegacy) {
+  for (int seed = 0; seed < 12; ++seed) {
+    auto inst = testutil::make_tree_instance(seed);
+    const Time service = seed % 3 == 1 ? kTicksPerUnit / 8 : 0;
+
+    Experiment e = instance_experiment(
+        inst, ProtocolSpec::arrow_one_shot(service), latency_spec_for(seed));
+    RunResult res = run_experiment(e);
+
+    auto legacy_model = latency_spec_for(seed).make();
+    ArrowEngine engine(inst.tree, *legacy_model);
+    engine.set_service_time(service);
+    QueuingOutcome legacy = engine.run(inst.requests);
+
+    ASSERT_TRUE(res.outcome.has_value()) << "seed " << seed;
+    expect_outcomes_equal(*res.outcome, legacy, seed);
+    EXPECT_EQ(res.messages, engine.messages_sent()) << "seed " << seed;
+    EXPECT_EQ(res.total_requests, inst.requests.size()) << "seed " << seed;
+    EXPECT_EQ(res.total_hops, legacy.total_hops()) << "seed " << seed;
+    EXPECT_EQ(res.total_distance, legacy.total_distance()) << "seed " << seed;
+    EXPECT_EQ(res.total_latency, legacy.total_latency(inst.requests)) << "seed " << seed;
+  }
+}
+
+TEST(Experiment, ArrowClosedLoopMatchesLegacy) {
+  for (int seed = 0; seed < 8; ++seed) {
+    auto inst = testutil::make_tree_instance(seed);
+    const Time service = seed % 3 == 0 ? 0 : kTicksPerUnit / 16;
+    const std::int64_t rounds = 12 + seed % 9;
+
+    Experiment e;
+    e.protocol = ProtocolSpec::arrow_closed_loop(service);
+    e.topology = TopologySpec::custom(inst.tree.as_graph(), inst.tree);
+    e.latency = latency_spec_for(seed);
+    e.rounds = rounds;
+    RunResult res = run_experiment(e);
+
+    auto legacy_model = latency_spec_for(seed).make();
+    ClosedLoopConfig cfg;
+    cfg.requests_per_node = rounds;
+    cfg.service_time = service;
+    ClosedLoopResult legacy = run_arrow_closed_loop(inst.tree, *legacy_model, cfg);
+
+    EXPECT_EQ(res.makespan, legacy.makespan) << "seed " << seed;
+    EXPECT_EQ(res.total_requests, legacy.total_requests) << "seed " << seed;
+    EXPECT_EQ(res.messages, legacy.tree_messages + legacy.notify_messages) << "seed " << seed;
+    EXPECT_EQ(res.total_hops, static_cast<std::int64_t>(legacy.tree_messages))
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(res.avg_hops_per_request, legacy.avg_hops_per_request) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(res.avg_round_latency_units, legacy.avg_round_latency_units)
+        << "seed " << seed;
+  }
+}
+
+TEST(Experiment, DeclarativeCompleteTopologyMatchesSection5Setup) {
+  // TopologySpec::complete must reproduce the balanced-binary-overlay
+  // construction the Figure 10 reproduction uses.
+  for (NodeId n : {13, 32, 64}) {
+    Experiment e;
+    e.protocol = ProtocolSpec::arrow_closed_loop(kTicksPerUnit / 16);
+    e.topology = TopologySpec::complete(n);
+    e.latency = LatencySpec::synchronous();
+    e.rounds = 20;
+    RunResult res = run_experiment(e);
+
+    Graph g = make_complete(n);
+    Tree t = balanced_binary_overlay(g);
+    SynchronousLatency sync;
+    ClosedLoopConfig cfg;
+    cfg.requests_per_node = 20;
+    cfg.service_time = kTicksPerUnit / 16;
+    ClosedLoopResult legacy = run_arrow_closed_loop(t, sync, cfg);
+    EXPECT_EQ(res.makespan, legacy.makespan) << n;
+    EXPECT_EQ(res.messages, legacy.tree_messages + legacy.notify_messages) << n;
+  }
+}
+
+TEST(Experiment, CentralizedOneShotMatchesLegacy) {
+  for (int seed = 0; seed < 10; ++seed) {
+    auto inst = testutil::make_instance(seed);
+    const NodeId center = inst.tree.root();
+    const Time service = seed % 2 ? kTicksPerUnit / 16 : 0;
+
+    Experiment e;
+    e.protocol = ProtocolSpec::centralized(center, service);
+    e.topology = TopologySpec::custom(inst.graph, inst.tree);
+    e.workload = WorkloadSpec::fixed(inst.requests);
+    e.keep_outcome = true;
+    RunResult res = run_experiment(e);
+
+    // The custom topology routes distances through an APSP oracle.
+    AllPairs apsp(inst.graph);
+    CentralizedConfig cfg;
+    cfg.center = center;
+    cfg.service_time = service;
+    QueuingOutcome legacy = run_centralized(inst.graph.node_count(), inst.requests,
+                                            apsp_dist_fn(apsp), cfg);
+    ASSERT_TRUE(res.outcome.has_value()) << "seed " << seed;
+    expect_outcomes_equal(*res.outcome, legacy, seed);
+    EXPECT_EQ(res.total_latency, legacy.total_latency(inst.requests)) << "seed " << seed;
+  }
+}
+
+TEST(Experiment, CentralizedClosedLoopMatchesLegacy) {
+  for (NodeId n : {8, 24, 48}) {
+    Experiment e;
+    e.protocol = ProtocolSpec::centralized(0, kTicksPerUnit / 16);
+    e.topology = TopologySpec::complete(n);
+    e.rounds = 30;
+    RunResult res = run_experiment(e);
+
+    CentralizedConfig cfg;
+    cfg.center = 0;
+    cfg.service_time = kTicksPerUnit / 16;
+    CentralizedLoopResult legacy = run_centralized_closed_loop(n, 30, unit_dist_fn(), cfg);
+    EXPECT_EQ(res.makespan, legacy.makespan) << n;
+    EXPECT_EQ(res.total_requests, legacy.total_requests) << n;
+    EXPECT_EQ(res.messages, legacy.messages) << n;
+    EXPECT_DOUBLE_EQ(res.avg_round_latency_units, legacy.avg_round_latency_units) << n;
+  }
+}
+
+TEST(Experiment, PointerForwardingMatchesLegacyBothModes) {
+  for (int seed = 0; seed < 10; ++seed) {
+    auto inst = testutil::make_instance(seed);
+    const auto mode = seed % 2 ? ForwardingMode::kReverseToSender
+                               : ForwardingMode::kCompressToRequester;
+    const Time service = seed % 3 == 2 ? kTicksPerUnit / 16 : 0;
+
+    Experiment e;
+    e.protocol = ProtocolSpec::pointer_forwarding(mode, service);
+    e.topology = TopologySpec::custom(inst.graph, inst.tree);
+    e.workload = WorkloadSpec::fixed(inst.requests);
+    e.keep_outcome = true;
+    RunResult res = run_experiment(e);
+
+    AllPairs apsp(inst.graph);
+    PointerForwardingConfig cfg;
+    cfg.mode = mode;
+    cfg.service_time = service;
+    cfg.initial_owner = inst.tree.root();
+    QueuingOutcome legacy = run_pointer_forwarding(inst.graph.node_count(), inst.requests,
+                                                   apsp_dist_fn(apsp), cfg);
+    ASSERT_TRUE(res.outcome.has_value()) << "seed " << seed;
+    expect_outcomes_equal(*res.outcome, legacy, seed);
+  }
+}
+
+TEST(Experiment, TokenPassingMatchesLegacySequence) {
+  for (int seed = 0; seed < 8; ++seed) {
+    auto inst = testutil::make_tree_instance(seed);
+    const Time hold = seed % 2 ? kTicksPerUnit / 4 : 0;
+
+    Experiment e = instance_experiment(inst, ProtocolSpec::token_passing(hold),
+                                       latency_spec_for(seed));
+    RunResult res = run_experiment(e);
+
+    // Legacy sequence: one model drives the arrow run and then the token.
+    auto legacy_model = latency_spec_for(seed).make();
+    ArrowEngine engine(inst.tree, *legacy_model);
+    QueuingOutcome out = engine.run(inst.requests);
+    TokenSimResult legacy =
+        simulate_token_passing(inst.tree, inst.requests, out, hold, *legacy_model);
+
+    EXPECT_EQ(res.makespan, legacy.makespan) << "seed " << seed;
+    EXPECT_EQ(res.total_distance, legacy.token_travel) << "seed " << seed;
+    EXPECT_EQ(res.total_hops, static_cast<std::int64_t>(legacy.token_messages))
+        << "seed " << seed;
+    EXPECT_EQ(res.messages, engine.messages_sent() + legacy.token_messages) << "seed " << seed;
+  }
+}
+
+// --- the registry ----------------------------------------------------------
+
+TEST(Experiment, RegistryCoversEveryProtocol) {
+  for (int p = 0; p < kProtocolCount; ++p)
+    EXPECT_NE(exp_detail::kDriverRegistry[static_cast<std::size_t>(p)], nullptr) << p;
+  EXPECT_STREQ(protocol_name(Protocol::kArrowOneShot), "arrow");
+  EXPECT_STREQ(protocol_name(Protocol::kArrowClosedLoop), "arrow-loop");
+  EXPECT_STREQ(protocol_name(Protocol::kCentralized), "centralized");
+  EXPECT_STREQ(protocol_name(Protocol::kPointerForwarding), "forwarding");
+  EXPECT_STREQ(protocol_name(Protocol::kTokenPassing), "token");
+}
+
+// --- mixed-protocol sweeps --------------------------------------------------
+
+std::vector<Experiment> mixed_protocol_list() {
+  std::vector<Experiment> exps;
+  int i = 0;
+  for (NodeId n : {12, 25, 40}) {
+    Experiment arrow_loop;
+    arrow_loop.protocol = ProtocolSpec::arrow_closed_loop(kTicksPerUnit / 16);
+    arrow_loop.topology = TopologySpec::complete(n);
+    arrow_loop.latency =
+        LatencySpec::uniform_async(400 + static_cast<std::uint64_t>(i), 0.1);
+    arrow_loop.rounds = 8 + i;
+    exps.push_back(arrow_loop);
+
+    Experiment central = arrow_loop;
+    central.protocol = ProtocolSpec::centralized(0, kTicksPerUnit / 16);
+    exps.push_back(central);
+
+    Experiment arrow_shot;
+    arrow_shot.protocol = ProtocolSpec::arrow_one_shot();
+    arrow_shot.topology = TopologySpec::random_tree(n, 70 + static_cast<std::uint64_t>(i));
+    arrow_shot.workload = WorkloadSpec::poisson(10 + i, 0.6, 90 + static_cast<std::uint64_t>(i));
+    arrow_shot.latency = LatencySpec::truncated_exp(500 + static_cast<std::uint64_t>(i), 0.4);
+    exps.push_back(arrow_shot);
+
+    Experiment forward = arrow_shot;
+    forward.protocol = ProtocolSpec::pointer_forwarding();
+    exps.push_back(forward);
+
+    Experiment token = arrow_shot;
+    token.protocol = ProtocolSpec::token_passing(kTicksPerUnit / 8);
+    exps.push_back(token);
+    ++i;
+  }
+  return exps;
+}
+
+TEST(ExperimentSweep, MixedProtocolResultsIndependentOfThreadCount) {
+  auto exps = mixed_protocol_list();
+  auto r1 = run_experiments(exps, SweepRunner(1));
+  auto r2 = run_experiments(exps, SweepRunner(2));
+  auto r5 = run_experiments(exps, SweepRunner(5));
+  ASSERT_EQ(r1.size(), exps.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    for (const auto* r : {&r2, &r5}) {
+      EXPECT_EQ(r1[i].label, (*r)[i].label) << i;
+      EXPECT_EQ(r1[i].result.makespan, (*r)[i].result.makespan) << i;
+      EXPECT_EQ(r1[i].result.total_requests, (*r)[i].result.total_requests) << i;
+      EXPECT_EQ(r1[i].result.messages, (*r)[i].result.messages) << i;
+      EXPECT_EQ(r1[i].result.total_hops, (*r)[i].result.total_hops) << i;
+      EXPECT_EQ(r1[i].result.total_latency, (*r)[i].result.total_latency) << i;
+    }
+  }
+}
+
+TEST(ExperimentSweep, MatchesSerialExecution) {
+  auto exps = mixed_protocol_list();
+  auto parallel = run_experiments(exps, SweepRunner(4));
+  for (std::size_t i = 0; i < exps.size(); ++i) {
+    RunResult serial = run_experiment(exps[i]);
+    EXPECT_EQ(parallel[i].result.makespan, serial.makespan) << i;
+    EXPECT_EQ(parallel[i].result.messages, serial.messages) << i;
+    EXPECT_EQ(parallel[i].result.total_latency, serial.total_latency) << i;
+  }
+}
+
+// --- spec plumbing ----------------------------------------------------------
+
+TEST(Experiment, DefaultLabelAndWithSeed) {
+  Experiment e;
+  e.protocol = ProtocolSpec::centralized();
+  e.topology = TopologySpec::complete(32);
+  e.latency = LatencySpec::uniform_async(1, 0.1);
+  EXPECT_EQ(e.default_label(), "centralized complete-32 uniform-async");
+
+  Experiment a = e.with_seed(7), b = e.with_seed(7), c = e.with_seed(8);
+  EXPECT_EQ(a.latency.seed, b.latency.seed);
+  EXPECT_NE(a.latency.seed, c.latency.seed);
+  EXPECT_NE(a.topology.seed, a.workload.seed);  // decorrelated sub-streams
+}
+
+TEST(Experiment, WorkloadSpecsMaterializeGeneratorCalls) {
+  // Each declarative kind must reproduce the direct generator call that
+  // bench/tests historically made.
+  const NodeId n = 20;
+  {
+    RequestSet want = one_shot_all(n, 3);
+    RequestSet got = WorkloadSpec::one_shot_all().build(n, 3);
+    ASSERT_EQ(got.size(), want.size());
+    for (RequestId id = 1; id <= want.size(); ++id) {
+      EXPECT_EQ(got.by_id(id).node, want.by_id(id).node);
+      EXPECT_EQ(got.by_id(id).time, want.by_id(id).time);
+    }
+  }
+  {
+    // Same spec twice -> identical schedules; different seed -> different.
+    WorkloadSpec w = WorkloadSpec::poisson(15, 0.5, 99);
+    RequestSet a = w.build(n, 0);
+    RequestSet b = w.build(n, 0);
+    ASSERT_EQ(a.size(), b.size());
+    bool identical = true;
+    for (RequestId id = 1; id <= a.size(); ++id)
+      identical = identical && a.by_id(id).node == b.by_id(id).node &&
+                  a.by_id(id).time == b.by_id(id).time;
+    EXPECT_TRUE(identical);
+    WorkloadSpec w2 = WorkloadSpec::poisson(15, 0.5, 100);
+    RequestSet c = w2.build(n, 0);
+    bool all_same = a.size() == c.size();
+    if (all_same)
+      for (RequestId id = 1; id <= a.size(); ++id)
+        all_same = all_same && a.by_id(id).node == c.by_id(id).node &&
+                   a.by_id(id).time == c.by_id(id).time;
+    EXPECT_FALSE(all_same);
+  }
+}
+
+TEST(Experiment, TopologySpecsMaterializeGenerators) {
+  {
+    Graph g = TopologySpec::complete(16).build_graph();
+    EXPECT_EQ(g.node_count(), 16);
+    EXPECT_EQ(g.edge_count(), 16u * 15u / 2u);
+    Tree t = TopologySpec::complete(16).build_tree(g);
+    for (NodeId v = 1; v < 16; ++v) EXPECT_EQ(t.parent(v), (v - 1) / 2);
+  }
+  {
+    TopologySpec spec = TopologySpec::grid(4, 5);
+    Graph g = spec.build_graph();
+    EXPECT_EQ(g.node_count(), 20);
+    Tree t = spec.build_tree(g);
+    EXPECT_EQ(t.root(), 0);
+  }
+  {
+    TopologySpec spec = TopologySpec::weighted_tree(18, 5, 7);
+    Graph g = spec.build_graph();
+    EXPECT_EQ(g.node_count(), 18);
+    EXPECT_EQ(g.edge_count(), 17u);
+    bool weighted = false;
+    for (const Edge& e : g.edges()) {
+      EXPECT_GE(e.weight, 1);
+      EXPECT_LE(e.weight, 7);
+      weighted = weighted || e.weight > 1;
+    }
+    EXPECT_TRUE(weighted);
+    // Same seed rebuilds the same graph (value-object determinism).
+    Graph g2 = spec.build_graph();
+    ASSERT_EQ(g2.edge_count(), g.edge_count());
+    for (std::size_t i = 0; i < g.edges().size(); ++i) {
+      EXPECT_EQ(g.edges()[i].u, g2.edges()[i].u);
+      EXPECT_EQ(g.edges()[i].v, g2.edges()[i].v);
+      EXPECT_EQ(g.edges()[i].weight, g2.edges()[i].weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arrowdq

@@ -180,6 +180,20 @@ TEST(TreeTest, PathExtraction) {
   EXPECT_EQ(p3, expected3);
 }
 
+TEST(TreeTest, NextHopMatchesPathOnRandomTrees) {
+  for (int seed = 0; seed < 4; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 101 + 9);
+    Graph g = make_random_tree(25 + 5 * seed, rng);
+    Tree t = shortest_path_tree(g, seed % 3);
+    for (NodeId u = 0; u < t.node_count(); ++u) {
+      for (NodeId v = 0; v < t.node_count(); ++v) {
+        if (u == v) continue;
+        EXPECT_EQ(t.next_hop(u, v), t.path(u, v)[1]) << u << "->" << v;
+      }
+    }
+  }
+}
+
 TEST(TreeTest, DiameterOfPathTree) {
   Graph g = make_path(10);
   Tree t = shortest_path_tree(g, 4);
