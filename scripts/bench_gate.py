@@ -97,6 +97,55 @@ SWEEP_SCENARIO_KEYS = [
     ("seconds", (int, float), False),
 ]
 
+# Per-metric statistics inside a scenario's "replication" block; every metric
+# object must carry all of them, numerically consistent (min <= mean <= max,
+# ci_lo <= mean <= ci_hi, stddev >= 0).
+REPLICATION_METRICS = [
+    "makespan_units",
+    "total_requests",
+    "messages",
+    "total_hops",
+    "avg_hops_per_request",
+    "avg_round_latency_units",
+    "total_latency_units",
+]
+REPLICATION_STAT_KEYS = ["mean", "stddev", "min", "max", "ci_lo", "ci_hi"]
+
+
+def check_replication(i, rep, declared_replicas, errors):
+    """Schema-check one scenario's replication block."""
+    if not isinstance(rep, dict):
+        errors.append(f"scenario[{i}].replication is not an object")
+        return
+    replicas = rep.get("replicas")
+    if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 2:
+        errors.append(f"scenario[{i}].replication.replicas must be an int >= 2")
+    elif declared_replicas is not None and replicas != declared_replicas:
+        errors.append(f"scenario[{i}].replication.replicas={replicas} but top-level "
+                      f"replicas={declared_replicas}")
+    confidence = rep.get("confidence")
+    if not isinstance(confidence, (int, float)) or not 0.0 < confidence < 1.0:
+        errors.append(f"scenario[{i}].replication.confidence must be in (0, 1)")
+    for metric in REPLICATION_METRICS:
+        stats = rep.get(metric)
+        if not isinstance(stats, dict):
+            errors.append(f"scenario[{i}].replication.{metric} missing or not an object")
+            continue
+        bad = [k for k in REPLICATION_STAT_KEYS
+               if not isinstance(stats.get(k), (int, float))
+               or isinstance(stats.get(k), bool)]
+        if bad:
+            errors.append(f"scenario[{i}].replication.{metric} missing numeric "
+                          f"{'/'.join(bad)}")
+            continue
+        if stats["stddev"] < 0:
+            errors.append(f"scenario[{i}].replication.{metric}.stddev is negative")
+        eps = 1e-9 + 1e-9 * abs(stats["mean"])
+        if not stats["min"] - eps <= stats["mean"] <= stats["max"] + eps:
+            errors.append(f"scenario[{i}].replication.{metric}: mean outside [min, max]")
+        if not stats["ci_lo"] - eps <= stats["mean"] <= stats["ci_hi"] + eps:
+            errors.append(f"scenario[{i}].replication.{metric}: mean outside [ci_lo, ci_hi]")
+
 
 def validate_sweep(path):
     with open(path) as f:
@@ -114,6 +163,15 @@ def validate_sweep(path):
     if isinstance(doc.get("scenario_count"), int) and len(scenarios) != doc["scenario_count"]:
         errors.append(f"scenario_count={doc['scenario_count']} but "
                       f"{len(scenarios)} scenario rows")
+    # Older sweep JSONs predate the replicas key; when present and >= 2,
+    # every scenario row must carry a replication block.
+    declared_replicas = doc.get("replicas")
+    if declared_replicas is not None and (not isinstance(declared_replicas, int)
+                                          or isinstance(declared_replicas, bool)
+                                          or declared_replicas < 1):
+        errors.append(f"top-level replicas must be an int >= 1, got {declared_replicas!r}")
+        declared_replicas = None
+    replicated_rows = 0
     protocols_seen = set()
     for i, row in enumerate(scenarios):
         if not isinstance(row, dict):
@@ -132,14 +190,24 @@ def validate_sweep(path):
             if proto not in SWEEP_PROTOCOLS:
                 errors.append(f"scenario[{i}].protocol {proto!r} not one of "
                               f"{sorted(SWEEP_PROTOCOLS)}")
+        rep = row.get("replication")
+        if rep is not None:
+            replicated_rows += 1
+            check_replication(i, rep, declared_replicas, errors)
+        elif isinstance(declared_replicas, int) and declared_replicas >= 2:
+            errors.append(f"scenario[{i}] missing replication block despite "
+                          f"top-level replicas={declared_replicas}")
     if errors:
         for e in errors[:20]:
             print(f"bench_gate: sweep schema error: {e}", file=sys.stderr)
         if len(errors) > 20:
             print(f"bench_gate: ... and {len(errors) - 20} more", file=sys.stderr)
         return 1
+    rep_note = (f", {replicated_rows} with replication stats"
+                if replicated_rows else "")
     print(f"bench_gate: sweep JSON OK — {len(scenarios)} scenarios across "
-          f"{len(protocols_seen)} protocol(s): {', '.join(sorted(protocols_seen))}")
+          f"{len(protocols_seen)} protocol(s): {', '.join(sorted(protocols_seen))}"
+          f"{rep_note}")
     return 0
 
 

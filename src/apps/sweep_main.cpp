@@ -1,8 +1,10 @@
 // sweep_main — parallel experiment sweep CLI over the unified Experiment API.
 //
 // Builds the full cross-product protocol × topology × node count × latency
-// (× repeat) as a list of declarative Experiment values, shards it across
-// SweepRunner's thread pool, and prints one row per scenario plus aggregate
+// (× repeat) as a list of declarative Experiment values, runs each cell
+// --replicas times (decorrelated per-replica seeds, statistics folded into
+// mean/stddev/min/max + confidence intervals), shards everything across
+// SweepRunner's thread pool, and prints one row per cell plus aggregate
 // throughput. Results are deterministic: per-scenario seeds derived from
 // --seed, fixed output order, identical numbers for any --threads value.
 //
@@ -11,19 +13,29 @@
 //   sweep_main --protocol arrow-loop,centralized --nodes 64,256 --reqs 200
 //   sweep_main --protocol arrow,forwarding,token --workload poisson:24:0.5
 //   sweep_main --topology complete,randtree --latency sync,exp:0.3 --json out.json
+//   sweep_main --topology torus:8x8,hypercube,geometric:0.3 --replicas 5
+//   sweep_main --protocol forwarding-loop --nodes 64 --reqs 100   # closed loop
 //   sweep_main --smoke --json sweep_smoke.json          # CI cross-protocol smoke
 //
 // Axes
-//   --protocol  arrow | arrow-loop | centralized | forwarding | token
-//   --topology  complete | path | randtree | wtree | grid:RxC
-//   --nodes     N1,N2,...      (applied to every non-grid topology)
+//   --protocol  arrow | arrow-loop | centralized | forwarding |
+//               forwarding-loop | token
+//   --topology  complete | path | randtree | wtree | grid:RxC | torus:RxC |
+//               hypercube | geometric[:RADIUS]
+//   --nodes     N1,N2,...      (applied to every topology without a fixed
+//               size; hypercube rounds each N down to a power of two)
 //   --latency   sync | scaled:F | uniform:MIN | exp:MEAN
 //   --workload  oneshot | poisson:COUNT:RATE | bursty:B:SIZE:GAP |
 //               sequential:COUNT:GAP        (one-shot protocols only)
-//   --reqs      closed-loop rounds per node (arrow-loop, centralized)
+//   --reqs      closed-loop rounds per node (arrow-loop, centralized,
+//               forwarding-loop)
+//   --replicas  statistical replicas per cell (default 1); R >= 2 adds a
+//               "replication" block per scenario row with mean/stddev/
+//               min/max/ci_lo/ci_hi per metric at 95% confidence
 //
 // JSON: --json FILE emits the cross-product with uniform metrics per
 // scenario (schema validated by scripts/bench_gate.py --validate-sweep).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +44,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/replication.hpp"
 #include "support/table.hpp"
 
 using namespace arrowdq;
@@ -48,7 +61,8 @@ struct Options {
   Time service_divisor = 16;  // service = kTicksPerUnit / divisor (0 = free)
   unsigned threads = 0;       // 0 = hardware concurrency
   std::uint64_t seed = 1;
-  int repeat = 1;             // replicas per grid point (distinct seeds)
+  int repeat = 1;             // separately-reported rows per grid point
+  int replicas = 1;           // statistically folded replicas per cell
   std::string json_path;      // empty = no JSON
   bool smoke = false;
 };
@@ -75,7 +89,7 @@ bool parse_protocol(const std::string& s, ProtocolSpec& out, Time service) {
     out = ProtocolSpec::arrow_closed_loop(service);
   } else if (s == "centralized") {
     out = ProtocolSpec::centralized(0, service);
-  } else if (s == "forwarding") {
+  } else if (s == "forwarding" || s == "forwarding-loop") {
     out = ProtocolSpec::pointer_forwarding(ForwardingMode::kCompressToRequester, service);
   } else if (s == "token") {
     out = ProtocolSpec::token_passing(service);
@@ -83,6 +97,13 @@ bool parse_protocol(const std::string& s, ProtocolSpec& out, Time service) {
     return false;
   }
   return true;
+}
+
+/// Protocol tokens that run closed-loop (get --reqs rounds instead of the
+/// one-shot workload). "forwarding" vs "forwarding-loop" pick the mode of
+/// the same ProtocolSpec.
+bool is_loop_token(const std::string& s) {
+  return s == "arrow-loop" || s == "centralized" || s == "forwarding-loop";
 }
 
 bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
@@ -101,6 +122,25 @@ bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
     NodeId cols = static_cast<NodeId>(std::atoi(s.c_str() + x + 1));
     if (rows < 1 || cols < 1) return false;
     out = TopologySpec::grid(rows, cols);
+  } else if (s.rfind("torus:", 0) == 0) {
+    auto x = s.find('x', 6);
+    if (x == std::string::npos) return false;
+    NodeId rows = static_cast<NodeId>(std::atoi(s.c_str() + 6));
+    NodeId cols = static_cast<NodeId>(std::atoi(s.c_str() + x + 1));
+    if (rows < 3 || cols < 3) return false;  // wraparound needs >= 3 per axis
+    out = TopologySpec::torus(rows, cols);
+  } else if (s == "hypercube") {
+    if (nodes < 2) return false;
+    int dims = 0;
+    while ((NodeId{2} << dims) <= nodes) ++dims;  // 2^dims = largest power <= nodes
+    out = TopologySpec::hypercube(dims);
+  } else if (s == "geometric" || s.rfind("geometric:", 0) == 0) {
+    double radius = 0.35;
+    if (s.size() > 10 && s[9] == ':') {
+      radius = std::atof(s.c_str() + 10);
+      if (radius <= 0.0) return false;
+    }
+    out = TopologySpec::geometric(nodes, /*seed=*/0, radius);  // seeded per scenario
   } else {
     return false;
   }
@@ -156,22 +196,20 @@ bool parse_workload(const std::string& s, WorkloadSpec& out) {
   return true;
 }
 
-bool is_closed_loop_protocol(const ProtocolSpec& p) {
-  return p.kind == Protocol::kArrowClosedLoop || p.kind == Protocol::kCentralized;
-}
-
 int usage() {
   std::fprintf(stderr,
                "usage: sweep_main [--protocol P1,P2,..] [--topology T1,T2,..]\n"
                "                  [--nodes N1,N2,..] [--latency SPEC1,SPEC2,..]\n"
                "                  [--workload W] [--reqs N] [--service-frac D]\n"
-               "                  [--threads T] [--seed S] [--repeat R]\n"
+               "                  [--threads T] [--seed S] [--repeat R] [--replicas R]\n"
                "                  [--json FILE] [--smoke]\n"
-               "  P: arrow | arrow-loop | centralized | forwarding | token\n"
-               "  T: complete | path | randtree | wtree | grid:RxC\n"
+               "  P: arrow | arrow-loop | centralized | forwarding | forwarding-loop | token\n"
+               "  T: complete | path | randtree | wtree | grid:RxC | torus:RxC |\n"
+               "     hypercube | geometric[:RADIUS]\n"
                "  SPEC: sync | scaled:F | uniform:MIN | exp:MEAN\n"
                "  W: oneshot | poisson:COUNT:RATE | bursty:B:SIZE:GAP | sequential:COUNT:GAP\n"
-               "  service time = one unit / D ticks (0 = free local processing)\n");
+               "  service time = one unit / D ticks (0 = free local processing)\n"
+               "  --replicas >= 2 folds per-cell statistics (mean/stddev/CI) into the JSON\n");
   return 2;
 }
 
@@ -184,47 +222,71 @@ void json_escaped(std::FILE* f, const std::string& s) {
   }
 }
 
+void json_metric_stats(std::FILE* f, const char* name, const MetricStats& m, const char* tail) {
+  std::fprintf(f,
+               "       \"%s\": {\"mean\": %.6f, \"stddev\": %.6f, \"min\": %.6f, "
+               "\"max\": %.6f, \"ci_lo\": %.6f, \"ci_hi\": %.6f}%s\n",
+               name, m.mean, m.stddev, m.min, m.max, m.ci_lo, m.ci_hi, tail);
+}
+
 int emit_json(const std::string& path, const Options& opt, unsigned threads,
-              const std::vector<Experiment>& exps, const std::vector<ExperimentResult>& results,
-              double wall) {
+              const std::vector<Experiment>& exps,
+              const std::vector<ReplicatedExperimentResult>& results, double wall) {
   std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
   std::int64_t total_reqs = 0;
-  for (const ExperimentResult& r : results) total_reqs += r.result.total_requests;
+  for (const ReplicatedExperimentResult& r : results)
+    for (const RunResult& run : r.result.runs) total_reqs += run.total_requests;
   std::fprintf(f, "{\n  \"bench\": \"experiment_sweep\",\n");
   std::fprintf(f, "  \"mode\": \"%s\",\n", opt.smoke ? "smoke" : "full");
-  std::fprintf(f, "  \"threads\": %u,\n  \"seed\": %llu,\n", threads,
-               static_cast<unsigned long long>(opt.seed));
+  std::fprintf(f, "  \"threads\": %u,\n  \"seed\": %llu,\n  \"replicas\": %d,\n", threads,
+               static_cast<unsigned long long>(opt.seed), opt.replicas);
   std::fprintf(f, "  \"scenario_count\": %zu,\n  \"total_requests\": %lld,\n",
                results.size(), static_cast<long long>(total_reqs));
   std::fprintf(f, "  \"wall_seconds\": %.6f,\n  \"scenarios\": [\n", wall);
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const ExperimentResult& r = results[i];
+    const ReplicatedExperimentResult& r = results[i];
     const Experiment& e = exps[i];
+    // Scalar metrics are replica 0's run — the cell exactly as seeded, i.e.
+    // the point sample an unreplicated sweep would have reported; the
+    // replication block carries the cross-replica statistics.
+    const RunResult& point = r.result.runs.front();
     std::fprintf(f, "    {\"label\": \"");
     json_escaped(f, r.label);
     std::fprintf(f, "\", \"protocol\": \"%s\", \"topology\": \"%s\", \"nodes\": %d, ",
                  e.protocol.name(), e.topology.family_name(), e.topology.nodes);
     std::fprintf(f, "\"latency\": \"%s\", \"workload\": \"%s\", \"rounds\": %lld,\n",
-                 e.latency.name(), is_closed_loop_protocol(e.protocol) ? "closed-loop"
-                                                                       : e.workload.name(),
+                 e.latency.name(), e.rounds > 0 ? "closed-loop" : e.workload.name(),
                  static_cast<long long>(e.rounds));
     std::fprintf(f,
                  "     \"makespan_units\": %.3f, \"total_requests\": %lld, "
                  "\"messages\": %llu, \"total_hops\": %lld,\n",
-                 ticks_to_units_d(r.result.makespan),
-                 static_cast<long long>(r.result.total_requests),
-                 static_cast<unsigned long long>(r.result.messages),
-                 static_cast<long long>(r.result.total_hops));
+                 ticks_to_units_d(point.makespan),
+                 static_cast<long long>(point.total_requests),
+                 static_cast<unsigned long long>(point.messages),
+                 static_cast<long long>(point.total_hops));
     std::fprintf(f,
                  "     \"avg_hops_per_request\": %.4f, \"avg_round_latency_units\": %.4f, "
-                 "\"total_latency_units\": %.3f, \"seconds\": %.6f}%s\n",
-                 r.result.avg_hops_per_request, r.result.avg_round_latency_units,
-                 ticks_to_units_d(r.result.total_latency), r.seconds,
-                 i + 1 < results.size() ? "," : "");
+                 "\"total_latency_units\": %.3f, \"seconds\": %.6f%s\n",
+                 point.avg_hops_per_request, point.avg_round_latency_units,
+                 ticks_to_units_d(point.total_latency), r.seconds,
+                 opt.replicas > 1 ? "," : "");
+    if (opt.replicas > 1) {
+      const ReplicatedResult& rep = r.result;
+      std::fprintf(f, "     \"replication\": {\"replicas\": %d, \"confidence\": %.4f,\n",
+                   rep.replicas, rep.confidence);
+      json_metric_stats(f, "makespan_units", rep.makespan_units, ",");
+      json_metric_stats(f, "total_requests", rep.total_requests, ",");
+      json_metric_stats(f, "messages", rep.messages, ",");
+      json_metric_stats(f, "total_hops", rep.total_hops, ",");
+      json_metric_stats(f, "avg_hops_per_request", rep.avg_hops_per_request, ",");
+      json_metric_stats(f, "avg_round_latency_units", rep.avg_round_latency_units, ",");
+      json_metric_stats(f, "total_latency_units", rep.total_latency_units, "}");
+    }
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   if (f != stdout) std::fclose(f);
@@ -265,6 +327,8 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
     } else if (!std::strcmp(argv[i], "--repeat")) {
       opt.repeat = std::atoi(next("--repeat"));
+    } else if (!std::strcmp(argv[i], "--replicas")) {
+      opt.replicas = std::atoi(next("--replicas"));
     } else if (!std::strcmp(argv[i], "--json")) {
       opt.json_path = next("--json");
     } else if (!std::strcmp(argv[i], "--smoke")) {
@@ -274,19 +338,23 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.smoke) {
-    // CI cross-protocol smoke: every protocol, two topology families, two
-    // latency regimes, small sizes — finishes in well under a second.
-    opt.protocols = {"arrow", "arrow-loop", "centralized", "forwarding", "token"};
-    opt.topologies = {"complete", "randtree"};
+    // CI cross-protocol smoke: every protocol in both its modes, three
+    // topology families (incl. a torus), two latency regimes, R=2
+    // replication so the statistics path is schema-gated — still finishes
+    // in well under a second at these sizes.
+    opt.protocols = {"arrow",      "arrow-loop",      "centralized",
+                     "forwarding", "forwarding-loop", "token"};
+    opt.topologies = {"complete", "randtree", "torus:4x4"};
     opt.nodes = {16, 32};
     opt.latencies = {"sync", "uniform:0.1"};
     opt.workload = "poisson:24:0.5";
     opt.reqs_per_node = 20;
     opt.repeat = 1;
+    opt.replicas = 2;
     if (opt.json_path.empty()) opt.json_path = "sweep_smoke.json";
   }
   if (opt.nodes.empty() || opt.latencies.empty() || opt.protocols.empty() ||
-      opt.topologies.empty() || opt.repeat < 1)
+      opt.topologies.empty() || opt.repeat < 1 || opt.replicas < 1)
     return usage();
 
   const Time service = opt.service_divisor == 0 ? 0 : kTicksPerUnit / opt.service_divisor;
@@ -302,10 +370,23 @@ int main(int argc, char** argv) {
     ProtocolSpec proto;
     if (!parse_protocol(proto_str, proto, service)) return usage();
     for (const std::string& topo_str : opt.topologies) {
-      // grid:RxC carries its own size; crossing it with --nodes would just
-      // emit identical duplicate scenarios.
-      const bool fixed_size = topo_str.rfind("grid:", 0) == 0;
-      const std::vector<NodeId> sizes = fixed_size ? std::vector<NodeId>{0} : opt.nodes;
+      // grid:RxC / torus:RxC carry their own size; crossing them with
+      // --nodes would just emit identical duplicate scenarios.
+      const bool fixed_size =
+          topo_str.rfind("grid:", 0) == 0 || topo_str.rfind("torus:", 0) == 0;
+      std::vector<NodeId> sizes = fixed_size ? std::vector<NodeId>{0} : opt.nodes;
+      if (topo_str == "hypercube") {
+        // Hypercube rounds each N down to a power of two; drop sizes that
+        // collapse onto an earlier one so the grid has no duplicate cells.
+        std::vector<NodeId> rounded;
+        for (NodeId n : sizes) {
+          TopologySpec probe;
+          if (!parse_topology(topo_str, n, probe)) return usage();
+          if (std::find(rounded.begin(), rounded.end(), probe.nodes) == rounded.end())
+            rounded.push_back(probe.nodes);
+        }
+        sizes = std::move(rounded);
+      }
       for (NodeId n : sizes) {
         TopologySpec topo;
         if (!parse_topology(topo_str, n, topo)) return usage();
@@ -317,12 +398,14 @@ int main(int argc, char** argv) {
             e.protocol = proto;
             e.topology = topo;
             e.latency = lat;
-            if (is_closed_loop_protocol(proto))
+            if (is_loop_token(proto_str))
               e.rounds = opt.reqs_per_node;
             else
               e.workload = workload;
             e = e.with_seed(++scenario_seed);
             e.label = e.default_label();
+            if (is_loop_token(proto_str) && proto.kind == Protocol::kPointerForwarding)
+              e.label.insert(e.label.find(' '), "-loop");
             if (opt.repeat > 1) e.label += "#" + std::to_string(r);
             exps.push_back(std::move(e));
           }
@@ -332,36 +415,54 @@ int main(int argc, char** argv) {
   }
 
   SweepRunner runner(opt.threads);
-  std::printf("=== experiment sweep: %zu scenarios (%zu protocols x %zu topologies x %zu sizes "
-              "x %zu latencies x %d), %u threads ===\n\n",
-              exps.size(), opt.protocols.size(), opt.topologies.size(), opt.nodes.size(),
-              opt.latencies.size(), opt.repeat, runner.threads());
+  // --json - owns stdout: the human-readable table would corrupt the piped
+  // document, so suppress it there.
+  const bool quiet = opt.json_path == "-";
+  if (!quiet)
+    std::printf("=== experiment sweep: %zu cells (%zu protocols x %zu topologies x %zu sizes "
+                "x %zu latencies x %d) x %d replicas, %u threads ===\n\n",
+                exps.size(), opt.protocols.size(), opt.topologies.size(), opt.nodes.size(),
+                opt.latencies.size(), opt.repeat, opt.replicas, runner.threads());
 
+  const ReplicationSpec rep{opt.replicas, opt.seed, 0.95};
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<ExperimentResult> results = run_experiments(exps, runner);
+  std::vector<ReplicatedExperimentResult> results = run_replicated(exps, rep, runner);
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0).count();
 
-  Table table({"scenario", "makespan(units)", "reqs", "msgs", "hops/req", "avg_lat(units)",
-               "secs"});
-  std::int64_t total_reqs = 0;
-  for (const ExperimentResult& r : results) {
-    total_reqs += r.result.total_requests;
-    table.row()
-        .cell(r.label)
-        .cell(ticks_to_units_d(r.result.makespan), 1)
-        .cell(r.result.total_requests)
-        .cell(static_cast<std::int64_t>(r.result.messages))
-        .cell(r.result.avg_hops_per_request, 3)
-        .cell(r.result.avg_round_latency_units, 3)
-        .cell(r.seconds, 4);
+  const bool replicated = opt.replicas > 1;
+  std::vector<std::string> columns = {"scenario", "makespan(units)", "reqs", "msgs",
+                                      "hops/req", "avg_lat(units)",  "secs"};
+  if (replicated) {
+    // Dispersion columns: cross-replica stddev of the two headline metrics.
+    columns.insert(columns.begin() + 2, "mk_sd");
+    columns.push_back("lat_sd");
   }
-  emit_table(table, "sweep");
-  std::printf("\n%zu scenarios, %lld simulated requests in %.3f s wall  (%.0f reqs/s, %.1f "
-              "scen/s)\n",
-              results.size(), static_cast<long long>(total_reqs), wall,
-              static_cast<double>(total_reqs) / wall,
-              static_cast<double>(results.size()) / wall);
+  Table table(columns);
+  std::int64_t total_reqs = 0;
+  for (const ReplicatedExperimentResult& r : results) {
+    for (const RunResult& run : r.result.runs) total_reqs += run.total_requests;
+    const RunResult& point = r.result.runs.front();
+    auto& row = table.row()
+                    .cell(r.label)
+                    .cell(ticks_to_units_d(point.makespan), 1);
+    if (replicated) row.cell(r.result.makespan_units.stddev, 2);
+    row.cell(point.total_requests)
+        .cell(static_cast<std::int64_t>(point.messages))
+        .cell(point.avg_hops_per_request, 3)
+        .cell(point.avg_round_latency_units, 3)
+        .cell(r.seconds, 4);
+    if (replicated) row.cell(r.result.avg_round_latency_units.stddev, 3);
+  }
+  if (!quiet) {
+    emit_table(table, "sweep");
+    std::printf("\n%zu cells x %d replicas, %lld simulated requests in %.3f s wall  "
+                "(%.0f reqs/s, %.1f runs/s)\n",
+                results.size(), opt.replicas, static_cast<long long>(total_reqs), wall,
+                static_cast<double>(total_reqs) / wall,
+                static_cast<double>(results.size() * static_cast<std::size_t>(opt.replicas)) /
+                    wall);
+  }
 
   if (!opt.json_path.empty()) {
     if (int rc = emit_json(opt.json_path, opt, runner.threads(), exps, results, wall)) return rc;

@@ -6,6 +6,7 @@
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "support/assert.hpp"
+#include "support/stats.hpp"
 
 namespace arrowdq {
 
@@ -132,6 +133,173 @@ QueuingOutcome run_pointer_forwarding_impl(NodeId node_count, const RequestSet& 
   return out;
 }
 
+// --- closed loop ------------------------------------------------------------
+
+enum class LoopKind : std::uint8_t { kFind, kReply };
+
+struct LoopMsg {
+  LoopKind kind = LoopKind::kFind;
+  RequestId req = kNoRequest;
+  NodeId requester = kNoNode;
+  std::int32_t hops = 0;
+};
+
+template <typename Dist>
+struct LoopForwarder;
+
+template <typename Dist>
+struct LoopForwardHandler {
+  LoopForwarder<Dist>* d = nullptr;
+  inline void operator()(NodeId from, NodeId at, const LoopMsg& m) const;
+};
+
+/// Closed-loop pointer forwarding: the hint/last_req core is the one-shot
+/// Forwarder's, the round structure (one outstanding request per node,
+/// re-issue one service interval after the predecessor identity arrives)
+/// mirrors the arrow closed-loop Driver. The reply is a direct message with
+/// latency dG(owner, requester); a locally satisfied request replies with
+/// zero latency, exactly like the arrow loop's local case.
+template <typename Dist>
+struct LoopForwarder {
+  Graph placeholder;
+  Simulator sim;
+  Network<LoopMsg, SyncSampler, LoopForwardHandler<Dist>> net;
+  Dist dist;
+  const PointerForwardingConfig& config;
+  std::int64_t requests_per_node;
+  std::vector<NodeId> hint;
+  std::vector<RequestId> last_req;
+  std::vector<std::int64_t> issued;
+  std::vector<Time> issue_time;
+  StatAccumulator latencies;
+  std::uint64_t find_messages = 0;
+  std::uint64_t reply_messages = 0;
+  RequestId next_id = kRootRequest;
+  std::int32_t hop_cap;
+
+  LoopForwarder(NodeId node_count, std::int64_t reqs_per_node, Dist dist_fn,
+                const PointerForwardingConfig& cfg)
+      : placeholder(make_path(node_count)),
+        net(placeholder, sim, SyncSampler{}),
+        dist(dist_fn),
+        config(cfg),
+        requests_per_node(reqs_per_node),
+        hint(static_cast<std::size_t>(node_count)),
+        last_req(static_cast<std::size_t>(node_count), kNoRequest),
+        issued(static_cast<std::size_t>(node_count), 0),
+        issue_time(static_cast<std::size_t>(node_count), 0),
+        hop_cap(8 * node_count + 16) {
+    // One outstanding request per node bounds pending events/messages to O(n).
+    const auto n = static_cast<std::size_t>(node_count);
+    sim.reserve(4 * n);
+    net.reserve_messages(2 * n);
+    net.set_service_time(cfg.service_time);
+    for (NodeId v = 0; v < node_count; ++v)
+      hint[static_cast<std::size_t>(v)] = cfg.initial_owner;
+    last_req[static_cast<std::size_t>(cfg.initial_owner)] = kRootRequest;
+  }
+
+  struct IssueEvent {
+    LoopForwarder* d;
+    NodeId v;
+    void operator()() const { d->issue(v); }
+  };
+  static_assert(Simulator::template fits_inline_v<IssueEvent>,
+                "IssueEvent must stay on the simulator's inline path");
+
+  void issue(NodeId v) {
+    auto vi = static_cast<std::size_t>(v);
+    if (issued[vi] >= requests_per_node) return;
+    ++issued[vi];
+    issue_time[vi] = sim.now();
+    RequestId a = ++next_id;
+    if (hint[vi] == v) {
+      ARROWDQ_ASSERT(last_req[vi] != kNoRequest);
+      last_req[vi] = a;
+      round_done(v);  // predecessor found locally: the reply is local too
+      return;
+    }
+    NodeId target = hint[vi];
+    last_req[vi] = a;
+    hint[vi] = v;
+    ++find_messages;
+    net.send_with_latency(v, target, dist(v, target), LoopMsg{LoopKind::kFind, a, v, 1});
+  }
+
+  void handle(NodeId from, NodeId at, const LoopMsg& m) {
+    if (m.kind == LoopKind::kReply) {
+      round_done(at);
+      return;
+    }
+    ARROWDQ_ASSERT_MSG(m.hops <= hop_cap, "pointer-forwarding find did not terminate");
+    auto ui = static_cast<std::size_t>(at);
+    NodeId next = hint[ui];
+    hint[ui] = config.mode == ForwardingMode::kCompressToRequester ? m.requester : from;
+    if (next == at) {
+      // Owner found; return the predecessor identity to the requester (the
+      // reply's req field carries last_req, not the requester's own id —
+      // it is what the requester "learns", though only the arrival instant
+      // drives the round structure).
+      ARROWDQ_ASSERT(last_req[ui] != kNoRequest);
+      if (m.requester == at) {
+        round_done(at);
+      } else {
+        ++reply_messages;
+        net.send_with_latency(at, m.requester, dist(at, m.requester),
+                              LoopMsg{LoopKind::kReply, last_req[ui], m.requester, 0});
+      }
+      return;
+    }
+    ++find_messages;
+    net.send_with_latency(at, next, dist(at, next),
+                          LoopMsg{LoopKind::kFind, m.req, m.requester, m.hops + 1});
+  }
+
+  void round_done(NodeId v) {
+    latencies.add(static_cast<double>(sim.now() - issue_time[static_cast<std::size_t>(v)]));
+    // Re-issue through the event loop: preparing the next request costs one
+    // service interval of local CPU time (same rule as the arrow loop).
+    sim.in(config.service_time, IssueEvent{this, v});
+  }
+};
+
+template <typename Dist>
+inline void LoopForwardHandler<Dist>::operator()(NodeId from, NodeId at,
+                                                 const LoopMsg& m) const {
+  d->handle(from, at, m);
+}
+
+template <typename Dist>
+ForwardingLoopResult run_pointer_forwarding_closed_loop_impl(
+    NodeId node_count, std::int64_t requests_per_node, Dist dist,
+    const PointerForwardingConfig& config) {
+  ARROWDQ_ASSERT_MSG(node_count >= 1, "need at least one node");
+  ARROWDQ_ASSERT_MSG(requests_per_node >= 0, "requests_per_node must be >= 0");
+  ARROWDQ_ASSERT_MSG(config.initial_owner >= 0 && config.initial_owner < node_count,
+                     "initial owner must be a node");
+
+  LoopForwarder<Dist> driver(node_count, requests_per_node, dist, config);
+  driver.net.set_handler(LoopForwardHandler<Dist>{&driver});
+  for (NodeId v = 0; v < node_count; ++v)
+    driver.sim.at(0, typename LoopForwarder<Dist>::IssueEvent{&driver, v});
+  driver.sim.run();
+
+  ForwardingLoopResult res;
+  res.makespan = driver.sim.now();
+  res.total_requests = static_cast<std::int64_t>(node_count) * requests_per_node;
+  res.find_messages = driver.find_messages;
+  res.reply_messages = driver.reply_messages;
+  res.avg_hops_per_request =
+      res.total_requests == 0
+          ? 0.0
+          : static_cast<double>(res.find_messages) / static_cast<double>(res.total_requests);
+  res.avg_round_latency_units = driver.latencies.count() == 0
+                                    ? 0.0
+                                    : driver.latencies.mean() /
+                                          static_cast<double>(kTicksPerUnit);
+  return res;
+}
+
 }  // namespace
 
 QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
@@ -154,6 +322,37 @@ QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& reque
                                       const PointerForwardingConfig& config) {
   return with_static_dist(dist, [&](auto oracle) {
     return run_pointer_forwarding_impl(node_count, requests, oracle, config);
+  });
+}
+
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        UnitDist dist,
+                                                        const PointerForwardingConfig& config) {
+  return run_pointer_forwarding_closed_loop_impl(node_count, requests_per_node, dist, config);
+}
+
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        ApspDist dist,
+                                                        const PointerForwardingConfig& config) {
+  return run_pointer_forwarding_closed_loop_impl(node_count, requests_per_node, dist, config);
+}
+
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        FnDist dist,
+                                                        const PointerForwardingConfig& config) {
+  return run_pointer_forwarding_closed_loop_impl(node_count, requests_per_node, dist, config);
+}
+
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        const DistTicksFn& dist,
+                                                        const PointerForwardingConfig& config) {
+  return with_static_dist(dist, [&](auto oracle) {
+    return run_pointer_forwarding_closed_loop_impl(node_count, requests_per_node, oracle,
+                                                   config);
   });
 }
 

@@ -54,4 +54,38 @@ QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& reque
                                       const DistTicksFn& dist,
                                       const PointerForwardingConfig& config);
 
+struct ForwardingLoopResult {
+  Time makespan = 0;                  // ticks until every node finished its rounds
+  std::int64_t total_requests = 0;
+  std::uint64_t find_messages = 0;    // pointer-chase hops
+  std::uint64_t reply_messages = 0;   // predecessor-identity replies
+  double avg_hops_per_request = 0.0;  // find legs per request
+  double avg_round_latency_units = 0.0;  // mean issue->reply time per request
+};
+
+/// Closed-loop driver matching run_arrow_closed_loop's measurement: every
+/// node performs `requests_per_node` rounds; when a find reaches the node
+/// holding the predecessor request, that node returns the predecessor's
+/// identity to the requester as a direct message (latency dG), and the
+/// requester issues its next request one service interval after the reply
+/// arrives. A request finding the predecessor locally completes with a
+/// zero-latency local reply, exactly like the arrow loop. Same
+/// oracle-overload scheme as run_pointer_forwarding.
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        UnitDist dist,
+                                                        const PointerForwardingConfig& config);
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        ApspDist dist,
+                                                        const PointerForwardingConfig& config);
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        FnDist dist,
+                                                        const PointerForwardingConfig& config);
+ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
+                                                        std::int64_t requests_per_node,
+                                                        const DistTicksFn& dist,
+                                                        const PointerForwardingConfig& config);
+
 }  // namespace arrowdq

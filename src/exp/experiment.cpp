@@ -43,6 +43,14 @@ Graph TopologySpec::build_graph() const {
       return make_path(nodes);
     case Family::kGrid:
       return make_grid(rows, cols);
+    case Family::kTorus:
+      return make_torus(rows, cols);
+    case Family::kHypercube:
+      return make_hypercube(dims);
+    case Family::kGeometric: {
+      Rng rng(mix64(seed + 0x70b01063));
+      return make_random_geometric(nodes, radius, rng, weight_scale);
+    }
     case Family::kRandomTree: {
       Rng rng(mix64(seed + 0x70b01061));
       return make_random_tree(nodes, rng);
@@ -92,6 +100,12 @@ const char* TopologySpec::family_name() const {
       return "path";
     case Family::kGrid:
       return "grid";
+    case Family::kTorus:
+      return "torus";
+    case Family::kHypercube:
+      return "hypercube";
+    case Family::kGeometric:
+      return "geometric";
     case Family::kRandomTree:
       return "randtree";
     case Family::kWeightedTree:
@@ -263,18 +277,29 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
 
 template <>
 RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolved& r) {
-  ARROWDQ_ASSERT_MSG(e.rounds == 0, "pointer forwarding has no closed-loop mode");
   PointerForwardingConfig cfg;
   cfg.mode = e.protocol.mode;
   cfg.service_time = e.protocol.service_time;
   cfg.initial_owner = r.tree.root();
   const NodeId n = r.graph.node_count();
+  RunResult res;
+  res.protocol = e.protocol.kind;
+  if (e.rounds > 0) {
+    ForwardingLoopResult loop =
+        r.apsp ? run_pointer_forwarding_closed_loop(n, e.rounds, ApspDist{&*r.apsp}, cfg)
+               : run_pointer_forwarding_closed_loop(n, e.rounds, UnitDist{}, cfg);
+    res.makespan = loop.makespan;
+    res.total_requests = loop.total_requests;
+    res.messages = loop.find_messages + loop.reply_messages;
+    res.total_hops = static_cast<std::int64_t>(loop.find_messages);
+    res.avg_hops_per_request = loop.avg_hops_per_request;
+    res.avg_round_latency_units = loop.avg_round_latency_units;
+    return res;
+  }
   QueuingOutcome out =
       r.apsp ? run_pointer_forwarding(n, r.requests, ApspDist{&*r.apsp}, cfg)
              : run_pointer_forwarding(n, r.requests, UnitDist{}, cfg);
   out.validate(r.requests);
-  RunResult res;
-  res.protocol = e.protocol.kind;
   res.messages = static_cast<std::uint64_t>(out.total_hops());
   fill_one_shot(res, e, r.requests, std::move(out));
   return res;
@@ -313,7 +338,9 @@ namespace {
 
 bool is_closed_loop(const Experiment& e) {
   return e.protocol.kind == Protocol::kArrowClosedLoop ||
-         (e.protocol.kind == Protocol::kCentralized && e.rounds > 0);
+         ((e.protocol.kind == Protocol::kCentralized ||
+           e.protocol.kind == Protocol::kPointerForwarding) &&
+          e.rounds > 0);
 }
 
 bool needs_apsp_oracle(const Experiment& e) {
@@ -340,8 +367,13 @@ Resolved resolve(const Experiment& e) {
 RunResult run_experiment(const Experiment& e) {
   const auto index = static_cast<std::size_t>(e.protocol.kind);
   ARROWDQ_ASSERT_MSG(index < exp_detail::kDriverRegistry.size(), "unknown protocol");
+  ARROWDQ_ASSERT_MSG(!e.analyze || e.keep_outcome,
+                     "Experiment::analyze requires keep_outcome");
   exp_detail::Resolved r = exp_detail::resolve(e);
-  return exp_detail::kDriverRegistry[index](e, r);
+  RunResult res = exp_detail::kDriverRegistry[index](e, r);
+  if (e.analyze && res.outcome)
+    res.competitive = analyze_competitive(r.graph, r.tree, r.requests, *res.outcome);
+  return res;
 }
 
 std::vector<ExperimentResult> run_experiments(const std::vector<Experiment>& exps,

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/competitive.hpp"
 #include "baseline/pointer_forwarding.hpp"
 #include "graph/graph.hpp"
 #include "graph/tree.hpp"
@@ -118,6 +119,9 @@ struct TopologySpec {
     kComplete,      // Section 5's SP2 model: K_n, unit pairwise latency
     kPath,          // worst-stretch line
     kGrid,          // rows x cols mesh
+    kTorus,         // rows x cols grid with wraparound (vertex-transitive)
+    kHypercube,     // 2^dims nodes, edges join labels differing in one bit
+    kGeometric,     // seeded unit-disk graph, weights ~ Euclidean distance
     kRandomTree,    // uniform random labelled tree (Pruefer)
     kWeightedTree,  // random tree, edge weights uniform in [1, max_weight]
     kCustom,        // caller-supplied graph + tree
@@ -132,9 +136,12 @@ struct TopologySpec {
 
   Family family = Family::kComplete;
   NodeId nodes = 64;
-  NodeId rows = 0, cols = 0;   // kGrid (nodes = rows * cols)
+  NodeId rows = 0, cols = 0;   // kGrid / kTorus (nodes = rows * cols)
+  int dims = 0;                // kHypercube (nodes = 2^dims)
   std::uint64_t seed = 0;      // randomized families
   Weight max_weight = 9;       // kWeightedTree
+  double radius = 0.35;        // kGeometric connection radius in [0, sqrt(2)]
+  Weight weight_scale = 16;    // kGeometric: weight = ceil(euclidean * scale)
   TreeKind tree_kind = TreeKind::kShortestPath;
   NodeId root = 0;
   std::optional<Graph> custom_graph;  // kCustom
@@ -166,6 +173,31 @@ struct TopologySpec {
     t.rows = rows;
     t.cols = cols;
     t.nodes = rows * cols;
+    return t;
+  }
+  static TopologySpec torus(NodeId rows, NodeId cols) {
+    TopologySpec t;
+    t.family = Family::kTorus;
+    t.rows = rows;
+    t.cols = cols;
+    t.nodes = rows * cols;
+    return t;
+  }
+  static TopologySpec hypercube(int dims) {
+    TopologySpec t;
+    t.family = Family::kHypercube;
+    t.dims = dims;
+    t.nodes = static_cast<NodeId>(NodeId{1} << dims);
+    return t;
+  }
+  static TopologySpec geometric(NodeId n, std::uint64_t seed, double radius = 0.35,
+                                Weight weight_scale = 16) {
+    TopologySpec t;
+    t.family = Family::kGeometric;
+    t.nodes = n;
+    t.seed = seed;
+    t.radius = radius;
+    t.weight_scale = weight_scale;
     return t;
   }
   static TopologySpec random_tree(NodeId n, std::uint64_t seed) {
@@ -285,6 +317,10 @@ struct RunResult {
   /// The full queuing outcome (one-shot protocols, keep_outcome only):
   /// feeds analyze_competitive and the application layers.
   std::optional<QueuingOutcome> outcome;
+  /// Theorem 3.19 instrumentation of the outcome against the offline optimum
+  /// on (G, T). Engaged iff Experiment::analyze (which requires keep_outcome)
+  /// and the protocol produced a QueuingOutcome.
+  std::optional<CompetitiveReport> competitive;
 };
 
 struct Experiment {
@@ -294,11 +330,15 @@ struct Experiment {
   WorkloadSpec workload;  // one-shot protocols; ignored by closed loops
   LatencySpec latency;    // arrow/token protocols; baselines use dG oracles
   /// Closed-loop rounds per node. Drives kArrowClosedLoop (must be > 0) and
-  /// switches kCentralized between its closed-loop (> 0) and one-shot (== 0,
-  /// workload-driven) modes.
+  /// switches kCentralized and kPointerForwarding between their closed-loop
+  /// (> 0) and one-shot (== 0, workload-driven) modes.
   std::int64_t rounds = 0;
   /// Retain the QueuingOutcome in RunResult::outcome (one-shot protocols).
   bool keep_outcome = false;
+  /// Run analyze_competitive on the retained outcome into
+  /// RunResult::competitive. Requires keep_outcome; a no-op for closed loops
+  /// (they produce no QueuingOutcome).
+  bool analyze = false;
 
   /// "protocol topology-n latency" summary used when `label` is empty.
   std::string default_label() const;

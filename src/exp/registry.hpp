@@ -11,7 +11,11 @@
 //
 // The registry is a constexpr array built at compile time; adding a protocol
 // means adding an enumerator, a specialization, and one array entry — the
-// static_assert below keeps the three in sync.
+// static_assert below keeps the three in sync. A driver may cover both
+// execution modes behind one entry: kCentralized and kPointerForwarding
+// switch between one-shot (rounds == 0, workload-driven) and closed-loop
+// (rounds > 0, find-completion reply) inside their shim, so every protocol
+// is sweepable in whichever modes it defines.
 #pragma once
 
 #include <array>

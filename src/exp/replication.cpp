@@ -1,0 +1,145 @@
+#include "exp/replication.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace arrowdq {
+
+double normal_quantile(double p) {
+  ARROWDQ_ASSERT_MSG(p > 0.0 && p < 1.0, "quantile level must be in (0, 1)");
+  // Acklam's rational approximation: three regimes, refined coefficients.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  double q = p - 0.5;
+  double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+MetricStats fold_metric(const std::vector<double>& samples, double confidence) {
+  MetricStats s;
+  const auto n = samples.size();
+  if (n == 0) return s;
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(n);
+  if (n >= 2) {
+    double ss = 0.0;
+    for (double x : samples) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  const double z = normal_quantile(0.5 + confidence / 2.0);
+  const double half = n >= 2 ? z * s.stddev / std::sqrt(static_cast<double>(n)) : 0.0;
+  s.ci_lo = s.mean - half;
+  s.ci_hi = s.mean + half;
+  return s;
+}
+
+ReplicatedResult fold_replicas(std::vector<RunResult> runs, double confidence) {
+  ARROWDQ_ASSERT_MSG(!runs.empty(), "cannot fold zero replicas");
+  ReplicatedResult res;
+  res.protocol = runs.front().protocol;
+  res.replicas = static_cast<int>(runs.size());
+  res.confidence = confidence;
+
+  std::vector<double> samples(runs.size());
+  auto fold = [&](auto metric_of) {
+    for (std::size_t i = 0; i < runs.size(); ++i) samples[i] = metric_of(runs[i]);
+    return fold_metric(samples, confidence);
+  };
+  res.makespan_units = fold([](const RunResult& r) { return ticks_to_units_d(r.makespan); });
+  res.total_requests =
+      fold([](const RunResult& r) { return static_cast<double>(r.total_requests); });
+  res.messages = fold([](const RunResult& r) { return static_cast<double>(r.messages); });
+  res.total_hops = fold([](const RunResult& r) { return static_cast<double>(r.total_hops); });
+  res.avg_hops_per_request = fold([](const RunResult& r) { return r.avg_hops_per_request; });
+  res.avg_round_latency_units =
+      fold([](const RunResult& r) { return r.avg_round_latency_units; });
+  res.total_latency_units =
+      fold([](const RunResult& r) { return ticks_to_units_d(r.total_latency); });
+  res.runs = std::move(runs);
+  return res;
+}
+
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t cell, int replica) {
+  // (cell, replica) -> a distinct 64-bit input (replica counts are tiny
+  // relative to the odd golden-ratio stride), decorrelated twice through
+  // mix64 — the same scheme Experiment::with_seed uses per component.
+  return mix64(base_seed ^ mix64(static_cast<std::uint64_t>(cell) * 0x9e3779b97f4a7c15ULL +
+                                 static_cast<std::uint64_t>(replica)));
+}
+
+std::vector<ReplicatedExperimentResult> run_replicated(const std::vector<Experiment>& cells,
+                                                       const ReplicationSpec& spec,
+                                                       const SweepRunner& runner) {
+  ARROWDQ_ASSERT_MSG(spec.count >= 1, "replication count must be >= 1");
+  ARROWDQ_ASSERT_MSG(spec.confidence > 0.0 && spec.confidence < 1.0,
+                     "confidence level must be in (0, 1)");
+  const auto r_count = static_cast<std::size_t>(spec.count);
+
+  // Flatten cell x replica into one scenario list; run_experiments shards it
+  // deterministically, which is what makes the folded statistics
+  // thread-count invariant.
+  std::vector<Experiment> flat;
+  flat.reserve(cells.size() * r_count);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    flat.push_back(cells[i]);
+    for (int r = 1; r < spec.count; ++r)
+      flat.push_back(cells[i].with_seed(replica_seed(spec.base_seed, i, r)));
+  }
+  std::vector<ExperimentResult> flat_results = run_experiments(flat, runner);
+
+  std::vector<ReplicatedExperimentResult> out;
+  out.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ReplicatedExperimentResult cell;
+    std::vector<RunResult> runs;
+    runs.reserve(r_count);
+    for (std::size_t r = 0; r < r_count; ++r) {
+      ExperimentResult& er = flat_results[i * r_count + r];
+      if (r == 0) cell.label = std::move(er.label);
+      cell.seconds += er.seconds;
+      runs.push_back(std::move(er.result));
+    }
+    cell.result = fold_replicas(std::move(runs), spec.confidence);
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+std::vector<ReplicatedExperimentResult> run_replicated(const std::vector<Experiment>& cells,
+                                                       const ReplicationSpec& spec) {
+  return run_replicated(cells, spec, SweepRunner(1));
+}
+
+}  // namespace arrowdq

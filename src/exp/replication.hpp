@@ -1,0 +1,106 @@
+// First-class replication for the Experiment API.
+//
+// The paper's competitive bounds are statements over *distributions* of
+// requests and topologies; a single-seed point estimate per scenario cell
+// says nothing about dispersion. This layer runs each scenario cell R times
+// with decorrelated per-replica seeds and folds the R RunResults into a
+// ReplicatedResult carrying mean / stddev / min / max and a
+// normal-approximation confidence interval per metric, so sweep output can
+// be reported the way the experiments literature expects: replicated runs
+// with error bars, not single samples.
+//
+// Determinism contract (same as run_experiments): the flattened
+// cell x replica list shards across SweepRunner's pool exactly like a
+// scenario list, so every statistic is bit-identical for any thread count
+// and identical to a serial fold. Replica 0 is the cell exactly as given —
+// a ReplicationSpec with count == 1 reproduces an unreplicated sweep — and
+// replica r >= 1 reseeds the cell through Experiment::with_seed with a
+// mix64-derived (base_seed, cell, replica) stream, the same decorrelation
+// scheme the sweep grid already uses per cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace arrowdq {
+
+struct ReplicationSpec {
+  /// Replicas per scenario cell (>= 1). 1 degenerates to a point estimate
+  /// (stddev 0, zero-width interval).
+  int count = 1;
+  /// Master seed for the replica seed derivation (replica 0 keeps the cell's
+  /// own seeds, so this only affects replicas >= 1).
+  std::uint64_t base_seed = 1;
+  /// Two-sided confidence level for the normal-approximation interval.
+  double confidence = 0.95;
+};
+
+/// Dispersion summary of one metric across the replicas of a cell.
+struct MetricStats {
+  double mean = 0.0;
+  double stddev = 0.0;  // unbiased (n-1); 0 for fewer than 2 samples
+  double min = 0.0;
+  double max = 0.0;
+  /// Normal-approximation CI: mean -+ z(confidence) * stddev / sqrt(n).
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+};
+
+/// Standard-normal quantile (inverse CDF) via Acklam's rational
+/// approximation (relative error < 1.2e-9 on (0, 1)). Deterministic across
+/// platforms: no <random>, no libm special functions beyond sqrt/log.
+double normal_quantile(double p);
+
+/// Fold a sample vector into MetricStats at the given confidence level.
+/// Exact two-pass mean/variance (not a streaming accumulator), so known
+/// inputs produce closed-form-checkable outputs.
+MetricStats fold_metric(const std::vector<double>& samples, double confidence);
+
+/// The replicated analogue of RunResult: per-metric statistics over R runs.
+/// Integer-valued metrics (requests, messages, hops) are folded as doubles;
+/// time-valued metrics are folded in units (ticks_to_units_d) so the stats
+/// match sweep_main's JSON scale.
+struct ReplicatedResult {
+  Protocol protocol = Protocol::kArrowOneShot;
+  int replicas = 0;
+  double confidence = 0.95;
+  MetricStats makespan_units;
+  MetricStats total_requests;
+  MetricStats messages;
+  MetricStats total_hops;
+  MetricStats avg_hops_per_request;
+  MetricStats avg_round_latency_units;
+  MetricStats total_latency_units;
+  /// The per-replica point samples, replica order (runs[0] is the cell as
+  /// given, i.e. the value an unreplicated sweep would have reported).
+  std::vector<RunResult> runs;
+};
+
+/// Fold R per-replica RunResults (all from the same cell) into statistics.
+ReplicatedResult fold_replicas(std::vector<RunResult> runs, double confidence);
+
+/// Seed for replica `replica` of cell `cell`: mix64-decorrelated from the
+/// master seed; distinct (cell, replica) pairs map to distinct streams.
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t cell, int replica);
+
+/// One folded sweep slot, in cell order.
+struct ReplicatedExperimentResult {
+  std::string label;
+  ReplicatedResult result;
+  double seconds = 0;  // summed wall time of the cell's replicas
+};
+
+/// Run every cell `spec.count` times across `runner`'s pool (replicas shard
+/// like scenarios) and fold. Results are in cell order and bit-identical for
+/// any thread count.
+std::vector<ReplicatedExperimentResult> run_replicated(const std::vector<Experiment>& cells,
+                                                       const ReplicationSpec& spec,
+                                                       const SweepRunner& runner);
+/// Serial convenience overload (thread count 1).
+std::vector<ReplicatedExperimentResult> run_replicated(const std::vector<Experiment>& cells,
+                                                       const ReplicationSpec& spec);
+
+}  // namespace arrowdq

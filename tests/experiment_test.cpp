@@ -13,10 +13,13 @@
 //    generator calls they describe.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "analysis/competitive.hpp"
 #include "apps/token_sim.hpp"
 #include "arrow/arrow.hpp"
 #include "arrow/closed_loop.hpp"
@@ -24,6 +27,7 @@
 #include "baseline/pointer_forwarding.hpp"
 #include "exp/experiment.hpp"
 #include "exp/registry.hpp"
+#include "exp/replication.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sim/latency.hpp"
@@ -194,6 +198,42 @@ TEST(Experiment, CentralizedClosedLoopMatchesLegacy) {
   }
 }
 
+TEST(Experiment, PointerForwardingClosedLoopMatchesLegacy) {
+  // rounds > 0 switches kPointerForwarding to the closed-loop driver; the
+  // registry path must be tick-identical to the direct call with the same
+  // APSP oracle and initial owner.
+  for (int seed = 0; seed < 8; ++seed) {
+    auto inst = testutil::make_instance(seed);
+    const auto mode = seed % 2 ? ForwardingMode::kReverseToSender
+                               : ForwardingMode::kCompressToRequester;
+    const Time service = seed % 3 == 0 ? 0 : kTicksPerUnit / 16;
+    const std::int64_t rounds = 6 + seed % 7;
+
+    Experiment e;
+    e.protocol = ProtocolSpec::pointer_forwarding(mode, service);
+    e.topology = TopologySpec::custom(inst.graph, inst.tree);
+    e.rounds = rounds;
+    RunResult res = run_experiment(e);
+
+    AllPairs apsp(inst.graph);
+    PointerForwardingConfig cfg;
+    cfg.mode = mode;
+    cfg.service_time = service;
+    cfg.initial_owner = inst.tree.root();
+    ForwardingLoopResult legacy = run_pointer_forwarding_closed_loop(
+        inst.graph.node_count(), rounds, apsp_dist_fn(apsp), cfg);
+
+    EXPECT_EQ(res.makespan, legacy.makespan) << "seed " << seed;
+    EXPECT_EQ(res.total_requests, legacy.total_requests) << "seed " << seed;
+    EXPECT_EQ(res.messages, legacy.find_messages + legacy.reply_messages) << "seed " << seed;
+    EXPECT_EQ(res.total_hops, static_cast<std::int64_t>(legacy.find_messages))
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(res.avg_hops_per_request, legacy.avg_hops_per_request) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(res.avg_round_latency_units, legacy.avg_round_latency_units)
+        << "seed " << seed;
+  }
+}
+
 TEST(Experiment, PointerForwardingMatchesLegacyBothModes) {
   for (int seed = 0; seed < 10; ++seed) {
     auto inst = testutil::make_instance(seed);
@@ -288,6 +328,25 @@ std::vector<Experiment> mixed_protocol_list() {
     Experiment token = arrow_shot;
     token.protocol = ProtocolSpec::token_passing(kTicksPerUnit / 8);
     exps.push_back(token);
+
+    // PR-5 axes: closed-loop pointer forwarding on a torus, a one-shot
+    // forwarding run on a seeded geometric graph, arrow on a hypercube.
+    Experiment forward_loop;
+    forward_loop.protocol =
+        ProtocolSpec::pointer_forwarding(ForwardingMode::kCompressToRequester,
+                                         kTicksPerUnit / 16);
+    forward_loop.topology = TopologySpec::torus(3 + i, 4);
+    forward_loop.rounds = 6 + i;
+    exps.push_back(forward_loop);
+
+    Experiment geo = arrow_shot;
+    geo.protocol = ProtocolSpec::pointer_forwarding(ForwardingMode::kReverseToSender);
+    geo.topology = TopologySpec::geometric(n, 130 + static_cast<std::uint64_t>(i), 0.4);
+    exps.push_back(geo);
+
+    Experiment cube = arrow_shot;
+    cube.topology = TopologySpec::hypercube(4 + i % 2);
+    exps.push_back(cube);
     ++i;
   }
   return exps;
@@ -320,6 +379,216 @@ TEST(ExperimentSweep, MatchesSerialExecution) {
     EXPECT_EQ(parallel[i].result.messages, serial.messages) << i;
     EXPECT_EQ(parallel[i].result.total_latency, serial.total_latency) << i;
   }
+}
+
+// --- replication ------------------------------------------------------------
+
+TEST(Replication, NormalQuantileMatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.95), 1.6448536269514722, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.995), 2.5758293035489004, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-7);
+  // Tail regime (p < 0.02425) goes through a separate rational fit.
+  EXPECT_NEAR(normal_quantile(0.001), -3.0902323061678132, 1e-6);
+}
+
+TEST(Replication, FoldMetricMatchesClosedForm) {
+  // Textbook sample: mean 5, sum of squared deviations 32 over n-1 = 7.
+  const std::vector<double> samples = {2, 4, 4, 4, 5, 5, 7, 9};
+  MetricStats s = fold_metric(samples, 0.95);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  const double half = 1.959963984540054 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0);
+  EXPECT_NEAR(s.ci_lo, 5.0 - half, 1e-7);
+  EXPECT_NEAR(s.ci_hi, 5.0 + half, 1e-7);
+
+  // Degenerate folds: single sample has no dispersion and a zero-width CI.
+  MetricStats one = fold_metric({3.25}, 0.95);
+  EXPECT_DOUBLE_EQ(one.mean, 3.25);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci_lo, 3.25);
+  EXPECT_DOUBLE_EQ(one.ci_hi, 3.25);
+  EXPECT_DOUBLE_EQ(one.min, 3.25);
+  EXPECT_DOUBLE_EQ(one.max, 3.25);
+}
+
+TEST(Replication, FoldReplicasAggregatesEveryMetric) {
+  std::vector<RunResult> runs(3);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].protocol = Protocol::kArrowClosedLoop;
+    runs[i].makespan = static_cast<Time>((i + 1) * kTicksPerUnit);  // 1, 2, 3 units
+    runs[i].total_requests = 10;
+    runs[i].messages = 100 + 10 * i;  // 100, 110, 120
+    runs[i].total_hops = static_cast<std::int64_t>(50 + i);
+    runs[i].avg_hops_per_request = 5.0 + static_cast<double>(i);
+    runs[i].avg_round_latency_units = 0.5;
+    runs[i].total_latency = static_cast<Time>(2 * kTicksPerUnit);
+  }
+  ReplicatedResult res = fold_replicas(std::move(runs), 0.95);
+  EXPECT_EQ(res.protocol, Protocol::kArrowClosedLoop);
+  EXPECT_EQ(res.replicas, 3);
+  ASSERT_EQ(res.runs.size(), 3u);
+
+  EXPECT_DOUBLE_EQ(res.makespan_units.mean, 2.0);
+  EXPECT_DOUBLE_EQ(res.makespan_units.min, 1.0);
+  EXPECT_DOUBLE_EQ(res.makespan_units.max, 3.0);
+  EXPECT_NEAR(res.makespan_units.stddev, 1.0, 1e-12);  // var = (1+0+1)/2
+  EXPECT_DOUBLE_EQ(res.messages.mean, 110.0);
+  EXPECT_NEAR(res.messages.stddev, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(res.total_requests.mean, 10.0);
+  EXPECT_DOUBLE_EQ(res.total_requests.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(res.total_hops.mean, 51.0);
+  EXPECT_DOUBLE_EQ(res.avg_hops_per_request.mean, 6.0);
+  EXPECT_DOUBLE_EQ(res.avg_round_latency_units.mean, 0.5);
+  EXPECT_DOUBLE_EQ(res.avg_round_latency_units.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(res.total_latency_units.mean, 2.0);
+  // runs[0] is preserved verbatim as the point sample.
+  EXPECT_EQ(res.runs[0].messages, 100u);
+}
+
+TEST(Replication, ReplicaSeedsAreDistinctAndStable) {
+  std::vector<std::uint64_t> seen;
+  for (std::size_t cell = 0; cell < 40; ++cell)
+    for (int r = 1; r < 6; ++r) seen.push_back(replica_seed(7, cell, r));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+      << "replica seed collision";
+  EXPECT_EQ(replica_seed(7, 3, 2), replica_seed(7, 3, 2));
+  EXPECT_NE(replica_seed(7, 3, 2), replica_seed(8, 3, 2));
+}
+
+void expect_stats_equal(const MetricStats& a, const MetricStats& b, const char* what,
+                        std::size_t i) {
+  EXPECT_EQ(a.mean, b.mean) << what << " cell " << i;
+  EXPECT_EQ(a.stddev, b.stddev) << what << " cell " << i;
+  EXPECT_EQ(a.min, b.min) << what << " cell " << i;
+  EXPECT_EQ(a.max, b.max) << what << " cell " << i;
+  EXPECT_EQ(a.ci_lo, b.ci_lo) << what << " cell " << i;
+  EXPECT_EQ(a.ci_hi, b.ci_hi) << what << " cell " << i;
+}
+
+TEST(Replication, ReplicatedSweepBitIdenticalAcrossThreadCounts) {
+  // The acceptance bar: replicated mixed-protocol sweeps — including
+  // closed-loop pointer forwarding and the torus/geometric/hypercube
+  // families — must produce bit-identical statistics for any thread count
+  // and vs the serial overload.
+  auto cells = mixed_protocol_list();
+  const ReplicationSpec spec{3, 77, 0.95};
+  auto serial = run_replicated(cells, spec);
+  ASSERT_EQ(serial.size(), cells.size());
+  for (unsigned threads : {1u, 2u, 4u, 5u}) {
+    auto parallel = run_replicated(cells, spec, SweepRunner(threads));
+    ASSERT_EQ(parallel.size(), serial.size()) << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].label, serial[i].label) << i;
+      EXPECT_EQ(parallel[i].result.replicas, 3) << i;
+      expect_stats_equal(parallel[i].result.makespan_units, serial[i].result.makespan_units,
+                         "makespan", i);
+      expect_stats_equal(parallel[i].result.messages, serial[i].result.messages, "messages",
+                         i);
+      expect_stats_equal(parallel[i].result.total_hops, serial[i].result.total_hops, "hops",
+                         i);
+      expect_stats_equal(parallel[i].result.total_latency_units,
+                         serial[i].result.total_latency_units, "latency", i);
+      expect_stats_equal(parallel[i].result.avg_round_latency_units,
+                         serial[i].result.avg_round_latency_units, "round-latency", i);
+      ASSERT_EQ(parallel[i].result.runs.size(), serial[i].result.runs.size()) << i;
+      for (std::size_t r = 0; r < serial[i].result.runs.size(); ++r) {
+        EXPECT_EQ(parallel[i].result.runs[r].makespan, serial[i].result.runs[r].makespan)
+            << i << " replica " << r;
+        EXPECT_EQ(parallel[i].result.runs[r].messages, serial[i].result.runs[r].messages)
+            << i << " replica " << r;
+      }
+    }
+  }
+}
+
+TEST(Replication, CountOneDegeneratesToUnreplicatedSweep) {
+  // R = 1 must reproduce run_experiments exactly: replica 0 is the cell as
+  // given, and the statistics collapse onto the point sample.
+  auto cells = mixed_protocol_list();
+  const ReplicationSpec spec{1, 99, 0.95};
+  auto folded = run_replicated(cells, spec);
+  auto plain = run_experiments(cells);
+  ASSERT_EQ(folded.size(), plain.size());
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    EXPECT_EQ(folded[i].result.replicas, 1) << i;
+    EXPECT_EQ(folded[i].result.runs.front().makespan, plain[i].result.makespan) << i;
+    EXPECT_EQ(folded[i].result.runs.front().messages, plain[i].result.messages) << i;
+    EXPECT_DOUBLE_EQ(folded[i].result.makespan_units.mean,
+                     ticks_to_units_d(plain[i].result.makespan))
+        << i;
+    EXPECT_DOUBLE_EQ(folded[i].result.makespan_units.stddev, 0.0) << i;
+  }
+}
+
+TEST(Replication, ReplicasActuallyVaryOnRandomizedCells) {
+  // A randomized topology/workload cell must show dispersion across
+  // replicas — otherwise the seed-derivation policy is broken and every
+  // "replica" reruns the same point.
+  Experiment e;
+  e.protocol = ProtocolSpec::arrow_one_shot();
+  e.topology = TopologySpec::random_tree(24, 5);
+  e.workload = WorkloadSpec::poisson(20, 0.5, 9);
+  e.latency = LatencySpec::truncated_exp(11, 0.4);
+  auto folded = run_replicated({e}, ReplicationSpec{6, 123, 0.95});
+  ASSERT_EQ(folded.size(), 1u);
+  const ReplicatedResult& r = folded[0].result;
+  EXPECT_GT(r.makespan_units.stddev, 0.0);
+  EXPECT_LT(r.makespan_units.ci_lo, r.makespan_units.mean);
+  EXPECT_GT(r.makespan_units.ci_hi, r.makespan_units.mean);
+  EXPECT_LE(r.makespan_units.min, r.makespan_units.mean);
+  EXPECT_GE(r.makespan_units.max, r.makespan_units.mean);
+}
+
+// --- competitive analysis wiring --------------------------------------------
+
+TEST(Experiment, AnalyzeFlagMatchesDirectAnalyzeCompetitive) {
+  for (int seed : {0, 3, 5, 8}) {
+    auto inst = testutil::make_instance(seed);
+    Experiment e;
+    e.protocol = ProtocolSpec::arrow_one_shot();
+    e.topology = TopologySpec::custom(inst.graph, inst.tree);
+    e.workload = WorkloadSpec::fixed(inst.requests);
+    e.latency = LatencySpec::synchronous();
+    e.keep_outcome = true;
+    e.analyze = true;
+    RunResult res = run_experiment(e);
+    ASSERT_TRUE(res.outcome.has_value()) << seed;
+    ASSERT_TRUE(res.competitive.has_value()) << seed;
+
+    CompetitiveReport direct =
+        analyze_competitive(inst.graph, inst.tree, inst.requests, *res.outcome);
+    EXPECT_EQ(res.competitive->cost_arrow, direct.cost_arrow) << seed;
+    EXPECT_EQ(res.competitive->ct_sum, direct.ct_sum) << seed;
+    EXPECT_EQ(res.competitive->t_last, direct.t_last) << seed;
+    EXPECT_EQ(res.competitive->lemma310_exact, direct.lemma310_exact) << seed;
+    EXPECT_EQ(res.competitive->opt.exact, direct.opt.exact) << seed;
+    EXPECT_EQ(res.competitive->opt.mst_cm, direct.opt.mst_cm) << seed;
+    EXPECT_EQ(res.competitive->opt.value, direct.opt.value) << seed;
+    EXPECT_DOUBLE_EQ(res.competitive->ratio, direct.ratio) << seed;
+    EXPECT_DOUBLE_EQ(res.competitive->s_log_d, direct.s_log_d) << seed;
+    EXPECT_DOUBLE_EQ(res.competitive->stretch, direct.stretch) << seed;
+    EXPECT_EQ(res.competitive->tree_diameter, direct.tree_diameter) << seed;
+    // The synchronous arrow run satisfies Lemma 3.10 exactly, so the wired
+    // report carries real content, not zeros.
+    EXPECT_TRUE(res.competitive->lemma310_exact) << seed;
+  }
+}
+
+TEST(Experiment, AnalyzeIsNoOpForClosedLoops) {
+  Experiment e;
+  e.protocol = ProtocolSpec::arrow_closed_loop();
+  e.topology = TopologySpec::complete(16);
+  e.rounds = 5;
+  e.keep_outcome = true;  // closed loops produce no outcome to keep
+  e.analyze = true;
+  RunResult res = run_experiment(e);
+  EXPECT_FALSE(res.outcome.has_value());
+  EXPECT_FALSE(res.competitive.has_value());
 }
 
 // --- spec plumbing ----------------------------------------------------------

@@ -121,9 +121,30 @@ std::uint64_t baseline_case_hash(int seed) {
   return h.value();
 }
 
+/// Closed-loop pointer forwarding (PR 5's find-completion reply driver):
+/// seeded graphs with APSP latencies, both pointer-update rules, with and
+/// without a serial service time.
+std::uint64_t forwarding_loop_case_hash(int seed) {
+  auto inst = testutil::make_instance(seed);
+  AllPairs apsp(inst.graph);
+  PointerForwardingConfig cfg;
+  cfg.mode = seed % 2 ? ForwardingMode::kReverseToSender : ForwardingMode::kCompressToRequester;
+  cfg.service_time = seed % 3 == 0 ? 0 : kTicksPerUnit / 16;
+  cfg.initial_owner = inst.requests.root();
+  ForwardingLoopResult res = run_pointer_forwarding_closed_loop(
+      inst.graph.node_count(), 10 + seed % 6, apsp_dist_fn(apsp), cfg);
+  Fnv1a h;
+  h.add_signed(res.makespan);
+  h.add_signed(res.total_requests);
+  h.add(res.find_messages);
+  h.add(res.reply_messages);
+  return h.value();
+}
+
 constexpr int kArrowCases = 12;
 constexpr int kLoopCases = 6;
 constexpr int kBaselineCases = 6;
+constexpr int kForwardLoopCases = 6;
 
 // Pinned against the seed core (PR 1, commit ca30709).
 constexpr std::uint64_t kArrowGolden[kArrowCases] = {
@@ -139,6 +160,11 @@ constexpr std::uint64_t kLoopGolden[kLoopCases] = {
 constexpr std::uint64_t kBaselineGolden[kBaselineCases] = {
     0x7d578953c5317ac1ULL, 0x67756554244e97e0ULL, 0xe4d98f25eb225b1eULL,
     0x8f7019033c6c7ccdULL, 0xf41286ee244fee07ULL, 0xe6ab23ba7db16448ULL,
+};
+// Pinned against the initial closed-loop forwarding driver (PR 5).
+constexpr std::uint64_t kForwardLoopGolden[kForwardLoopCases] = {
+    0xa69e76166af37bffULL, 0x7a8ed0ca0849b181ULL, 0xe24b0d7463ce83a0ULL,
+    0x92289a766347d17dULL, 0x6935c587a2e6cea1ULL, 0xf5f47e33a0435fb2ULL,
 };
 
 TEST(GoldenDeterminism, ArrowOneShot) {
@@ -156,6 +182,40 @@ TEST(GoldenDeterminism, Baselines) {
     EXPECT_EQ(baseline_case_hash(seed), kBaselineGolden[seed]) << "baseline seed " << seed;
 }
 
+TEST(GoldenDeterminism, PointerForwardingClosedLoop) {
+  for (int seed = 0; seed < kForwardLoopCases; ++seed)
+    EXPECT_EQ(forwarding_loop_case_hash(seed), kForwardLoopGolden[seed])
+        << "forwarding-loop seed " << seed;
+}
+
+// The closed-loop forwarding driver at one request per node with free local
+// processing is exactly the one-shot burst: same request count, same number
+// of pointer-chase hops (the property property_arrow_test.cpp pins for the
+// arrow closed loop). The replies ride outside the find dynamics, so they
+// must not perturb the chase.
+TEST(GoldenDeterminism, ForwardingClosedLoopOneRoundMatchesOneShot) {
+  for (int seed = 0; seed < 10; ++seed) {
+    auto inst = testutil::make_instance(seed);
+    const NodeId n = inst.graph.node_count();
+    const NodeId owner = inst.requests.root();
+    AllPairs apsp(inst.graph);
+    auto dist = apsp_dist_fn(apsp);
+    for (auto mode : {ForwardingMode::kCompressToRequester, ForwardingMode::kReverseToSender}) {
+      PointerForwardingConfig cfg;
+      cfg.mode = mode;
+      cfg.initial_owner = owner;
+      ForwardingLoopResult loop = run_pointer_forwarding_closed_loop(n, 1, dist, cfg);
+
+      RequestSet burst = one_shot_all(n, owner);
+      QueuingOutcome out = run_pointer_forwarding(n, burst, dist, cfg);
+
+      EXPECT_EQ(loop.total_requests, static_cast<std::int64_t>(n)) << "seed " << seed;
+      EXPECT_EQ(loop.find_messages, static_cast<std::uint64_t>(out.total_hops()))
+          << "seed " << seed << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
 TEST(GoldenDeterminism, DISABLED_PrintActualHashes) {
   std::printf("kArrowGolden:\n");
   for (int s = 0; s < kArrowCases; ++s) std::printf("0x%016llxULL,\n", (unsigned long long)arrow_case_hash(s));
@@ -163,6 +223,8 @@ TEST(GoldenDeterminism, DISABLED_PrintActualHashes) {
   for (int s = 0; s < kLoopCases; ++s) std::printf("0x%016llxULL,\n", (unsigned long long)closed_loop_case_hash(s));
   std::printf("kBaselineGolden:\n");
   for (int s = 0; s < kBaselineCases; ++s) std::printf("0x%016llxULL,\n", (unsigned long long)baseline_case_hash(s));
+  std::printf("kForwardLoopGolden:\n");
+  for (int s = 0; s < kForwardLoopCases; ++s) std::printf("0x%016llxULL,\n", (unsigned long long)forwarding_loop_case_hash(s));
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// Seeded randomized invariants for the torus / hypercube / geometric
+// topology families behind TopologySpec (PR 5's new sweep axis).
+//
+// Each family is checked both at the generator level (structure: degree
+// regularity, connectivity, edge-weight symmetry, closed-form distances
+// spot-checked against APSP) and at the TopologySpec level (value-object
+// determinism: the same spec materializes bit-identical graphs, distinct
+// seeds materialize distinct geometric graphs, family names round-trip).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+
+#include "exp/experiment.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "testutil.hpp"
+
+namespace arrowdq {
+namespace {
+
+void expect_graphs_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].u, b.edges()[i].u) << i;
+    EXPECT_EQ(a.edges()[i].v, b.edges()[i].v) << i;
+    EXPECT_EQ(a.edges()[i].weight, b.edges()[i].weight) << i;
+  }
+}
+
+// --- torus ------------------------------------------------------------------
+
+class TorusProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TorusProperty, RegularConnectedAndDistancesMatchApsp) {
+  Rng rng = testutil::seeded_rng(GetParam(), /*salt=*/0x7021);
+  const NodeId rows = 3 + static_cast<NodeId>(rng.next_below(6));
+  const NodeId cols = 3 + static_cast<NodeId>(rng.next_below(7));
+  const Graph g = TopologySpec::torus(rows, cols).build_graph();
+  const NodeId n = rows * cols;
+
+  ASSERT_EQ(g.node_count(), n);
+  // Every node has exactly the four wraparound mesh neighbours, so the edge
+  // count is 2 per node.
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(2) * static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), 4) << "node " << v;
+  EXPECT_TRUE(g.is_connected());
+
+  // Unit weights: dG((r1,c1),(r2,c2)) = wrapped row offset + wrapped column
+  // offset. Spot-check random pairs against Dijkstra's answer.
+  AllPairs apsp(g);
+  auto wrapped = [](NodeId a, NodeId b, NodeId extent) {
+    NodeId d = a > b ? a - b : b - a;
+    return std::min(d, extent - d);
+  };
+  for (int check = 0; check < 64; ++check) {
+    auto u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const Weight want = wrapped(u / cols, v / cols, rows) + wrapped(u % cols, v % cols, cols);
+    EXPECT_EQ(apsp.dist(u, v), want) << rows << "x" << cols << " pair " << u << "," << v;
+  }
+  // The torus diameter is achieved at the maximal wrap on both axes.
+  EXPECT_EQ(apsp.diameter(), static_cast<Weight>(rows / 2 + cols / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDims, TorusProperty, ::testing::Range(0, 12));
+
+// --- hypercube --------------------------------------------------------------
+
+class HypercubeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeProperty, RegularDiameterLogNAndHammingDistances) {
+  const int d = 1 + GetParam();  // dimensions 1..8
+  const TopologySpec spec = TopologySpec::hypercube(d);
+  const Graph g = spec.build_graph();
+  const auto n = static_cast<NodeId>(NodeId{1} << d);
+
+  ASSERT_EQ(spec.nodes, n);
+  ASSERT_EQ(g.node_count(), n);
+  // d-regular with d * 2^(d-1) edges.
+  EXPECT_EQ(g.edge_count(),
+            static_cast<std::size_t>(d) * (static_cast<std::size_t>(n) / 2));
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), d) << "node " << v;
+  EXPECT_TRUE(g.is_connected());
+
+  // Shortest paths are Hamming distances; the diameter is log2 n = d
+  // (achieved between complementary labels).
+  AllPairs apsp(g);
+  EXPECT_EQ(apsp.diameter(), static_cast<Weight>(d));
+  Rng rng = testutil::seeded_rng(d, /*salt=*/0xcb);
+  for (int check = 0; check < 64; ++check) {
+    auto u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto hamming = std::popcount(static_cast<std::uint32_t>(u) ^
+                                       static_cast<std::uint32_t>(v));
+    EXPECT_EQ(apsp.dist(u, v), static_cast<Weight>(hamming)) << u << "," << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, HypercubeProperty, ::testing::Range(0, 8));
+
+// --- geometric --------------------------------------------------------------
+
+class GeometricProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeometricProperty, ConnectedSymmetricBoundedWeights) {
+  Rng rng = testutil::seeded_rng(GetParam(), /*salt=*/0x9e0);
+  const NodeId n = 12 + static_cast<NodeId>(rng.next_below(30));
+  const double radius = 0.25 + 0.05 * (GetParam() % 4);
+  const Weight scale = 16;
+  const TopologySpec spec =
+      TopologySpec::geometric(n, /*seed=*/static_cast<std::uint64_t>(GetParam()) * 101 + 7,
+                              radius, scale);
+  const Graph g = spec.build_graph();
+
+  ASSERT_EQ(g.node_count(), n);
+  EXPECT_TRUE(g.is_connected());  // the generator resamples until connected
+  for (const Edge& e : g.edges()) {
+    // Integer weights ceil(euclidean * scale): at least 1, and no pair in
+    // the unit square is farther than sqrt(2) even after the generator
+    // widens the radius to reach connectivity.
+    EXPECT_GE(e.weight, 1);
+    EXPECT_LE(e.weight, static_cast<Weight>(23));  // ceil(sqrt(2) * 16)
+    // Undirected symmetry through the O(1) edge index.
+    EXPECT_EQ(g.edge_weight(e.u, e.v), e.weight);
+    EXPECT_EQ(g.edge_weight(e.v, e.u), e.weight);
+    EXPECT_LT(e.u, n);
+    EXPECT_LT(e.v, n);
+    EXPECT_NE(e.u, e.v);
+  }
+  for (NodeId v = 0; v < n; ++v) EXPECT_LT(g.degree(v), n);  // simple graph
+
+  // Value-object determinism: the spec is a pure function of its fields.
+  expect_graphs_identical(g, spec.build_graph());
+
+  // A different seed draws different points (identical layouts would need a
+  // full point-set collision).
+  TopologySpec other = spec;
+  other.seed = spec.seed + 1;
+  const Graph g2 = other.build_graph();
+  bool same = g.edge_count() == g2.edge_count();
+  if (same) {
+    for (std::size_t i = 0; same && i < g.edges().size(); ++i)
+      same = g.edges()[i].u == g2.edges()[i].u && g.edges()[i].v == g2.edges()[i].v &&
+             g.edges()[i].weight == g2.edges()[i].weight;
+  }
+  EXPECT_FALSE(same);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometricProperty, ::testing::Range(0, 16));
+
+// --- TopologySpec plumbing --------------------------------------------------
+
+TEST(TopologySpecFamilies, NamesAndTreeMaterialization) {
+  EXPECT_STREQ(TopologySpec::torus(4, 5).family_name(), "torus");
+  EXPECT_STREQ(TopologySpec::hypercube(4).family_name(), "hypercube");
+  EXPECT_STREQ(TopologySpec::geometric(24, 3).family_name(), "geometric");
+
+  // Every new family must materialize a usable spanning tree for the arrow
+  // protocols: n nodes, rooted as requested, covering the graph.
+  for (TopologySpec spec : {TopologySpec::torus(4, 5), TopologySpec::hypercube(5),
+                            TopologySpec::geometric(24, 3)}) {
+    spec.root = 2;
+    const Graph g = spec.build_graph();
+    const Tree t = spec.build_tree(g);
+    EXPECT_EQ(t.node_count(), g.node_count()) << spec.family_name();
+    EXPECT_EQ(t.root(), 2) << spec.family_name();
+  }
+}
+
+TEST(TopologySpecFamilies, TorusAndHypercubeIgnoreSeeds) {
+  // Deterministic families: with_seed reseeding must not perturb them.
+  TopologySpec torus = TopologySpec::torus(4, 4);
+  TopologySpec reseeded = torus;
+  reseeded.seed = 12345;
+  expect_graphs_identical(torus.build_graph(), reseeded.build_graph());
+
+  TopologySpec cube = TopologySpec::hypercube(4);
+  TopologySpec cube2 = cube;
+  cube2.seed = 999;
+  expect_graphs_identical(cube.build_graph(), cube2.build_graph());
+}
+
+}  // namespace
+}  // namespace arrowdq
