@@ -77,6 +77,20 @@ def speedup(doc, metric, reference):
 
 SWEEP_PROTOCOLS = {"arrow", "arrow-loop", "centralized", "forwarding", "token"}
 
+SWEEP_FAULTS = {"none", "loss", "dup", "jitter", "spike", "crash", "chaos"}
+
+# Keys a scenario row carries exactly when it injects faults ("fault" is the
+# sentinel). recovery_delta_units may be negative: it is the makespan delta
+# against the cell's fault-free twin, and faults can reshuffle interleavings
+# into a faster schedule.
+SWEEP_FAULT_KEYS = [
+    ("messages_dropped", int, False),
+    ("messages_duplicated", int, False),
+    ("crashes", int, False),
+    ("stabilize_rounds", int, False),
+    ("recovery_delta_units", (int, float), True),
+]
+
 # (key, allowed types, allow negative). Every scenario row of an
 # experiment-sweep JSON must carry all of them.
 SWEEP_SCENARIO_KEYS = [
@@ -172,6 +186,7 @@ def validate_sweep(path):
         errors.append(f"top-level replicas must be an int >= 1, got {declared_replicas!r}")
         declared_replicas = None
     replicated_rows = 0
+    fault_rows = 0
     protocols_seen = set()
     for i, row in enumerate(scenarios):
         if not isinstance(row, dict):
@@ -190,6 +205,19 @@ def validate_sweep(path):
             if proto not in SWEEP_PROTOCOLS:
                 errors.append(f"scenario[{i}].protocol {proto!r} not one of "
                               f"{sorted(SWEEP_PROTOCOLS)}")
+        fault = row.get("fault")
+        if fault is not None:
+            fault_rows += 1
+            if not isinstance(fault, str) or fault not in SWEEP_FAULTS:
+                errors.append(f"scenario[{i}].fault {fault!r} not one of "
+                              f"{sorted(SWEEP_FAULTS)}")
+            for key, types, allow_negative in SWEEP_FAULT_KEYS:
+                value = row.get(key)
+                if not isinstance(value, types) or isinstance(value, bool):
+                    errors.append(f"scenario[{i}].{key} missing or wrong type "
+                                  f"({type(value).__name__})")
+                elif not allow_negative and value < 0:
+                    errors.append(f"scenario[{i}].{key} is negative ({value})")
         rep = row.get("replication")
         if rep is not None:
             replicated_rows += 1
@@ -205,9 +233,10 @@ def validate_sweep(path):
         return 1
     rep_note = (f", {replicated_rows} with replication stats"
                 if replicated_rows else "")
+    fault_note = f", {fault_rows} with fault injection" if fault_rows else ""
     print(f"bench_gate: sweep JSON OK — {len(scenarios)} scenarios across "
           f"{len(protocols_seen)} protocol(s): {', '.join(sorted(protocols_seen))}"
-          f"{rep_note}")
+          f"{rep_note}{fault_note}")
     return 0
 
 

@@ -29,9 +29,13 @@
 //               sequential:COUNT:GAP        (one-shot protocols only)
 //   --reqs      closed-loop rounds per node (arrow-loop, centralized,
 //               forwarding-loop)
+//   --fault     none | loss:P | dup:P | jitter:P[:MAXU] | spike:P[:F] |
+//               crash:N[:DOWNU[:PERIODU]] | chaos     (crossed like any axis;
+//               fault != none adds fault metrics + recovery delta per row)
 //   --replicas  statistical replicas per cell (default 1); R >= 2 adds a
 //               "replication" block per scenario row with mean/stddev/
 //               min/max/ci_lo/ci_hi per metric at 95% confidence
+//               (Student-t intervals at R-1 degrees of freedom)
 //
 // JSON: --json FILE emits the cross-product with uniform metrics per
 // scenario (schema validated by scripts/bench_gate.py --validate-sweep).
@@ -45,6 +49,7 @@
 
 #include "exp/experiment.hpp"
 #include "exp/replication.hpp"
+#include "support/parse.hpp"
 #include "support/table.hpp"
 
 using namespace arrowdq;
@@ -56,6 +61,7 @@ struct Options {
   std::vector<std::string> topologies = {"complete"};
   std::vector<NodeId> nodes = {64, 128, 256, 512};
   std::vector<std::string> latencies = {"sync"};
+  std::vector<std::string> faults = {"none"};
   std::string workload = "oneshot";
   std::int64_t reqs_per_node = 100;
   Time service_divisor = 16;  // service = kTicksPerUnit / divisor (0 = free)
@@ -118,17 +124,17 @@ bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
   } else if (s.rfind("grid:", 0) == 0) {
     auto x = s.find('x', 5);
     if (x == std::string::npos) return false;
-    NodeId rows = static_cast<NodeId>(std::atoi(s.c_str() + 5));
-    NodeId cols = static_cast<NodeId>(std::atoi(s.c_str() + x + 1));
-    if (rows < 1 || cols < 1) return false;
-    out = TopologySpec::grid(rows, cols);
+    auto rows = parse_positive_i64(s.substr(5, x - 5));
+    auto cols = parse_positive_i64(s.substr(x + 1));
+    if (!rows || !cols) return false;
+    out = TopologySpec::grid(static_cast<NodeId>(*rows), static_cast<NodeId>(*cols));
   } else if (s.rfind("torus:", 0) == 0) {
     auto x = s.find('x', 6);
     if (x == std::string::npos) return false;
-    NodeId rows = static_cast<NodeId>(std::atoi(s.c_str() + 6));
-    NodeId cols = static_cast<NodeId>(std::atoi(s.c_str() + x + 1));
-    if (rows < 3 || cols < 3) return false;  // wraparound needs >= 3 per axis
-    out = TopologySpec::torus(rows, cols);
+    auto rows = parse_positive_i64(s.substr(6, x - 6));
+    auto cols = parse_positive_i64(s.substr(x + 1));
+    if (!rows || !cols || *rows < 3 || *cols < 3) return false;  // wraparound needs >= 3 per axis
+    out = TopologySpec::torus(static_cast<NodeId>(*rows), static_cast<NodeId>(*cols));
   } else if (s == "hypercube") {
     if (nodes < 2) return false;
     int dims = 0;
@@ -137,8 +143,9 @@ bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
   } else if (s == "geometric" || s.rfind("geometric:", 0) == 0) {
     double radius = 0.35;
     if (s.size() > 10 && s[9] == ':') {
-      radius = std::atof(s.c_str() + 10);
-      if (radius <= 0.0) return false;
+      auto r = parse_positive_f64(s.substr(10));
+      if (!r) return false;
+      radius = *r;
     }
     out = TopologySpec::geometric(nodes, /*seed=*/0, radius);  // seeded per scenario
   } else {
@@ -150,8 +157,16 @@ bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
 bool parse_latency(const std::string& s, LatencySpec& out) {
   auto colon = s.find(':');
   const std::string kind = s.substr(0, colon);
-  const double param = colon == std::string::npos ? -1.0 : std::atof(s.c_str() + colon + 1);
+  // No parameter falls back to the kind's default; a present-but-malformed
+  // or non-positive parameter is a usage error, not a silent default.
+  double param = -1.0;
+  if (colon != std::string::npos) {
+    auto p = parse_positive_f64(s.substr(colon + 1));
+    if (!p) return false;
+    param = *p;
+  }
   if (kind == "sync") {
+    if (colon != std::string::npos) return false;  // sync takes no parameter
     out = LatencySpec::synchronous();
   } else if (kind == "scaled") {
     out = LatencySpec::scaled(param > 0 ? param : 0.5);
@@ -166,7 +181,7 @@ bool parse_latency(const std::string& s, LatencySpec& out) {
 }
 
 bool parse_workload(const std::string& s, WorkloadSpec& out) {
-  // Missing fields surface as -1 so malformed specs fail parsing here
+  // Missing or malformed fields surface as -1 so bad specs fail parsing here
   // (usage error) instead of aborting later on a generator invariant.
   auto field = [&s](int idx) -> double {
     std::size_t pos = 0;
@@ -175,7 +190,9 @@ bool parse_workload(const std::string& s, WorkloadSpec& out) {
       if (pos == std::string::npos) return -1.0;
       ++pos;
     }
-    return std::atof(s.c_str() + pos);
+    auto end = s.find(':', pos);
+    auto v = parse_f64(s.substr(pos, end == std::string::npos ? end : end - pos));
+    return v ? *v : -1.0;
   };
   if (s == "oneshot") {
     out = WorkloadSpec::one_shot_all();
@@ -200,17 +217,34 @@ int usage() {
   std::fprintf(stderr,
                "usage: sweep_main [--protocol P1,P2,..] [--topology T1,T2,..]\n"
                "                  [--nodes N1,N2,..] [--latency SPEC1,SPEC2,..]\n"
-               "                  [--workload W] [--reqs N] [--service-frac D]\n"
-               "                  [--threads T] [--seed S] [--repeat R] [--replicas R]\n"
-               "                  [--json FILE] [--smoke]\n"
+               "                  [--fault F1,F2,..] [--workload W] [--reqs N]\n"
+               "                  [--service-frac D] [--threads T] [--seed S]\n"
+               "                  [--repeat R] [--replicas R] [--json FILE] [--smoke]\n"
                "  P: arrow | arrow-loop | centralized | forwarding | forwarding-loop | token\n"
                "  T: complete | path | randtree | wtree | grid:RxC | torus:RxC |\n"
                "     hypercube | geometric[:RADIUS]\n"
                "  SPEC: sync | scaled:F | uniform:MIN | exp:MEAN\n"
+               "  F: none | loss:P | dup:P | jitter:P[:MAXU] | spike:P[:F] |\n"
+               "     crash:N[:DOWNU[:PERIODU]] | chaos\n"
                "  W: oneshot | poisson:COUNT:RATE | bursty:B:SIZE:GAP | sequential:COUNT:GAP\n"
                "  service time = one unit / D ticks (0 = free local processing)\n"
+               "  numeric flags take checked values: garbage or out-of-range input is\n"
+               "  rejected with exit code 2, never silently coerced\n"
                "  --replicas >= 2 folds per-cell statistics (mean/stddev/CI) into the JSON\n");
   return 2;
+}
+
+/// Checked numeric flag value: parse failure prints the offending token and
+/// the usage text, then exits 2 — std::atoi's silent garbage-to-zero is
+/// exactly the bug class this replaces.
+std::int64_t require_i64(const char* flag, const char* v,
+                         std::optional<std::int64_t> (*parse)(const std::string&)) {
+  auto r = parse(std::string(v));
+  if (!r) {
+    std::fprintf(stderr, "%s: invalid value '%s'\n", flag, v);
+    std::exit(usage());
+  }
+  return *r;
 }
 
 /// JSON string escaping is overkill for our generated labels, but keep the
@@ -261,6 +295,20 @@ int emit_json(const std::string& path, const Options& opt, unsigned threads,
     std::fprintf(f, "\"latency\": \"%s\", \"workload\": \"%s\", \"rounds\": %lld,\n",
                  e.latency.name(), e.rounds > 0 ? "closed-loop" : e.workload.name(),
                  static_cast<long long>(e.rounds));
+    if (e.fault.active()) {
+      // Fault block: present exactly when the cell injects faults, so the
+      // schema can require it conditionally. recovery_delta_units compares
+      // against the cell's fault-free twin and can be negative (faults
+      // reshuffle interleavings).
+      std::fprintf(f,
+                   "     \"fault\": \"%s\", \"messages_dropped\": %llu, "
+                   "\"messages_duplicated\": %llu, \"crashes\": %d,\n"
+                   "     \"stabilize_rounds\": %d, \"recovery_delta_units\": %.3f,\n",
+                   e.fault.name(),
+                   static_cast<unsigned long long>(point.messages_dropped),
+                   static_cast<unsigned long long>(point.messages_duplicated), point.crashes,
+                   point.stabilize_rounds, point.recovery_delta_units);
+    }
     std::fprintf(f,
                  "     \"makespan_units\": %.3f, \"total_requests\": %lld, "
                  "\"messages\": %llu, \"total_hops\": %lld,\n",
@@ -312,23 +360,29 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--nodes")) {
       opt.nodes.clear();
       for (const auto& tok : split_csv(next("--nodes")))
-        opt.nodes.push_back(static_cast<NodeId>(std::atoi(tok.c_str())));
+        opt.nodes.push_back(
+            static_cast<NodeId>(require_i64("--nodes", tok.c_str(), parse_positive_i64)));
     } else if (!std::strcmp(argv[i], "--latency")) {
       opt.latencies = split_csv(next("--latency"));
+    } else if (!std::strcmp(argv[i], "--fault")) {
+      opt.faults = split_csv(next("--fault"));
     } else if (!std::strcmp(argv[i], "--workload")) {
       opt.workload = next("--workload");
     } else if (!std::strcmp(argv[i], "--reqs")) {
-      opt.reqs_per_node = std::atoll(next("--reqs"));
+      opt.reqs_per_node = require_i64("--reqs", next("--reqs"), parse_positive_i64);
     } else if (!std::strcmp(argv[i], "--threads")) {
-      opt.threads = static_cast<unsigned>(std::atoi(next("--threads")));
+      opt.threads =
+          static_cast<unsigned>(require_i64("--threads", next("--threads"), parse_nonneg_i64));
     } else if (!std::strcmp(argv[i], "--service-frac")) {
-      opt.service_divisor = std::atoll(next("--service-frac"));
+      opt.service_divisor = require_i64("--service-frac", next("--service-frac"), parse_nonneg_i64);
     } else if (!std::strcmp(argv[i], "--seed")) {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+      opt.seed =
+          static_cast<std::uint64_t>(require_i64("--seed", next("--seed"), parse_nonneg_i64));
     } else if (!std::strcmp(argv[i], "--repeat")) {
-      opt.repeat = std::atoi(next("--repeat"));
+      opt.repeat = static_cast<int>(require_i64("--repeat", next("--repeat"), parse_positive_i64));
     } else if (!std::strcmp(argv[i], "--replicas")) {
-      opt.replicas = std::atoi(next("--replicas"));
+      opt.replicas =
+          static_cast<int>(require_i64("--replicas", next("--replicas"), parse_positive_i64));
     } else if (!std::strcmp(argv[i], "--json")) {
       opt.json_path = next("--json");
     } else if (!std::strcmp(argv[i], "--smoke")) {
@@ -354,7 +408,7 @@ int main(int argc, char** argv) {
     if (opt.json_path.empty()) opt.json_path = "sweep_smoke.json";
   }
   if (opt.nodes.empty() || opt.latencies.empty() || opt.protocols.empty() ||
-      opt.topologies.empty() || opt.repeat < 1 || opt.replicas < 1)
+      opt.topologies.empty() || opt.faults.empty() || opt.repeat < 1 || opt.replicas < 1)
     return usage();
 
   const Time service = opt.service_divisor == 0 ? 0 : kTicksPerUnit / opt.service_divisor;
@@ -362,8 +416,19 @@ int main(int argc, char** argv) {
   WorkloadSpec workload;
   if (!parse_workload(opt.workload, workload)) return usage();
 
-  // The cross-product: protocol x topology x nodes x latency x repeat, each
-  // cell seeded independently through Experiment::with_seed.
+  // The fault axis crosses like any other, so parse it up front.
+  std::vector<FaultSpec> fault_specs;
+  for (const std::string& f : opt.faults) {
+    auto spec = parse_fault_spec(f);
+    if (!spec) {
+      std::fprintf(stderr, "--fault: invalid spec '%s'\n", f.c_str());
+      return usage();
+    }
+    fault_specs.push_back(*spec);
+  }
+
+  // The cross-product: protocol x topology x nodes x latency x fault x
+  // repeat, each cell seeded independently through Experiment::with_seed.
   std::vector<Experiment> exps;
   std::uint64_t scenario_seed = opt.seed;
   for (const std::string& proto_str : opt.protocols) {
@@ -393,24 +458,67 @@ int main(int argc, char** argv) {
         for (const std::string& lat_str : opt.latencies) {
           LatencySpec lat;
           if (!parse_latency(lat_str, lat)) return usage();
-          for (int r = 0; r < opt.repeat; ++r) {
-            Experiment e;
-            e.protocol = proto;
-            e.topology = topo;
-            e.latency = lat;
-            if (is_loop_token(proto_str))
-              e.rounds = opt.reqs_per_node;
-            else
-              e.workload = workload;
-            e = e.with_seed(++scenario_seed);
-            e.label = e.default_label();
-            if (is_loop_token(proto_str) && proto.kind == Protocol::kPointerForwarding)
-              e.label.insert(e.label.find(' '), "-loop");
-            if (opt.repeat > 1) e.label += "#" + std::to_string(r);
-            exps.push_back(std::move(e));
+          for (const FaultSpec& fault : fault_specs) {
+            for (int r = 0; r < opt.repeat; ++r) {
+              Experiment e;
+              e.protocol = proto;
+              e.topology = topo;
+              e.latency = lat;
+              e.fault = fault;
+              if (is_loop_token(proto_str))
+                e.rounds = opt.reqs_per_node;
+              else
+                e.workload = workload;
+              e = e.with_seed(++scenario_seed);
+              e.label = e.default_label();
+              if (is_loop_token(proto_str) && proto.kind == Protocol::kPointerForwarding)
+                e.label.insert(e.label.find(' '), "-loop");
+              if (opt.repeat > 1) e.label += "#" + std::to_string(r);
+              exps.push_back(std::move(e));
+            }
           }
         }
       }
+    }
+  }
+
+  if (opt.smoke) {
+    // Dedicated fault cells: crossing faults into the whole smoke grid would
+    // triple it, so pin the machinery with four targeted cells instead —
+    // message loss and crash + recovery on the protocol with full pointer
+    // recovery (arrow) and on the closed-loop baseline with graceful
+    // degradation (forwarding-loop).
+    struct SmokeFaultCell {
+      const char* proto;
+      const char* fault;
+    };
+    constexpr SmokeFaultCell kFaultCells[] = {
+        {"arrow", "loss:0.1"},
+        {"arrow", "crash:2"},
+        {"forwarding-loop", "loss:0.1"},
+        {"forwarding-loop", "crash:2"},
+    };
+    for (const SmokeFaultCell& cell : kFaultCells) {
+      ProtocolSpec proto;
+      TopologySpec topo;
+      LatencySpec lat;
+      if (!parse_protocol(cell.proto, proto, service) || !parse_topology("randtree", 24, topo) ||
+          !parse_latency("sync", lat))
+        return usage();
+      Experiment e;
+      e.protocol = proto;
+      e.topology = topo;
+      e.latency = lat;
+      e.fault = *parse_fault_spec(cell.fault);
+      if (is_loop_token(cell.proto))
+        e.rounds = opt.reqs_per_node;
+      else
+        e.workload = workload;
+      e = e.with_seed(++scenario_seed);
+      e.label = e.default_label();
+      if (is_loop_token(cell.proto) && proto.kind == Protocol::kPointerForwarding)
+        e.label.insert(e.label.find(' '), "-loop");
+      exps.push_back(std::move(e));
     }
   }
 
@@ -420,9 +528,10 @@ int main(int argc, char** argv) {
   const bool quiet = opt.json_path == "-";
   if (!quiet)
     std::printf("=== experiment sweep: %zu cells (%zu protocols x %zu topologies x %zu sizes "
-                "x %zu latencies x %d) x %d replicas, %u threads ===\n\n",
+                "x %zu latencies x %zu faults x %d) x %d replicas, %u threads ===\n\n",
                 exps.size(), opt.protocols.size(), opt.topologies.size(), opt.nodes.size(),
-                opt.latencies.size(), opt.repeat, opt.replicas, runner.threads());
+                opt.latencies.size(), opt.faults.size(), opt.repeat, opt.replicas,
+                runner.threads());
 
   const ReplicationSpec rep{opt.replicas, opt.seed, 0.95};
   const auto t0 = std::chrono::steady_clock::now();

@@ -1,43 +1,86 @@
 #include "arrow/arrow.hpp"
 
 #include <functional>
+#include <optional>
 #include <utility>
 
+#include "arrow/stabilize.hpp"
 #include "support/assert.hpp"
+#include "support/random.hpp"
 
 namespace arrowdq {
 
 namespace {
 
 /// Per-run protocol driver: owns the network (templated on the latency
-/// sampler and the handler, so the default path has no virtual `sample` and
-/// no std::function dispatch) and borrows the engine's pointer/id state so
-/// post-run inspection (`links()`, `sink_node()`) keeps working.
-template <typename Latency, typename Handler>
+/// sampler, the handler, and the fault filter, so the default path has no
+/// virtual `sample`, no std::function dispatch, and no fault branches) and
+/// borrows the engine's pointer/id state so post-run inspection (`links()`,
+/// `sink_node()`) keeps working.
+///
+/// Crash recovery (Faults::kActive only): each crash window corrupts the
+/// victim's pointer, bumps the message epoch, and runs a SelfStabilizer
+/// wave that re-points every arrow toward the anchor (the request root).
+/// The anchor adopts the pending queue tail of the smallest pre-crash sink
+/// so queuing resumes behind a live request; tails parked at other sinks
+/// are forfeited (their successor chains are severed — the cost the
+/// Herlihy-Tirthapura simplification accepts). A stale queue message is
+/// *absorbed*: recorded behind the current sink's tail, with the sink's
+/// tail advanced to the end of the stale request's successor chain so the
+/// spliced segment rejoins the live queue.
+template <typename Latency, typename Handler, typename Faults = NoFaults>
 class OneShotDriver {
  public:
-  OneShotDriver(const Graph& tree_graph, Simulator& sim, Latency latency, Time service_time,
-                std::size_t reserve_msgs, std::vector<NodeId>& link,
-                std::vector<RequestId>& last_req, QueuingOutcome& out)
-      : graph_(tree_graph),
+  OneShotDriver(const Tree& tree, const Graph& tree_graph, Simulator& sim, Latency latency,
+                Faults faults, Time service_time, std::size_t reserve_msgs,
+                std::vector<NodeId>& link, std::vector<RequestId>& last_req, NodeId anchor,
+                const FaultSpec& fault, QueuingOutcome& out)
+      : tree_(tree),
+        graph_(tree_graph),
         sim_(sim),
-        net_(tree_graph, sim, std::move(latency)),
+        net_(tree_graph, sim, std::move(latency), std::move(faults)),
         link_(link),
         last_req_(last_req),
-        out_(out) {
+        out_(out),
+        anchor_(anchor) {
     net_.reserve_messages(reserve_msgs);
     net_.set_service_time(service_time);
+    if constexpr (Faults::kActive) {
+      crashes_ = crash_schedule(fault, tree.node_count());
+      crash_rng_ = Rng(mix64(fault.seed ^ 0xa770c4a54ULL));
+      if (!crashes_.empty()) stab_.emplace(tree_, anchor_);
+    } else {
+      (void)fault;
+    }
   }
 
   void install(Handler h) { net_.set_handler(std::move(h)); }
 
   void schedule(const RequestSet& requests) {
     for (const Request& r : requests.real()) sim_.at(r.time, IssueEvent{this, r});
+    if constexpr (Faults::kActive) {
+      if (!crashes_.empty()) sim_.at(crashes_[0].at, CrashEvent{this, 0});
+    }
   }
 
   std::uint64_t edge_messages() const { return net_.stats().edge_messages; }
+  FaultStats fault_stats() const {
+    if constexpr (Faults::kActive) return net_.faults().stats();
+    return FaultStats{};
+  }
+  int stabilize_rounds() const { return stabilize_rounds_; }
+  int stabilize_corrections() const { return stabilize_corrections_; }
+  std::int32_t crashes_applied() const { return crashes_applied_; }
 
   void issue(const Request& r) {
+    if constexpr (Faults::kActive) {
+      // A crashed node cannot issue; retry when its down window closes.
+      Time up = net_.faults().defer(r.node, sim_.now());
+      if (up != sim_.now()) {
+        sim_.at(up, IssueEvent{this, r});
+        return;
+      }
+    }
     NodeId v = r.node;
     auto vi = static_cast<std::size_t>(v);
     if (link_[vi] == v) {
@@ -51,16 +94,23 @@ class OneShotDriver {
     NodeId target = link_[vi];
     last_req_[vi] = r.id;
     link_[vi] = v;
-    net_.send(v, target, ArrowMsg{r.id, 1, graph_.edge_weight(v, target)});
+    net_.send(v, target, ArrowMsg{r.id, 1, graph_.edge_weight(v, target), epoch_});
   }
 
   void receive(NodeId from, NodeId at, const ArrowMsg& msg) {
+    if constexpr (Faults::kActive) {
+      if (msg.epoch != epoch_) {
+        absorb(msg);
+        return;
+      }
+    }
     auto ui = static_cast<std::size_t>(at);
     NodeId next = link_[ui];
     link_[ui] = from;  // path reversal
     if (next != at) {
       net_.send(at, next,
-                ArrowMsg{msg.req, msg.hops + 1, msg.dist + graph_.edge_weight(at, next)});
+                ArrowMsg{msg.req, msg.hops + 1, msg.dist + graph_.edge_weight(at, next),
+                         epoch_});
       return;
     }
     // `at` is the sink: msg.req is queued behind at's last issued request.
@@ -78,18 +128,120 @@ class OneShotDriver {
   static_assert(Simulator::template fits_inline_v<IssueEvent>,
                 "IssueEvent must stay on the simulator's inline path");
 
+  struct CrashEvent {
+    OneShotDriver* driver;
+    std::size_t k;
+    void operator()() const { driver->on_crash(k); }
+  };
+
+  /// The unique live sink (smallest node id breaks transient multi-sink
+  /// states, which only exist while current-epoch messages are in flight).
+  NodeId current_sink() const {
+    for (NodeId v = 0; v < static_cast<NodeId>(link_.size()); ++v)
+      if (link_[static_cast<std::size_t>(v)] == v) return v;
+    ARROWDQ_ASSERT_MSG(false, "no sink available to absorb a stale request");
+    return kNoNode;
+  }
+
+  /// Queue a pre-crash message's request behind the live tail. The stale
+  /// request may already have its own successor chain (requests that queued
+  /// behind it before the crash, or behind its adopted tail after), so the
+  /// live tail advances to the *end* of that chain.
+  void absorb(const ArrowMsg& msg) {
+    NodeId sink = current_sink();
+    auto si = static_cast<std::size_t>(sink);
+    RequestId pred = last_req_[si];
+    ARROWDQ_ASSERT_MSG(pred != kNoRequest, "absorbing sink without a tail");
+    RequestId tail = msg.req;
+    while (out_.successor_of(tail) != kNoRequest) tail = out_.successor_of(tail);
+    if (tail == pred) {
+      // The live tail is inside this request's own chain (its tail was
+      // adopted at recovery and the queue grew behind it). Recording it
+      // behind `pred` would close a successor cycle; attach its chain to
+      // the end of the recorded root chain instead — the two chains are
+      // disjoint because nothing can queue behind an unrecorded request.
+      pred = kRootRequest;
+      while (out_.successor_of(pred) != kNoRequest) pred = out_.successor_of(pred);
+    }
+    out_.record(Completion{msg.req, pred, sim_.now(), msg.hops, msg.dist});
+    last_req_[si] = tail;
+  }
+
+  void on_crash(std::size_t k) {
+    if (!out_.is_complete()) {
+      corrupt_and_recover(crashes_[k].victim);
+      if (k + 1 < crashes_.size()) sim_.at(crashes_[k + 1].at, CrashEvent{this, k + 1});
+    }
+  }
+
+  void corrupt_and_recover(NodeId victim) {
+    const NodeId n = static_cast<NodeId>(link_.size());
+    // Snapshot the pending tails before anything changes: the recovery wave
+    // re-centers the queue at the anchor, which must resume from a real
+    // pending request, not a stale one.
+    NodeId first_sink = kNoNode;
+    bool anchor_was_sink = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (link_[static_cast<std::size_t>(v)] == v) {
+        if (first_sink == kNoNode) first_sink = v;
+        if (v == anchor_) anchor_was_sink = true;
+      }
+    }
+    ARROWDQ_ASSERT_MSG(first_sink != kNoNode, "crash with no live sink");
+    RequestId adopted = last_req_[static_cast<std::size_t>(first_sink)];
+
+    // The victim restarts with corrupted pointer state: a spurious sink, an
+    // arbitrary (possibly dangling) pointer, or a plausible tree pointer in
+    // the wrong direction (which can close a cycle with a child).
+    auto wi = static_cast<std::size_t>(victim);
+    switch (crash_rng_.next_below(3)) {
+      case 0: link_[wi] = victim; break;
+      case 1:
+        link_[wi] = static_cast<NodeId>(crash_rng_.next_below(static_cast<std::uint64_t>(n)));
+        break;
+      default: link_[wi] = victim == tree_.root() ? victim : tree_.parent(victim); break;
+    }
+
+    // Every in-flight queue message now predates the recovery wave.
+    ++epoch_;
+
+    auto h = stab_->estimate_hops(link_);
+    StabilizeResult res = stab_->stabilize(link_, h, 4 * n + 8);
+    ARROWDQ_ASSERT_MSG(res.converged, "self-stabilization did not converge");
+    stabilize_rounds_ += res.rounds;
+    stabilize_corrections_ += res.corrections;
+    ++crashes_applied_;
+
+    // Adoption: the anchor is now the unique sink. If it already was one it
+    // keeps its own pending tail; otherwise it adopts the smallest pre-crash
+    // sink's tail (other pending tails are forfeited).
+    if (!anchor_was_sink) {
+      ARROWDQ_ASSERT_MSG(adopted != kNoRequest, "pre-crash sink without a tail");
+      last_req_[static_cast<std::size_t>(anchor_)] = adopted;
+    }
+  }
+
+  const Tree& tree_;
   const Graph& graph_;
   Simulator& sim_;
-  Network<ArrowMsg, Latency, Handler> net_;
+  Network<ArrowMsg, Latency, Handler, Faults> net_;
   std::vector<NodeId>& link_;
   std::vector<RequestId>& last_req_;
   QueuingOutcome& out_;
+  NodeId anchor_ = kNoNode;
+  std::int32_t epoch_ = 0;
+  std::vector<CrashEventSpec> crashes_;
+  Rng crash_rng_{0};
+  std::optional<SelfStabilizer> stab_;
+  int stabilize_rounds_ = 0;
+  int stabilize_corrections_ = 0;
+  std::int32_t crashes_applied_ = 0;
 };
 
 /// Typed handler for the statically dispatched path.
-template <typename Latency>
+template <typename Latency, typename Faults = NoFaults>
 struct ArrowHandler {
-  OneShotDriver<Latency, ArrowHandler>* driver = nullptr;
+  OneShotDriver<Latency, ArrowHandler, Faults>* driver = nullptr;
   void operator()(NodeId from, NodeId to, const ArrowMsg& m) const {
     driver->receive(from, to, m);
   }
@@ -122,6 +274,10 @@ void ArrowEngine::prepare(const RequestSet& requests) {
   // messages (at most a few per tree node at any instant).
   sim_.reserve(static_cast<std::size_t>(requests.size()) + 2 * n);
   messages_ = 0;
+  fault_stats_ = FaultStats{};
+  stabilize_rounds_ = 0;
+  stabilize_corrections_ = 0;
+  crashes_applied_ = 0;
 }
 
 QueuingOutcome ArrowEngine::run(const RequestSet& requests) {
@@ -129,13 +285,21 @@ QueuingOutcome ArrowEngine::run(const RequestSet& requests) {
   const auto n = static_cast<std::size_t>(tree_.node_count());
   QueuingOutcome out(requests.size());
   with_static_latency(latency_, [&](auto lat) {
-    using L = decltype(lat);
-    OneShotDriver<L, ArrowHandler<L>> driver(tree_graph_, sim_, std::move(lat), service_time_,
-                                             2 * n, link_, last_req_, out);
-    driver.install(ArrowHandler<L>{&driver});
-    driver.schedule(requests);
-    sim_.run();
-    messages_ = driver.edge_messages();
+    with_fault_filter(fault_, tree_.node_count(), [&](auto filt) {
+      using L = decltype(lat);
+      using F = decltype(filt);
+      OneShotDriver<L, ArrowHandler<L, F>, F> driver(
+          tree_, tree_graph_, sim_, std::move(lat), std::move(filt), service_time_, 2 * n,
+          link_, last_req_, requests.root(), fault_, out);
+      driver.install(ArrowHandler<L, F>{&driver});
+      driver.schedule(requests);
+      sim_.run();
+      messages_ = driver.edge_messages();
+      fault_stats_ = driver.fault_stats();
+      stabilize_rounds_ = driver.stabilize_rounds();
+      stabilize_corrections_ = driver.stabilize_corrections();
+      crashes_applied_ = driver.crashes_applied();
+    });
   });
   ARROWDQ_ASSERT_MSG(out.is_complete(), "arrow did not complete all requests");
   return out;
@@ -146,13 +310,21 @@ QueuingOutcome ArrowEngine::run_dynamic(const RequestSet& requests) {
   const auto n = static_cast<std::size_t>(tree_.node_count());
   QueuingOutcome out(requests.size());
   using Handler = std::function<void(NodeId, NodeId, const ArrowMsg&)>;
-  OneShotDriver<VirtualSampler, Handler> driver(tree_graph_, sim_, VirtualSampler{latency_},
-                                                service_time_, 2 * n, link_, last_req_, out);
-  driver.install(
-      [&driver](NodeId from, NodeId to, const ArrowMsg& m) { driver.receive(from, to, m); });
-  driver.schedule(requests);
-  sim_.run();
-  messages_ = driver.edge_messages();
+  with_fault_filter(fault_, tree_.node_count(), [&](auto filt) {
+    using F = decltype(filt);
+    OneShotDriver<VirtualSampler, Handler, F> driver(
+        tree_, tree_graph_, sim_, VirtualSampler{latency_}, std::move(filt), service_time_,
+        2 * n, link_, last_req_, requests.root(), fault_, out);
+    driver.install(
+        [&driver](NodeId from, NodeId to, const ArrowMsg& m) { driver.receive(from, to, m); });
+    driver.schedule(requests);
+    sim_.run();
+    messages_ = driver.edge_messages();
+    fault_stats_ = driver.fault_stats();
+    stabilize_rounds_ = driver.stabilize_rounds();
+    stabilize_corrections_ = driver.stabilize_corrections();
+    crashes_applied_ = driver.crashes_applied();
+  });
   ARROWDQ_ASSERT_MSG(out.is_complete(), "arrow did not complete all requests");
   return out;
 }

@@ -22,6 +22,7 @@
 #include "graph/tree.hpp"
 #include "proto/queuing.hpp"
 #include "proto/request.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -35,6 +36,11 @@ struct ArrowMsg {
   RequestId req = kNoRequest;
   std::int32_t hops = 0;  // tree edges traversed so far
   Weight dist = 0;        // weighted distance traversed so far (units)
+  // Crash-recovery epoch the message was sent in. A crash invalidates all
+  // in-flight queue messages (the recovery wave rebuilds the pointer state
+  // they were routing through); a message from an older epoch is absorbed
+  // at the current sink instead of path-reversing. Always 0 fault-free.
+  std::int32_t epoch = 0;
 };
 
 /// One-shot arrow execution: issue a fixed request set, run to quiescence,
@@ -48,6 +54,16 @@ class ArrowEngine {
   /// Serial per-node message processing cost (0 = the paper's free local
   /// processing).
   void set_service_time(Time ticks) { service_time_ = ticks; }
+
+  /// Install a fault schedule (default: none). Message faults perturb
+  /// delivery through the network's fault filter; crash windows corrupt the
+  /// victim's pointer state and trigger a SelfStabilizer recovery wave that
+  /// re-centers the queue tail at the request root before queuing resumes.
+  /// With crashes active the outcome still completes every request, but the
+  /// pre-crash successor chain may be severed (validate() would abort), so
+  /// callers must skip full-order validation for crashy runs.
+  void set_fault(const FaultSpec& fault) { fault_ = fault; }
+  const FaultSpec& fault() const { return fault_; }
 
   /// Statically dispatched execution: the standard latency models are
   /// devirtualized once per run and the network handler is a typed callable.
@@ -66,6 +82,12 @@ class ArrowEngine {
   std::uint64_t messages_sent() const { return messages_; }
   Simulator& sim() { return sim_; }
 
+  /// Degradation/recovery metrics from the last run (all zero fault-free).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  int stabilize_rounds() const { return stabilize_rounds_; }
+  int stabilize_corrections() const { return stabilize_corrections_; }
+  std::int32_t crashes_applied() const { return crashes_applied_; }
+
  private:
   /// Reset per-run protocol state (pointers, ids, simulator) for `requests`.
   void prepare(const RequestSet& requests);
@@ -73,11 +95,16 @@ class ArrowEngine {
   const Tree& tree_;
   LatencyModel& latency_;
   Time service_time_ = 0;
+  FaultSpec fault_;
   Graph tree_graph_;
   Simulator sim_;
   std::vector<NodeId> link_;
   std::vector<RequestId> last_req_;
   std::uint64_t messages_ = 0;
+  FaultStats fault_stats_;
+  int stabilize_rounds_ = 0;
+  int stabilize_corrections_ = 0;
+  std::int32_t crashes_applied_ = 0;
 };
 
 /// Convenience: run arrow once on (tree, requests) under the given latency

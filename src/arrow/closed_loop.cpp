@@ -1,12 +1,15 @@
 #include "arrow/closed_loop.hpp"
 
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "arrow/stabilize.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "support/assert.hpp"
+#include "support/random.hpp"
 
 namespace arrowdq {
 
@@ -19,6 +22,7 @@ struct LoopMsg {
   RequestId req = kNoRequest;
   NodeId requester = kNoNode;  // issuer of `req` (for the reply)
   std::int32_t hops = 0;
+  std::int32_t epoch = 0;  // crash-recovery epoch (kQueue only); 0 fault-free
 };
 
 /// Closed-loop arrow driver. The protocol core mirrors ArrowEngine; requests
@@ -28,14 +32,14 @@ struct LoopMsg {
 /// and the protocol logic (`run_arrow_closed_loop_dynamic` instantiates the
 /// same driver with both dynamic layers for benchmarking and equivalence
 /// tests).
-template <typename Latency, typename Handler>
+template <typename Latency, typename Handler, typename Faults = NoFaults>
 class Driver {
  public:
-  Driver(const Tree& tree, Latency latency, const ClosedLoopConfig& config)
+  Driver(const Tree& tree, Latency latency, Faults faults, const ClosedLoopConfig& config)
       : tree_(tree),
         config_(config),
         graph_(tree.as_graph()),
-        net_(graph_, sim_, std::move(latency)),
+        net_(graph_, sim_, std::move(latency), std::move(faults)),
         link_(static_cast<std::size_t>(tree.node_count())),
         last_req_(static_cast<std::size_t>(tree.node_count()), kNoRequest),
         issued_(static_cast<std::size_t>(tree.node_count()), 0),
@@ -50,12 +54,20 @@ class Driver {
     for (NodeId v = 0; v < tree.node_count(); ++v)
       link_[static_cast<std::size_t>(v)] = v == root ? v : tree.parent(v);
     last_req_[static_cast<std::size_t>(root)] = kRootRequest;
+    if constexpr (Faults::kActive) {
+      crashes_ = crash_schedule(config.fault, tree.node_count());
+      crash_rng_ = Rng(mix64(config.fault.seed ^ 0xa770c4a54ULL));
+      if (!crashes_.empty()) stab_.emplace(tree_, root);
+    }
   }
 
   void install(Handler h) { net_.set_handler(std::move(h)); }
 
   ClosedLoopResult run() {
     for (NodeId v = 0; v < tree_.node_count(); ++v) sim_.at(0, IssueEvent{this, v});
+    if constexpr (Faults::kActive) {
+      if (!crashes_.empty()) sim_.at(crashes_[0].at, CrashEvent{this, 0});
+    }
     sim_.run();
     ClosedLoopResult res;
     res.makespan = sim_.now();
@@ -70,19 +82,34 @@ class Driver {
     res.avg_round_latency_units = latencies_.count() == 0
                                       ? 0.0
                                       : latencies_.mean() / static_cast<double>(kTicksPerUnit);
+    if constexpr (Faults::kActive) {
+      res.messages_dropped = net_.faults().stats().messages_dropped;
+      res.messages_duplicated = net_.faults().stats().messages_duplicated;
+      res.crashes = crashes_applied_;
+      res.stabilize_rounds = stabilize_rounds_;
+      res.stabilize_corrections = stabilize_corrections_;
+    }
     return res;
   }
 
   void receive(NodeId from, NodeId at, const LoopMsg& m) {
     if (m.kind == MsgKind::kNotify) {
+      // Replies ride outside the pointer dynamics, so they stay valid
+      // across recovery waves — no epoch check.
       round_done(at);
       return;
+    }
+    if constexpr (Faults::kActive) {
+      if (m.epoch != epoch_) {
+        absorb(m);
+        return;
+      }
     }
     auto ui = static_cast<std::size_t>(at);
     NodeId next = link_[ui];
     link_[ui] = from;
     if (next != at) {
-      net_.send(at, next, LoopMsg{MsgKind::kQueue, m.req, m.requester, m.hops + 1});
+      net_.send(at, next, LoopMsg{MsgKind::kQueue, m.req, m.requester, m.hops + 1, epoch_});
       return;
     }
     // Sink found; return the predecessor identity to the requester.
@@ -91,13 +118,21 @@ class Driver {
       round_done(at);
     } else {
       net_.send_with_latency(at, m.requester, notify_latency(at, m.requester),
-                             LoopMsg{MsgKind::kNotify, m.req, m.requester, 0});
+                             LoopMsg{MsgKind::kNotify, m.req, m.requester, 0, epoch_});
     }
   }
 
   void issue(NodeId v) {
     auto vi = static_cast<std::size_t>(v);
     if (issued_[vi] >= config_.requests_per_node) return;
+    if constexpr (Faults::kActive) {
+      // A crashed node cannot issue; retry when its down window closes.
+      Time up = net_.faults().defer(v, sim_.now());
+      if (up != sim_.now()) {
+        sim_.at(up, IssueEvent{this, v});
+        return;
+      }
+    }
     ++issued_[vi];
     ++next_id_;
     RequestId a = next_id_;
@@ -113,7 +148,7 @@ class Driver {
     NodeId target = link_[vi];
     last_req_[vi] = a;
     link_[vi] = v;
-    net_.send(v, target, LoopMsg{MsgKind::kQueue, a, v, 1});
+    net_.send(v, target, LoopMsg{MsgKind::kQueue, a, v, 1, epoch_});
   }
 
  private:
@@ -125,6 +160,12 @@ class Driver {
   };
   static_assert(Simulator::template fits_inline_v<IssueEvent>,
                 "IssueEvent must stay on the simulator's inline path");
+
+  struct CrashEvent {
+    Driver* driver;
+    std::size_t k;
+    void operator()() const { driver->on_crash(k); }
+  };
 
   Time notify_latency(NodeId from, NodeId to) const {
     if (config_.notify_latency) return config_.notify_latency(from, to);
@@ -141,24 +182,103 @@ class Driver {
     sim_.in(config_.service_time, IssueEvent{this, v});
   }
 
+  NodeId current_sink() const {
+    for (NodeId v = 0; v < static_cast<NodeId>(link_.size()); ++v)
+      if (link_[static_cast<std::size_t>(v)] == v) return v;
+    ARROWDQ_ASSERT_MSG(false, "no sink available to absorb a stale request");
+    return kNoNode;
+  }
+
+  /// A pre-crash queue message: the pointer path it was chasing is gone, so
+  /// the live sink queues the request behind its tail and answers the
+  /// requester directly — the round completes, just via recovery.
+  void absorb(const LoopMsg& m) {
+    NodeId sink = current_sink();
+    auto si = static_cast<std::size_t>(sink);
+    ARROWDQ_ASSERT_MSG(last_req_[si] != kNoRequest, "absorbing sink without a tail");
+    last_req_[si] = m.req;
+    if (m.requester == sink) {
+      round_done(sink);
+    } else {
+      net_.send_with_latency(sink, m.requester, notify_latency(sink, m.requester),
+                             LoopMsg{MsgKind::kNotify, m.req, m.requester, 0, epoch_});
+    }
+  }
+
+  void on_crash(std::size_t k) {
+    const std::int64_t total =
+        static_cast<std::int64_t>(tree_.node_count()) * config_.requests_per_node;
+    if (static_cast<std::int64_t>(latencies_.count()) < total) {
+      corrupt_and_recover(crashes_[k].victim);
+      if (k + 1 < crashes_.size()) sim_.at(crashes_[k + 1].at, CrashEvent{this, k + 1});
+    }
+  }
+
+  void corrupt_and_recover(NodeId victim) {
+    const NodeId n = tree_.node_count();
+    const NodeId anchor = tree_.root();
+    // Snapshot pending tails before corrupting anything (see arrow.cpp's
+    // one-shot driver for the invariant argument).
+    NodeId first_sink = kNoNode;
+    bool anchor_was_sink = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (link_[static_cast<std::size_t>(v)] == v) {
+        if (first_sink == kNoNode) first_sink = v;
+        if (v == anchor) anchor_was_sink = true;
+      }
+    }
+    ARROWDQ_ASSERT_MSG(first_sink != kNoNode, "crash with no live sink");
+    RequestId adopted = last_req_[static_cast<std::size_t>(first_sink)];
+
+    auto wi = static_cast<std::size_t>(victim);
+    switch (crash_rng_.next_below(3)) {
+      case 0: link_[wi] = victim; break;
+      case 1:
+        link_[wi] = static_cast<NodeId>(crash_rng_.next_below(static_cast<std::uint64_t>(n)));
+        break;
+      default: link_[wi] = victim == tree_.root() ? victim : tree_.parent(victim); break;
+    }
+
+    ++epoch_;
+
+    auto h = stab_->estimate_hops(link_);
+    StabilizeResult res = stab_->stabilize(link_, h, 4 * n + 8);
+    ARROWDQ_ASSERT_MSG(res.converged, "self-stabilization did not converge");
+    stabilize_rounds_ += res.rounds;
+    stabilize_corrections_ += res.corrections;
+    ++crashes_applied_;
+
+    if (!anchor_was_sink) {
+      ARROWDQ_ASSERT_MSG(adopted != kNoRequest, "pre-crash sink without a tail");
+      last_req_[static_cast<std::size_t>(anchor)] = adopted;
+    }
+  }
+
   const Tree& tree_;
   const ClosedLoopConfig& config_;
   Graph graph_;
   Simulator sim_;
-  Network<LoopMsg, Latency, Handler> net_;
+  Network<LoopMsg, Latency, Handler, Faults> net_;
   std::vector<NodeId> link_;
   std::vector<RequestId> last_req_;
   std::vector<std::int64_t> issued_;
   std::vector<Time> issue_time_;
   StatAccumulator latencies_;
   RequestId next_id_ = kRootRequest;
+  std::int32_t epoch_ = 0;
+  std::vector<CrashEventSpec> crashes_;
+  Rng crash_rng_{0};
+  std::optional<SelfStabilizer> stab_;
+  int stabilize_rounds_ = 0;
+  int stabilize_corrections_ = 0;
+  std::int32_t crashes_applied_ = 0;
 };
 
 /// Typed handler for the statically dispatched path: one pointer, direct
 /// call, fully inlinable into Network::deliver.
-template <typename Latency>
+template <typename Latency, typename Faults = NoFaults>
 struct LoopHandler {
-  Driver<Latency, LoopHandler>* driver = nullptr;
+  Driver<Latency, LoopHandler, Faults>* driver = nullptr;
   void operator()(NodeId from, NodeId to, const LoopMsg& m) const {
     driver->receive(from, to, m);
   }
@@ -170,10 +290,13 @@ ClosedLoopResult run_arrow_closed_loop(const Tree& tree, LatencyModel& latency,
                                        const ClosedLoopConfig& config) {
   ARROWDQ_ASSERT_MSG(config.requests_per_node >= 0, "requests_per_node must be >= 0");
   return with_static_latency(latency, [&](auto lat) {
-    using L = decltype(lat);
-    Driver<L, LoopHandler<L>> driver(tree, std::move(lat), config);
-    driver.install(LoopHandler<L>{&driver});
-    return driver.run();
+    return with_fault_filter(config.fault, tree.node_count(), [&](auto filt) {
+      using L = decltype(lat);
+      using F = decltype(filt);
+      Driver<L, LoopHandler<L, F>, F> driver(tree, std::move(lat), std::move(filt), config);
+      driver.install(LoopHandler<L, F>{&driver});
+      return driver.run();
+    });
   });
 }
 
@@ -181,10 +304,14 @@ ClosedLoopResult run_arrow_closed_loop_dynamic(const Tree& tree, LatencyModel& l
                                                const ClosedLoopConfig& config) {
   ARROWDQ_ASSERT_MSG(config.requests_per_node >= 0, "requests_per_node must be >= 0");
   using Handler = std::function<void(NodeId, NodeId, const LoopMsg&)>;
-  Driver<VirtualSampler, Handler> driver(tree, VirtualSampler{latency}, config);
-  driver.install(
-      [&driver](NodeId from, NodeId to, const LoopMsg& m) { driver.receive(from, to, m); });
-  return driver.run();
+  return with_fault_filter(config.fault, tree.node_count(), [&](auto filt) {
+    using F = decltype(filt);
+    Driver<VirtualSampler, Handler, F> driver(tree, VirtualSampler{latency}, std::move(filt),
+                                              config);
+    driver.install(
+        [&driver](NodeId from, NodeId to, const LoopMsg& m) { driver.receive(from, to, m); });
+    return driver.run();
+  });
 }
 
 }  // namespace arrowdq

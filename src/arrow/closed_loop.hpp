@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "graph/tree.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "support/stats.hpp"
 #include "support/types.hpp"
@@ -32,6 +33,12 @@ struct ClosedLoopConfig {
   /// back to the requester (dG in the underlying network). Defaults to one
   /// unit for every pair, matching the complete-graph SP2 setup.
   std::function<Time(NodeId, NodeId)> notify_latency;
+  /// Fault schedule (default: none). Crash windows corrupt the victim's
+  /// pointer state and run a SelfStabilizer recovery wave; stale queue
+  /// messages are absorbed at the live sink and answered from there. Note
+  /// a crash window scheduled past the last round completion still extends
+  /// the makespan by its (empty) trailing event.
+  FaultSpec fault;
 };
 
 struct ClosedLoopResult {
@@ -41,6 +48,12 @@ struct ClosedLoopResult {
   std::uint64_t notify_messages = 0;   // predecessor-identity replies
   double avg_hops_per_request = 0.0;   // Figure 11's metric
   double avg_round_latency_units = 0.0;  // mean issue->reply time per request
+  // Degradation/recovery metrics (all zero fault-free).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::int32_t crashes = 0;
+  int stabilize_rounds = 0;
+  int stabilize_corrections = 0;
 };
 
 /// Run the closed-loop workload with the arrow protocol on spanning tree T.

@@ -31,6 +31,13 @@ int SelfStabilizer::round(std::vector<NodeId>& links, std::vector<NodeId>& h) co
       auto nb = tree_.neighbors(v);
       bool neighbour = std::find(nb.begin(), nb.end(), l) != nb.end();
       ok = neighbour && h_prev[vi] == h_prev[static_cast<std::size_t>(l)] + 1;
+      // A mutual pair (v -> l, l -> v) can look locally consistent from one
+      // end when the hop estimates happen to line up, yet no legal
+      // configuration contains a 2-cycle. Without this check the pair is a
+      // permanent livelock: the failing end keeps resetting to its anchored
+      // parent — which is exactly l — while l passes forever, so the round
+      // never reaches zero corrections.
+      if (ok && links_prev[static_cast<std::size_t>(l)] == v) ok = false;
     }
     if (!ok) {
       links[vi] = v == anchor_ ? v : anchored_.parent(v);

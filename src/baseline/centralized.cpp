@@ -32,14 +32,15 @@ struct CentralMsg {
 /// value type. Templated on the handler so deliveries dispatch through a
 /// typed callable, and on the distance oracle so the per-message distance
 /// draw is a direct call (no std::function on the run path for the standard
-/// unit/APSP oracles).
-template <typename Dist, typename Handler>
+/// unit/APSP oracles). The Faults parameter mirrors the arrow drivers: the
+/// fault branch compiles out entirely under NoFaults.
+template <typename Dist, typename Handler, typename Faults = NoFaults>
 class CentralCore {
  public:
-  CentralCore(NodeId node_count, Dist dist, const CentralizedConfig& config,
+  CentralCore(NodeId node_count, Dist dist, Faults faults, const CentralizedConfig& config,
               std::size_t reserve_events, std::size_t reserve_msgs)
       : placeholder_(make_path(node_count)),
-        net_(placeholder_, sim_, SyncSampler{}),
+        net_(placeholder_, sim_, SyncSampler{}, std::move(faults)),
         dist_(dist),
         config_(config) {
     ARROWDQ_ASSERT_MSG(config.center >= 0 && config.center < node_count,
@@ -50,8 +51,19 @@ class CentralCore {
   }
 
   Simulator& sim() { return sim_; }
-  Network<CentralMsg, SyncSampler, Handler>& net() { return net_; }
+  Network<CentralMsg, SyncSampler, Handler, Faults>& net() { return net_; }
   RequestId tail() const { return tail_; }
+
+  /// Degradation counters after a run (empty under NoFaults).
+  FaultStats fault_stats() const {
+    if constexpr (Faults::kActive) return net_.faults().stats();
+    return FaultStats{};
+  }
+  std::int32_t crash_count() const {
+    if constexpr (Faults::kActive)
+      return static_cast<std::int32_t>(net_.faults().crashes().size());
+    return 0;
+  }
 
   /// Processes a request at the center: returns the predecessor and advances
   /// the tail.
@@ -67,7 +79,7 @@ class CentralCore {
  private:
   Graph placeholder_;
   Simulator sim_;
-  Network<CentralMsg, SyncSampler, Handler> net_;
+  Network<CentralMsg, SyncSampler, Handler, Faults> net_;
   Dist dist_;
   CentralizedConfig config_;
   RequestId tail_ = kRootRequest;
@@ -75,24 +87,24 @@ class CentralCore {
 
 // --- one-shot ---------------------------------------------------------------
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct OneShot;
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct OneShotHandler {
-  OneShot<Dist>* d = nullptr;
+  OneShot<Dist, Faults>* d = nullptr;
   inline void operator()(NodeId from, NodeId at, const CentralMsg& m) const;
 };
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct OneShot {
-  CentralCore<Dist, OneShotHandler<Dist>> core;
+  CentralCore<Dist, OneShotHandler<Dist, Faults>, Faults> core;
   QueuingOutcome& out;
   std::vector<Weight> travel;
 
-  OneShot(NodeId node_count, const RequestSet& requests, Dist dist,
+  OneShot(NodeId node_count, const RequestSet& requests, Dist dist, Faults faults,
           const CentralizedConfig& config, QueuingOutcome& out_ref)
-      : core(node_count, dist, config,
+      : core(node_count, dist, std::move(faults), config,
              /*reserve_events=*/2 * static_cast<std::size_t>(requests.size()) + 2,
              /*reserve_msgs=*/static_cast<std::size_t>(requests.size()) + 1),
         out(out_ref),
@@ -139,34 +151,35 @@ struct OneShot {
   }
 };
 
-template <typename Dist>
-inline void OneShotHandler<Dist>::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
+template <typename Dist, typename Faults>
+inline void OneShotHandler<Dist, Faults>::operator()(NodeId from, NodeId at,
+                                                     const CentralMsg& m) const {
   d->handle(from, at, m);
 }
 
 // --- closed loop ------------------------------------------------------------
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct Loop;
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct LoopHandler {
-  Loop<Dist>* d = nullptr;
+  Loop<Dist, Faults>* d = nullptr;
   inline void operator()(NodeId from, NodeId at, const CentralMsg& m) const;
 };
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct Loop {
-  CentralCore<Dist, LoopHandler<Dist>> core;
+  CentralCore<Dist, LoopHandler<Dist, Faults>, Faults> core;
   std::int64_t requests_per_node;
   std::vector<std::int64_t> issued;
   std::vector<Time> issue_time;
   StatAccumulator latencies;
   RequestId next_id = kRootRequest;
 
-  Loop(NodeId node_count, std::int64_t reqs_per_node, Dist dist,
+  Loop(NodeId node_count, std::int64_t reqs_per_node, Dist dist, Faults faults,
        const CentralizedConfig& config)
-      : core(node_count, dist, config,
+      : core(node_count, dist, std::move(faults), config,
              /*reserve_events=*/2 * static_cast<std::size_t>(node_count) + 2,
              /*reserve_msgs=*/static_cast<std::size_t>(node_count) + 1),
         requests_per_node(reqs_per_node),
@@ -212,8 +225,9 @@ struct Loop {
   }
 };
 
-template <typename Dist>
-inline void LoopHandler<Dist>::operator()(NodeId from, NodeId at, const CentralMsg& m) const {
+template <typename Dist, typename Faults>
+inline void LoopHandler<Dist, Faults>::operator()(NodeId from, NodeId at,
+                                                  const CentralMsg& m) const {
   d->handle(from, at, m);
 }
 
@@ -221,16 +235,20 @@ template <typename Dist>
 QueuingOutcome run_centralized_impl(NodeId node_count, const RequestSet& requests, Dist dist,
                                     const CentralizedConfig& config) {
   QueuingOutcome out(requests.size());
-  OneShot<Dist> driver(node_count, requests, dist, config, out);
-  driver.core.net().set_handler(OneShotHandler<Dist>{&driver});
-  const NodeId center = config.center;
-  for (const Request& r : requests.real()) {
-    ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
-    driver.core.sim().at(r.time, typename OneShot<Dist>::IssueEvent{&driver, r});
-    driver.travel[static_cast<std::size_t>(r.id)] =
-        ticks_to_units(driver.core.dist(r.node, center));
-  }
-  driver.core.sim().run();
+  with_fault_filter(config.fault, node_count, [&](auto filt) {
+    using F = decltype(filt);
+    OneShot<Dist, F> driver(node_count, requests, dist, std::move(filt), config, out);
+    driver.core.net().set_handler(OneShotHandler<Dist, F>{&driver});
+    const NodeId center = config.center;
+    for (const Request& r : requests.real()) {
+      ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
+      driver.core.sim().at(r.time, typename OneShot<Dist, F>::IssueEvent{&driver, r});
+      driver.travel[static_cast<std::size_t>(r.id)] =
+          ticks_to_units(driver.core.dist(r.node, center));
+    }
+    driver.core.sim().run();
+    if (config.fault_stats_out != nullptr) *config.fault_stats_out = driver.core.fault_stats();
+  });
   ARROWDQ_ASSERT_MSG(out.is_complete(), "centralized protocol did not complete all requests");
   return out;
 }
@@ -239,21 +257,28 @@ template <typename Dist>
 CentralizedLoopResult run_centralized_closed_loop_impl(NodeId node_count,
                                                        std::int64_t requests_per_node, Dist dist,
                                                        const CentralizedConfig& config) {
-  Loop<Dist> driver(node_count, requests_per_node, dist, config);
-  driver.core.net().set_handler(LoopHandler<Dist>{&driver});
-  for (NodeId v = 0; v < node_count; ++v)
-    driver.core.sim().at(0, typename Loop<Dist>::IssueEvent{&driver, v});
-  driver.core.sim().run();
+  return with_fault_filter(config.fault, node_count, [&](auto filt) {
+    using F = decltype(filt);
+    Loop<Dist, F> driver(node_count, requests_per_node, dist, std::move(filt), config);
+    driver.core.net().set_handler(LoopHandler<Dist, F>{&driver});
+    for (NodeId v = 0; v < node_count; ++v)
+      driver.core.sim().at(0, typename Loop<Dist, F>::IssueEvent{&driver, v});
+    driver.core.sim().run();
 
-  CentralizedLoopResult res;
-  res.makespan = driver.core.sim().now();
-  res.total_requests = static_cast<std::int64_t>(node_count) * requests_per_node;
-  res.messages = driver.core.net().stats().direct_messages;
-  res.avg_round_latency_units =
-      driver.latencies.count() == 0
-          ? 0.0
-          : driver.latencies.mean() / static_cast<double>(kTicksPerUnit);
-  return res;
+    CentralizedLoopResult res;
+    res.makespan = driver.core.sim().now();
+    res.total_requests = static_cast<std::int64_t>(node_count) * requests_per_node;
+    res.messages = driver.core.net().stats().direct_messages;
+    res.avg_round_latency_units =
+        driver.latencies.count() == 0
+            ? 0.0
+            : driver.latencies.mean() / static_cast<double>(kTicksPerUnit);
+    FaultStats fs = driver.core.fault_stats();
+    res.messages_dropped = fs.messages_dropped;
+    res.messages_duplicated = fs.messages_duplicated;
+    res.crashes = driver.core.crash_count();
+    return res;
+  });
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "graph/shortest_paths.hpp"
 #include "proto/queuing.hpp"
 #include "proto/request.hpp"
+#include "sim/fault.hpp"
 #include "support/types.hpp"
 
 namespace arrowdq {
@@ -25,6 +26,15 @@ namespace arrowdq {
 struct CentralizedConfig {
   NodeId center = 0;
   Time service_time = 0;  // serial per-node message processing cost (ticks)
+  /// Fault schedule (default: none). The baseline degrades gracefully:
+  /// message faults delay delivery, crash windows defer deliveries to the
+  /// victim until it recovers. The center holds the queue tail in stable
+  /// storage, so no pointer corruption applies — only the arrow drivers
+  /// model state recovery.
+  FaultSpec fault;
+  /// Optional out-param: filled with drop/duplicate counts after a one-shot
+  /// run when a fault schedule is active (the loop result carries its own).
+  FaultStats* fault_stats_out = nullptr;
 };
 
 /// One-shot execution. Completion is recorded when the center's reply (the
@@ -49,6 +59,10 @@ struct CentralizedLoopResult {
   std::int64_t total_requests = 0;
   std::uint64_t messages = 0;
   double avg_round_latency_units = 0.0;
+  // Degradation metrics (all zero fault-free).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::int32_t crashes = 0;
 };
 
 /// Closed-loop driver matching run_arrow_closed_loop: every node performs

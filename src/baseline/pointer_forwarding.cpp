@@ -19,12 +19,12 @@ struct FindMsg {
   Weight dist_units = 0;
 };
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct Forwarder;
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct ForwardHandler {
-  Forwarder<Dist>* d = nullptr;
+  Forwarder<Dist, Faults>* d = nullptr;
   inline void operator()(NodeId from, NodeId at, const FindMsg& m) const;
 };
 
@@ -32,12 +32,13 @@ struct ForwardHandler {
 /// send_with_latency is used (arbitrary node pairs on the complete
 /// communication graph), so the sampler is a stateless placeholder; the
 /// distance oracle is a value type, so the standard unit/APSP draws are
-/// direct calls (no std::function on the run path).
-template <typename Dist>
+/// direct calls (no std::function on the run path). The Faults parameter
+/// mirrors the arrow drivers: the fault branch compiles out under NoFaults.
+template <typename Dist, typename Faults>
 struct Forwarder {
   Graph placeholder;
   Simulator sim;
-  Network<FindMsg, SyncSampler, ForwardHandler<Dist>> net;
+  Network<FindMsg, SyncSampler, ForwardHandler<Dist, Faults>, Faults> net;
   Dist dist;
   const PointerForwardingConfig& config;
   QueuingOutcome& out;
@@ -45,10 +46,10 @@ struct Forwarder {
   std::vector<RequestId> last_req;
   std::int32_t hop_cap;
 
-  Forwarder(NodeId node_count, const RequestSet& requests, Dist dist_fn,
+  Forwarder(NodeId node_count, const RequestSet& requests, Dist dist_fn, Faults faults,
             const PointerForwardingConfig& cfg, QueuingOutcome& out_ref)
       : placeholder(make_path(node_count)),
-        net(placeholder, sim, SyncSampler{}),
+        net(placeholder, sim, SyncSampler{}, std::move(faults)),
         dist(dist_fn),
         config(cfg),
         out(out_ref),
@@ -107,8 +108,9 @@ struct Forwarder {
   }
 };
 
-template <typename Dist>
-inline void ForwardHandler<Dist>::operator()(NodeId from, NodeId at, const FindMsg& m) const {
+template <typename Dist, typename Faults>
+inline void ForwardHandler<Dist, Faults>::operator()(NodeId from, NodeId at,
+                                                     const FindMsg& m) const {
   d->handle(from, at, m);
 }
 
@@ -122,13 +124,21 @@ QueuingOutcome run_pointer_forwarding_impl(NodeId node_count, const RequestSet& 
                      "request-set root must equal the initial owner");
 
   QueuingOutcome out(requests.size());
-  Forwarder<Dist> driver(node_count, requests, dist, config, out);
-  driver.net.set_handler(ForwardHandler<Dist>{&driver});
-  for (const Request& r : requests.real()) {
-    ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
-    driver.sim.at(r.time, typename Forwarder<Dist>::IssueEvent{&driver, r});
-  }
-  driver.sim.run();
+  with_fault_filter(config.fault, node_count, [&](auto filt) {
+    using F = decltype(filt);
+    Forwarder<Dist, F> driver(node_count, requests, dist, std::move(filt), config, out);
+    driver.net.set_handler(ForwardHandler<Dist, F>{&driver});
+    for (const Request& r : requests.real()) {
+      ARROWDQ_ASSERT_MSG(r.node >= 0 && r.node < node_count, "request from a non-node");
+      driver.sim.at(r.time, typename Forwarder<Dist, F>::IssueEvent{&driver, r});
+    }
+    driver.sim.run();
+    if constexpr (F::kActive) {
+      if (config.fault_stats_out != nullptr) *config.fault_stats_out = driver.net.faults().stats();
+    } else {
+      if (config.fault_stats_out != nullptr) *config.fault_stats_out = FaultStats{};
+    }
+  });
   ARROWDQ_ASSERT_MSG(out.is_complete(), "pointer forwarding did not complete all requests");
   return out;
 }
@@ -144,12 +154,12 @@ struct LoopMsg {
   std::int32_t hops = 0;
 };
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct LoopForwarder;
 
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct LoopForwardHandler {
-  LoopForwarder<Dist>* d = nullptr;
+  LoopForwarder<Dist, Faults>* d = nullptr;
   inline void operator()(NodeId from, NodeId at, const LoopMsg& m) const;
 };
 
@@ -159,11 +169,11 @@ struct LoopForwardHandler {
 /// mirrors the arrow closed-loop Driver. The reply is a direct message with
 /// latency dG(owner, requester); a locally satisfied request replies with
 /// zero latency, exactly like the arrow loop's local case.
-template <typename Dist>
+template <typename Dist, typename Faults>
 struct LoopForwarder {
   Graph placeholder;
   Simulator sim;
-  Network<LoopMsg, SyncSampler, LoopForwardHandler<Dist>> net;
+  Network<LoopMsg, SyncSampler, LoopForwardHandler<Dist, Faults>, Faults> net;
   Dist dist;
   const PointerForwardingConfig& config;
   std::int64_t requests_per_node;
@@ -177,10 +187,10 @@ struct LoopForwarder {
   RequestId next_id = kRootRequest;
   std::int32_t hop_cap;
 
-  LoopForwarder(NodeId node_count, std::int64_t reqs_per_node, Dist dist_fn,
+  LoopForwarder(NodeId node_count, std::int64_t reqs_per_node, Dist dist_fn, Faults faults,
                 const PointerForwardingConfig& cfg)
       : placeholder(make_path(node_count)),
-        net(placeholder, sim, SyncSampler{}),
+        net(placeholder, sim, SyncSampler{}, std::move(faults)),
         dist(dist_fn),
         config(cfg),
         requests_per_node(reqs_per_node),
@@ -263,9 +273,9 @@ struct LoopForwarder {
   }
 };
 
-template <typename Dist>
-inline void LoopForwardHandler<Dist>::operator()(NodeId from, NodeId at,
-                                                 const LoopMsg& m) const {
+template <typename Dist, typename Faults>
+inline void LoopForwardHandler<Dist, Faults>::operator()(NodeId from, NodeId at,
+                                                         const LoopMsg& m) const {
   d->handle(from, at, m);
 }
 
@@ -278,26 +288,34 @@ ForwardingLoopResult run_pointer_forwarding_closed_loop_impl(
   ARROWDQ_ASSERT_MSG(config.initial_owner >= 0 && config.initial_owner < node_count,
                      "initial owner must be a node");
 
-  LoopForwarder<Dist> driver(node_count, requests_per_node, dist, config);
-  driver.net.set_handler(LoopForwardHandler<Dist>{&driver});
-  for (NodeId v = 0; v < node_count; ++v)
-    driver.sim.at(0, typename LoopForwarder<Dist>::IssueEvent{&driver, v});
-  driver.sim.run();
+  return with_fault_filter(config.fault, node_count, [&](auto filt) {
+    using F = decltype(filt);
+    LoopForwarder<Dist, F> driver(node_count, requests_per_node, dist, std::move(filt), config);
+    driver.net.set_handler(LoopForwardHandler<Dist, F>{&driver});
+    for (NodeId v = 0; v < node_count; ++v)
+      driver.sim.at(0, typename LoopForwarder<Dist, F>::IssueEvent{&driver, v});
+    driver.sim.run();
 
-  ForwardingLoopResult res;
-  res.makespan = driver.sim.now();
-  res.total_requests = static_cast<std::int64_t>(node_count) * requests_per_node;
-  res.find_messages = driver.find_messages;
-  res.reply_messages = driver.reply_messages;
-  res.avg_hops_per_request =
-      res.total_requests == 0
-          ? 0.0
-          : static_cast<double>(res.find_messages) / static_cast<double>(res.total_requests);
-  res.avg_round_latency_units = driver.latencies.count() == 0
-                                    ? 0.0
-                                    : driver.latencies.mean() /
-                                          static_cast<double>(kTicksPerUnit);
-  return res;
+    ForwardingLoopResult res;
+    res.makespan = driver.sim.now();
+    res.total_requests = static_cast<std::int64_t>(node_count) * requests_per_node;
+    res.find_messages = driver.find_messages;
+    res.reply_messages = driver.reply_messages;
+    res.avg_hops_per_request =
+        res.total_requests == 0
+            ? 0.0
+            : static_cast<double>(res.find_messages) / static_cast<double>(res.total_requests);
+    res.avg_round_latency_units = driver.latencies.count() == 0
+                                      ? 0.0
+                                      : driver.latencies.mean() /
+                                            static_cast<double>(kTicksPerUnit);
+    if constexpr (F::kActive) {
+      res.messages_dropped = driver.net.faults().stats().messages_dropped;
+      res.messages_duplicated = driver.net.faults().stats().messages_duplicated;
+      res.crashes = static_cast<std::int32_t>(driver.net.faults().crashes().size());
+    }
+    return res;
+  });
 }
 
 }  // namespace

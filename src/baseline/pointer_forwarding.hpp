@@ -21,6 +21,7 @@
 #include "baseline/dist.hpp"
 #include "proto/queuing.hpp"
 #include "proto/request.hpp"
+#include "sim/fault.hpp"
 #include "support/types.hpp"
 
 namespace arrowdq {
@@ -35,6 +36,14 @@ struct PointerForwardingConfig {
   Time service_time = 0;
   /// Initial owner (all pointers initially lead here), default node 0.
   NodeId initial_owner = 0;
+  /// Fault schedule (default: none). Graceful degradation only: message
+  /// faults delay delivery, crash windows defer deliveries to the victim
+  /// until it recovers; the pointer state itself is not corrupted (only the
+  /// arrow drivers model state recovery).
+  FaultSpec fault;
+  /// Optional out-param: filled with drop/duplicate counts after a one-shot
+  /// run when a fault schedule is active (the loop result carries its own).
+  FaultStats* fault_stats_out = nullptr;
 };
 
 /// One-shot execution on `node_count` nodes with pairwise latency `dist`.
@@ -61,6 +70,10 @@ struct ForwardingLoopResult {
   std::uint64_t reply_messages = 0;   // predecessor-identity replies
   double avg_hops_per_request = 0.0;  // find legs per request
   double avg_round_latency_units = 0.0;  // mean issue->reply time per request
+  // Degradation metrics (all zero fault-free).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::int32_t crashes = 0;
 };
 
 /// Closed-loop driver matching run_arrow_closed_loop's measurement: every

@@ -171,6 +171,10 @@ std::string Experiment::default_label() const {
   s += std::to_string(topology.nodes);
   s += ' ';
   s += latency.name();
+  if (fault.active()) {
+    s += ' ';
+    s += fault.name();
+  }
   return s;
 }
 
@@ -179,6 +183,7 @@ Experiment Experiment::with_seed(std::uint64_t seed) const {
   e.topology.seed = mix64(seed ^ 0x1070b0ULL);
   e.workload.seed = mix64(seed ^ 0x2010adULL);
   e.latency.seed = mix64(seed ^ 0x301a7eULL);  // ignored by deterministic kinds
+  e.fault.seed = mix64(seed ^ 0x4fa017ULL);    // ignored when kind == kNone
   return e;
 }
 
@@ -216,11 +221,22 @@ RunResult run_protocol<Protocol::kArrowOneShot>(const Experiment& e, Resolved& r
   auto model = e.latency.make();
   ArrowEngine engine(r.tree, *model);
   engine.set_service_time(e.protocol.service_time);
+  engine.set_fault(e.fault);
   QueuingOutcome out = engine.run(r.requests);
-  out.validate(r.requests);
+  // A crash severs the pre-crash successor chain (the recovery wave adopts
+  // one tail and absorbs the rest), so the full-order walk of validate()
+  // cannot apply; every request still completes exactly once (asserted by
+  // QueuingOutcome::record / is_complete). Message-only faults are pure
+  // delay and keep the order total.
+  if (!e.fault.has_crash()) out.validate(r.requests);
   RunResult res;
   res.protocol = e.protocol.kind;
   res.messages = engine.messages_sent();
+  res.messages_dropped = engine.fault_stats().messages_dropped;
+  res.messages_duplicated = engine.fault_stats().messages_duplicated;
+  res.crashes = engine.crashes_applied();
+  res.stabilize_rounds = engine.stabilize_rounds();
+  res.stabilize_corrections = engine.stabilize_corrections();
   fill_one_shot(res, e, r.requests, std::move(out));
   return res;
 }
@@ -232,6 +248,7 @@ RunResult run_protocol<Protocol::kArrowClosedLoop>(const Experiment& e, Resolved
   ClosedLoopConfig cfg;
   cfg.requests_per_node = e.rounds;
   cfg.service_time = e.protocol.service_time;
+  cfg.fault = e.fault;
   ClosedLoopResult loop = run_arrow_closed_loop(r.tree, *model, cfg);
   RunResult res;
   res.protocol = e.protocol.kind;
@@ -241,6 +258,11 @@ RunResult run_protocol<Protocol::kArrowClosedLoop>(const Experiment& e, Resolved
   res.total_hops = static_cast<std::int64_t>(loop.tree_messages);
   res.avg_hops_per_request = loop.avg_hops_per_request;
   res.avg_round_latency_units = loop.avg_round_latency_units;
+  res.messages_dropped = loop.messages_dropped;
+  res.messages_duplicated = loop.messages_duplicated;
+  res.crashes = loop.crashes;
+  res.stabilize_rounds = loop.stabilize_rounds;
+  res.stabilize_corrections = loop.stabilize_corrections;
   return res;
 }
 
@@ -249,9 +271,11 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
   CentralizedConfig cfg;
   cfg.center = e.protocol.center;
   cfg.service_time = e.protocol.service_time;
+  cfg.fault = e.fault;
   const NodeId n = r.graph.node_count();
   RunResult res;
   res.protocol = e.protocol.kind;
+  res.crashes = e.fault.has_crash() ? e.fault.crash_count : 0;
   if (e.rounds > 0) {
     CentralizedLoopResult loop =
         r.apsp ? run_centralized_closed_loop(n, e.rounds, ApspDist{&*r.apsp}, cfg)
@@ -265,12 +289,18 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
             ? 0.0
             : static_cast<double>(loop.messages) / static_cast<double>(loop.total_requests);
     res.avg_round_latency_units = loop.avg_round_latency_units;
+    res.messages_dropped = loop.messages_dropped;
+    res.messages_duplicated = loop.messages_duplicated;
     return res;
   }
+  FaultStats fs;
+  cfg.fault_stats_out = &fs;
   QueuingOutcome out = r.apsp ? run_centralized(n, r.requests, ApspDist{&*r.apsp}, cfg)
                               : run_centralized(n, r.requests, UnitDist{}, cfg);
   out.validate(r.requests);
   res.messages = static_cast<std::uint64_t>(out.total_hops());
+  res.messages_dropped = fs.messages_dropped;
+  res.messages_duplicated = fs.messages_duplicated;
   fill_one_shot(res, e, r.requests, std::move(out));
   return res;
 }
@@ -281,9 +311,11 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
   cfg.mode = e.protocol.mode;
   cfg.service_time = e.protocol.service_time;
   cfg.initial_owner = r.tree.root();
+  cfg.fault = e.fault;
   const NodeId n = r.graph.node_count();
   RunResult res;
   res.protocol = e.protocol.kind;
+  res.crashes = e.fault.has_crash() ? e.fault.crash_count : 0;
   if (e.rounds > 0) {
     ForwardingLoopResult loop =
         r.apsp ? run_pointer_forwarding_closed_loop(n, e.rounds, ApspDist{&*r.apsp}, cfg)
@@ -294,13 +326,19 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
     res.total_hops = static_cast<std::int64_t>(loop.find_messages);
     res.avg_hops_per_request = loop.avg_hops_per_request;
     res.avg_round_latency_units = loop.avg_round_latency_units;
+    res.messages_dropped = loop.messages_dropped;
+    res.messages_duplicated = loop.messages_duplicated;
     return res;
   }
+  FaultStats fs;
+  cfg.fault_stats_out = &fs;
   QueuingOutcome out =
       r.apsp ? run_pointer_forwarding(n, r.requests, ApspDist{&*r.apsp}, cfg)
              : run_pointer_forwarding(n, r.requests, UnitDist{}, cfg);
   out.validate(r.requests);
   res.messages = static_cast<std::uint64_t>(out.total_hops());
+  res.messages_dropped = fs.messages_dropped;
+  res.messages_duplicated = fs.messages_duplicated;
   fill_one_shot(res, e, r.requests, std::move(out));
   return res;
 }
@@ -311,9 +349,15 @@ RunResult run_protocol<Protocol::kTokenPassing>(const Experiment& e, Resolved& r
   // latency model's stream exactly as a standalone arrow run would), then
   // circulate the token through the same model — identical to the legacy
   // {run_arrow; simulate_token_passing} sequence.
+  //
+  // Crashes are stripped: the token replays the analytic total order, which
+  // cannot express a forked post-crash queue. Message faults stay and
+  // perturb the queuing phase (the token circulation itself rides the
+  // unfiltered latency model).
   auto model = e.latency.make();
   ArrowEngine engine(r.tree, *model);
   engine.set_service_time(e.protocol.service_time);
+  engine.set_fault(e.fault.without_crash());
   QueuingOutcome out = engine.run(r.requests);
   out.validate(r.requests);
   TokenSimResult token =
@@ -330,6 +374,8 @@ RunResult run_protocol<Protocol::kTokenPassing>(const Experiment& e, Resolved& r
       r.requests.size() == 0
           ? 0.0
           : static_cast<double>(token.token_messages) / static_cast<double>(r.requests.size());
+  res.messages_dropped = engine.fault_stats().messages_dropped;
+  res.messages_duplicated = engine.fault_stats().messages_duplicated;
   if (e.keep_outcome) res.outcome = std::move(out);
   return res;
 }
@@ -373,6 +419,18 @@ RunResult run_experiment(const Experiment& e) {
   RunResult res = exp_detail::kDriverRegistry[index](e, r);
   if (e.analyze && res.outcome)
     res.competitive = analyze_competitive(r.graph, r.tree, r.requests, *res.outcome);
+  if (e.fault.active()) {
+    // Recovery cost in one number: re-run the identical scenario fault-free
+    // (same seeds, same topology/workload/latency) and report the makespan
+    // delta. The twin recursion terminates because its fault is inactive.
+    Experiment twin = e;
+    twin.fault = FaultSpec::none();
+    twin.keep_outcome = false;
+    twin.analyze = false;
+    RunResult base = run_experiment(twin);
+    res.recovery_delta_units = static_cast<double>(res.makespan - base.makespan) /
+                               static_cast<double>(kTicksPerUnit);
+  }
   return res;
 }
 

@@ -42,6 +42,7 @@
 #include "graph/tree.hpp"
 #include "proto/queuing.hpp"
 #include "proto/request.hpp"
+#include "sim/fault.hpp"
 #include "sim/sweep.hpp"
 #include "support/types.hpp"
 
@@ -314,6 +315,23 @@ struct RunResult {
   Time total_latency = 0;
   double avg_hops_per_request = 0.0;
   double avg_round_latency_units = 0.0;
+  // Degradation/recovery metrics (all zero fault-free):
+  //  * messages_dropped / messages_duplicated — fault filter counters.
+  //  * crashes — crash windows in the run's schedule (arrow one-shot counts
+  //    only the windows that fired before quiescence).
+  //  * stabilize_rounds / stabilize_corrections — SelfStabilizer recovery
+  //    work (arrow protocols only; baselines keep their state in stable
+  //    storage and never corrupt).
+  //  * recovery_delta_units — makespan minus the fault-free twin's makespan
+  //    in latency units; run_experiment fills it only when a fault schedule
+  //    is active. Usually positive, but message faults can also reshuffle a
+  //    schedule into a faster interleaving.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::int32_t crashes = 0;
+  int stabilize_rounds = 0;
+  int stabilize_corrections = 0;
+  double recovery_delta_units = 0.0;
   /// The full queuing outcome (one-shot protocols, keep_outcome only):
   /// feeds analyze_competitive and the application layers.
   std::optional<QueuingOutcome> outcome;
@@ -329,6 +347,13 @@ struct Experiment {
   TopologySpec topology;
   WorkloadSpec workload;  // one-shot protocols; ignored by closed loops
   LatencySpec latency;    // arrow/token protocols; baselines use dG oracles
+  /// Fault schedule — a first-class scenario axis (default: none, which
+  /// compiles the fault branch out of the send path). Arrow protocols model
+  /// full crash recovery (pointer corruption + SelfStabilizer wave);
+  /// baselines degrade gracefully (delay + deferral only); kTokenPassing
+  /// strips crashes (its token replays an analytic order that cannot
+  /// express a forked post-crash queue) but keeps message faults.
+  FaultSpec fault;
   /// Closed-loop rounds per node. Drives kArrowClosedLoop (must be > 0) and
   /// switches kCentralized and kPointerForwarding between their closed-loop
   /// (> 0) and one-shot (== 0, workload-driven) modes.
@@ -351,7 +376,8 @@ struct Experiment {
 
 /// Run one experiment through the protocol registry. Asserts on malformed
 /// combinations (closed-loop rounds for pointer forwarding, rounds == 0 for
-/// kArrowClosedLoop).
+/// kArrowClosedLoop). When a fault schedule is active, additionally runs the
+/// fault-free twin to fill RunResult::recovery_delta_units.
 RunResult run_experiment(const Experiment& e);
 
 /// One sweep slot, in scenario order (mirrors SweepResult).

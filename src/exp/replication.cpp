@@ -40,6 +40,110 @@ double normal_quantile(double p) {
          (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
 }
 
+namespace {
+
+/// Regularized incomplete beta I_x(a, b) via the Numerical Recipes Lentz
+/// continued fraction. The x^a (1-x)^b / (a B(a, b)) prefactor needs the
+/// complete beta: for the half-integer a and b = 1/2 this module uses, the
+/// recurrence B(a+1, b) = B(a, b) * a / (a + b) walks up from the exact
+/// anchors B(1, 1/2) = 2 and B(1/2, 1/2) = pi — no lgamma required.
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-15;
+  constexpr double kTiny = 1e-300;
+  double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0, d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// Complete beta B(a, 1/2) for a = dof/2 (integer or half-integer).
+double beta_half(double a) {
+  constexpr double kPi = 3.14159265358979323846;
+  double val, cur;
+  if (a == std::floor(a)) {
+    val = 2.0;  // B(1, 1/2)
+    cur = 1.0;
+  } else {
+    val = kPi;  // B(1/2, 1/2)
+    cur = 0.5;
+  }
+  while (cur < a - 0.25) {
+    val *= cur / (cur + 0.5);
+    cur += 1.0;
+  }
+  return val;
+}
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  // b is always 1/2 here, so B(a, b) comes from the half-integer walk; the
+  // symmetric branch needs B(b, a) = B(a, b).
+  const double ln_front = a * std::log(x) + b * std::log1p(-x);
+  if (x < (a + 1.0) / (a + b + 2.0))
+    return std::exp(ln_front) / (a * beta_half(a)) * beta_cf(a, b, x);
+  const double ln_front_sym = b * std::log1p(-x) + a * std::log(x);
+  return 1.0 - std::exp(ln_front_sym) / (b * beta_half(a)) * beta_cf(b, a, 1.0 - x);
+}
+
+/// CDF of the Student-t distribution at `dof` degrees of freedom.
+double student_t_cdf(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * incomplete_beta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+}  // namespace
+
+double student_t_quantile(double p, int dof) {
+  ARROWDQ_ASSERT_MSG(p > 0.0 && p < 1.0, "quantile level must be in (0, 1)");
+  ARROWDQ_ASSERT_MSG(dof >= 1, "degrees of freedom must be >= 1");
+  if (p == 0.5) return 0.0;
+  constexpr double kPi = 3.14159265358979323846;
+  if (dof == 1) return std::tan(kPi * (p - 0.5));
+  if (dof == 2) return (2.0 * p - 1.0) * std::sqrt(2.0 / (4.0 * p * (1.0 - p)));
+  // Invert the CDF by bisection from the upper half (symmetry handles the
+  // lower). The normal quantile under-shoots the t quantile, so doubling
+  // from it brackets the root quickly at any dof.
+  const double target = p >= 0.5 ? p : 1.0 - p;
+  double lo = 0.0;
+  double hi = std::max(1.0, 2.0 * normal_quantile(target));
+  const double nu = static_cast<double>(dof);
+  while (student_t_cdf(hi, nu) < target) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, nu) < target)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-13 * std::max(1.0, hi)) break;
+  }
+  const double t = 0.5 * (lo + hi);
+  return p >= 0.5 ? t : -t;
+}
+
 MetricStats fold_metric(const std::vector<double>& samples, double confidence) {
   MetricStats s;
   const auto n = samples.size();
@@ -58,8 +162,12 @@ MetricStats fold_metric(const std::vector<double>& samples, double confidence) {
     for (double x : samples) ss += (x - s.mean) * (x - s.mean);
     s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
   }
-  const double z = normal_quantile(0.5 + confidence / 2.0);
-  const double half = n >= 2 ? z * s.stddev / std::sqrt(static_cast<double>(n)) : 0.0;
+  // Student-t at n-1 dof: the replica counts sweeps actually use are small
+  // (R of 2..10), where the normal quantile understates the interval badly.
+  const double half =
+      n >= 2 ? student_t_quantile(0.5 + confidence / 2.0, static_cast<int>(n) - 1) * s.stddev /
+                   std::sqrt(static_cast<double>(n))
+             : 0.0;
   s.ci_lo = s.mean - half;
   s.ci_hi = s.mean + half;
   return s;
@@ -118,19 +226,23 @@ std::vector<ReplicatedExperimentResult> run_replicated(const std::vector<Experim
       flat.push_back(cells[i].with_seed(replica_seed(spec.base_seed, i, r)));
   }
   std::vector<ExperimentResult> flat_results = run_experiments(flat, runner);
+  ARROWDQ_ASSERT_MSG(flat_results.size() == cells.size() * r_count,
+                     "replica sweep returned a short result list");
 
   std::vector<ReplicatedExperimentResult> out;
   out.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     ReplicatedExperimentResult cell;
+    cell.replica_labels.reserve(r_count);
     std::vector<RunResult> runs;
     runs.reserve(r_count);
     for (std::size_t r = 0; r < r_count; ++r) {
       ExperimentResult& er = flat_results[i * r_count + r];
-      if (r == 0) cell.label = std::move(er.label);
+      cell.replica_labels.push_back(std::move(er.label));
       cell.seconds += er.seconds;
       runs.push_back(std::move(er.result));
     }
+    cell.label = cell.replica_labels.front();
     cell.result = fold_replicas(std::move(runs), spec.confidence);
     out.push_back(std::move(cell));
   }

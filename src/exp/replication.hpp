@@ -7,7 +7,10 @@
 // ReplicatedResult carrying mean / stddev / min / max and a
 // normal-approximation confidence interval per metric, so sweep output can
 // be reported the way the experiments literature expects: replicated runs
-// with error bars, not single samples.
+// with error bars, not single samples. Intervals use Student-t quantiles at
+// n-1 degrees of freedom — at the replica counts sweeps actually run (R of
+// 2..10) the normal approximation understates the interval badly (z = 1.96
+// vs t = 12.71 at R = 2).
 //
 // Determinism contract (same as run_experiments): the flattened
 // cell x replica list shards across SweepRunner's pool exactly like a
@@ -44,7 +47,7 @@ struct MetricStats {
   double stddev = 0.0;  // unbiased (n-1); 0 for fewer than 2 samples
   double min = 0.0;
   double max = 0.0;
-  /// Normal-approximation CI: mean -+ z(confidence) * stddev / sqrt(n).
+  /// Student-t CI: mean -+ t(confidence, n-1) * stddev / sqrt(n).
   double ci_lo = 0.0;
   double ci_hi = 0.0;
 };
@@ -53,6 +56,13 @@ struct MetricStats {
 /// approximation (relative error < 1.2e-9 on (0, 1)). Deterministic across
 /// platforms: no <random>, no libm special functions beyond sqrt/log.
 double normal_quantile(double p);
+
+/// Student-t quantile at `dof` degrees of freedom. dof 1 and 2 are closed
+/// forms; larger dof inverts the regularized incomplete beta CDF (Lentz
+/// continued fraction + bisection, no lgamma), accurate to ~1e-12 — e.g.
+/// t(0.975, 7) = 2.364624251592785. Converges to normal_quantile as dof
+/// grows (within 2% by dof ~ 500).
+double student_t_quantile(double p, int dof);
 
 /// Fold a sample vector into MetricStats at the given confidence level.
 /// Exact two-pass mean/variance (not a streaming accumulator), so known
@@ -91,6 +101,10 @@ struct ReplicatedExperimentResult {
   std::string label;
   ReplicatedResult result;
   double seconds = 0;  // summed wall time of the cell's replicas
+  /// Per-replica labels in replica order (replica_labels[0] == label). The
+  /// reseeded replicas can label differently from the cell (seed-dependent
+  /// topology/fault tokens), so they are kept rather than dropped.
+  std::vector<std::string> replica_labels;
 };
 
 /// Run every cell `spec.count` times across `runner`'s pool (replicas shard

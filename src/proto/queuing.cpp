@@ -33,6 +33,11 @@ const Completion& QueuingOutcome::completion(RequestId id) const {
   return c;
 }
 
+RequestId QueuingOutcome::successor_of(RequestId id) const {
+  ARROWDQ_ASSERT(id >= 0 && static_cast<std::size_t>(id) < successor_.size());
+  return successor_[static_cast<std::size_t>(id)];
+}
+
 std::vector<RequestId> QueuingOutcome::order() const {
   std::vector<RequestId> out;
   out.reserve(completions_.size());

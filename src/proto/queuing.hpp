@@ -29,6 +29,11 @@ class QueuingOutcome {
   std::int32_t request_count() const { return static_cast<std::int32_t>(completions_.size()) - 1; }
   const Completion& completion(RequestId id) const;
 
+  /// The request queued directly behind `id` (kNoRequest if none yet). Lets
+  /// fault-recovery code splice a dangling successor chain back onto the
+  /// live queue tail without mirroring the bookkeeping.
+  RequestId successor_of(RequestId id) const;
+
   /// The total order as request ids starting from the root request 0.
   /// Asserts the successor records chain into a full permutation.
   std::vector<RequestId> order() const;

@@ -1,0 +1,211 @@
+// Deterministic fault injection for the message network.
+//
+// A FaultSpec is a value-type description of a seeded fault schedule:
+// message loss (drop + timeout-retransmit), duplication, reorder-flavoured
+// latency jitter, link latency spikes, and node crash + recovery. It is a
+// first-class scenario axis — `Experiment::fault`, the `--fault` sweep axis
+// and the JSON emission all carry it — and it composes with every latency
+// model because faults apply *after* the latency draw.
+//
+// Injection point: the FaultFilter rides the Network's statically dispatched
+// send path as a fourth template parameter. `NoFaults` (the default) has
+// `kActive == false`, so the fault branch is compiled out entirely and the
+// fault-free hot path is bit-identical to the pre-fault core — all golden
+// hashes pin this.
+//
+// Semantics, chosen so every protocol still terminates:
+//  * loss: a dropped copy is re-sent after a timeout of `retry_units`; the
+//    observable effect is extra delay (drops are capped, so a message is
+//    never lost forever — the paper's protocols assume reliable delivery).
+//  * duplicate: the transport delivers one copy (the protocols are not
+//    idempotent) but the duplicate occupies the link, pushing the FIFO
+//    horizon of its edge — duplication shows up as congestion.
+//  * jitter / spike: extra or multiplied latency. Per-edge FIFO clamping
+//    still holds, so link order is preserved (the paper's FIFO model).
+//  * crash: at deterministic schedule points a victim node goes down for a
+//    window; deliveries that would land inside the window are deferred to
+//    its end. The arrow drivers additionally corrupt the victim's pointer
+//    state and run a SelfStabilizer recovery wave (see arrow/arrow.hpp).
+//
+// Determinism: the filter derives every draw from `FaultSpec::seed` via the
+// project Rng, and each simulation run owns its filter, so results are
+// bit-identical across sweep thread counts and across runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/random.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kLoss,
+  kDuplicate,
+  kJitter,
+  kSpike,
+  kCrash,
+  kChaos,  // every fault kind at once, moderate rates
+};
+
+/// One node-down window of a crash schedule: `victim` is unavailable during
+/// [at, up_at) — deliveries landing inside are deferred to up_at.
+struct CrashEventSpec {
+  Time at = 0;
+  Time up_at = 0;
+  NodeId victim = kNoNode;
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  double loss_prob = 0.0;          // per-message drop probability
+  double dup_prob = 0.0;           // per-message duplication probability
+  double jitter_prob = 0.0;        // per-message extra-latency probability
+  double jitter_max_units = 1.0;   // extra latency uniform in (0, max] units
+  double spike_prob = 0.0;         // per-message latency-spike probability
+  double spike_factor = 4.0;       // spike multiplies the sampled latency
+  double retry_units = 1.0;        // retransmit timeout per dropped copy
+  std::int32_t crash_count = 0;    // number of crash windows in the schedule
+  double crash_downtime_units = 4.0;
+  double crash_period_units = 16.0;  // window k opens at (k+1) * period
+  std::uint64_t seed = 0;
+
+  bool active() const { return kind != FaultKind::kNone; }
+  bool message_faults() const {
+    return loss_prob > 0.0 || dup_prob > 0.0 || jitter_prob > 0.0 || spike_prob > 0.0;
+  }
+  bool has_crash() const { return crash_count > 0; }
+  const char* name() const;
+
+  /// Copy with the crash schedule removed (message faults kept). The token
+  /// baseline replays an analytic arrow outcome, which cannot express a
+  /// forked post-crash order, so its driver strips crashes.
+  FaultSpec without_crash() const;
+
+  static FaultSpec none() { return FaultSpec{}; }
+  static FaultSpec loss(double p);
+  static FaultSpec duplicate(double p);
+  static FaultSpec jitter(double p, double max_units = 1.0);
+  static FaultSpec spike(double p, double factor = 4.0);
+  static FaultSpec crash(std::int32_t count, double downtime_units = 4.0,
+                         double period_units = 16.0);
+  static FaultSpec chaos();
+};
+
+/// Parse a CLI fault token:
+///   none | loss:P | dup:P | jitter:P[:MAXU] | spike:P[:F]
+///        | crash:N[:DOWNU[:PERIODU]] | chaos
+/// Probabilities must lie in (0, 1]; counts and unit spans must be positive.
+std::optional<FaultSpec> parse_fault_spec(const std::string& token);
+
+/// The deterministic crash schedule implied by a spec on an n-node system:
+/// window k opens at (k+1) * crash_period_units, lasts crash_downtime_units,
+/// and hits a seed-derived victim. Sorted by open time.
+std::vector<CrashEventSpec> crash_schedule(const FaultSpec& spec, NodeId node_count);
+
+struct FaultStats {
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+};
+
+/// Zero-cost placeholder: `kActive == false` compiles the fault branch out
+/// of the Network send path entirely.
+struct NoFaults {
+  static constexpr bool kActive = false;
+};
+
+/// Outcome of filtering one edge send: the adjusted latency plus whether a
+/// duplicate copy also occupies the link.
+struct EdgeFaultResult {
+  Time latency = 0;
+  bool duplicated = false;
+};
+
+/// The value-type fault filter the Network templates over when a spec is
+/// active. Owns its Rng (seeded from the spec) and the crash schedule; one
+/// filter per simulation run keeps every draw deterministic.
+class FaultFilter {
+ public:
+  static constexpr bool kActive = true;
+
+  FaultFilter() = default;  // inert: no faults, empty schedule
+  FaultFilter(const FaultSpec& spec, NodeId node_count)
+      : spec_(spec),
+        rng_(mix64(spec.seed ^ 0xfa017f11757ULL)),
+        crashes_(crash_schedule(spec, node_count)),
+        retry_ticks_(std::max<Time>(1, units_to_ticks_rounded(spec.retry_units))),
+        jitter_max_ticks_(std::max<Time>(1, units_to_ticks_rounded(spec.jitter_max_units))) {}
+
+  /// Filter a send over a graph edge whose sampled latency is `lat`.
+  /// Draw order (loss, dup, jitter, spike) is fixed for determinism.
+  EdgeFaultResult on_edge(NodeId /*from*/, NodeId /*to*/, Time lat) {
+    EdgeFaultResult r{lat, false};
+    if (spec_.loss_prob > 0.0) {
+      int drops = 0;
+      while (drops < kMaxDrops && rng_.next_bool(spec_.loss_prob)) ++drops;
+      if (drops > 0) {
+        stats_.messages_dropped += static_cast<std::uint64_t>(drops);
+        r.latency += drops * (retry_ticks_ + lat);
+      }
+    }
+    if (spec_.dup_prob > 0.0 && rng_.next_bool(spec_.dup_prob)) {
+      ++stats_.messages_duplicated;
+      r.duplicated = true;
+    }
+    if (spec_.jitter_prob > 0.0 && rng_.next_bool(spec_.jitter_prob))
+      r.latency += 1 + static_cast<Time>(
+                           rng_.next_below(static_cast<std::uint64_t>(jitter_max_ticks_)));
+    if (spec_.spike_prob > 0.0 && rng_.next_bool(spec_.spike_prob))
+      r.latency = scale_latency(r.latency, spec_.spike_factor);
+    return r;
+  }
+
+  /// Filter a direct (send_with_latency) message. Same fault semantics; a
+  /// duplicate is counted but carries no FIFO congestion (direct messages
+  /// are not clamped against a link).
+  Time on_direct(NodeId from, NodeId to, Time lat) { return on_edge(from, to, lat).latency; }
+
+  /// Crash deferral: a delivery landing inside a down window of `to` waits
+  /// for the window to close. Windows are sorted, so cascading across
+  /// back-to-back windows resolves in one pass.
+  Time defer(NodeId to, Time deliver) const {
+    for (const CrashEventSpec& c : crashes_)
+      if (c.victim == to && deliver >= c.at && deliver < c.up_at) deliver = c.up_at;
+    return deliver;
+  }
+
+  const FaultStats& stats() const { return stats_; }
+  const std::vector<CrashEventSpec>& crashes() const { return crashes_; }
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  // A message is retransmitted until it gets through: the cap only bounds
+  // the simulated delay (P(8 straight drops) is negligible at sane rates).
+  static constexpr int kMaxDrops = 8;
+
+  static Time units_to_ticks_rounded(double units);
+  static Time scale_latency(Time lat, double factor);
+
+  FaultSpec spec_{};
+  Rng rng_{0};
+  std::vector<CrashEventSpec> crashes_;
+  Time retry_ticks_ = kTicksPerUnit;
+  Time jitter_max_ticks_ = kTicksPerUnit;
+  FaultStats stats_;
+};
+
+/// One-time static dispatch, mirroring with_static_latency: invoke `fn`
+/// with NoFaults when the spec is inactive (fault-free builds pay nothing)
+/// or with a live FaultFilter otherwise.
+template <typename Fn>
+decltype(auto) with_fault_filter(const FaultSpec& spec, NodeId node_count, Fn&& fn) {
+  if (!spec.active()) return fn(NoFaults{});
+  return fn(FaultFilter(spec, node_count));
+}
+
+}  // namespace arrowdq

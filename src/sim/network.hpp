@@ -19,15 +19,17 @@
 // array indexed by the graph's dense directed-edge id (Graph::find_edge,
 // O(1)).
 //
-// Static dispatch: the network is templated on both the latency sampler and
-// the handler. On the default path the protocol drivers instantiate
-// `Network<M, ConcreteSampler, TypedHandlerStruct>`, so a send samples its
-// latency with an inlinable direct call and a delivery invokes the protocol
-// handler without an indirect std::function dispatch — the whole
-// send → schedule → deliver → handle chain is visible to the optimizer as
-// one loop. The defaults (`VirtualSampler`, `std::function`) keep every
-// legacy `Network<M>(graph, sim, model)` call site source-compatible on the
-// dynamically dispatched path.
+// Static dispatch: the network is templated on the latency sampler, the
+// handler, and the fault filter. On the default path the protocol drivers
+// instantiate `Network<M, ConcreteSampler, TypedHandlerStruct>`, so a send
+// samples its latency with an inlinable direct call and a delivery invokes
+// the protocol handler without an indirect std::function dispatch — the
+// whole send → schedule → deliver → handle chain is visible to the
+// optimizer as one loop. The defaults (`VirtualSampler`, `std::function`,
+// `NoFaults`) keep every legacy `Network<M>(graph, sim, model)` call site
+// source-compatible on the dynamically dispatched path; with `NoFaults` the
+// fault branches are `if constexpr`-eliminated, so the fault-free hot path
+// is unchanged down to the instruction level (the golden hashes pin this).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "sim/simulator.hpp"
 #include "support/assert.hpp"
@@ -50,7 +53,8 @@ struct NetworkStats {
 };
 
 template <typename M, typename Latency = VirtualSampler,
-          typename Handler = std::function<void(NodeId from, NodeId to, const M& msg)>>
+          typename Handler = std::function<void(NodeId from, NodeId to, const M& msg)>,
+          typename Faults = NoFaults>
 class Network {
  public:
   // Guard rails on the fast path: messages are copied in and out of the
@@ -62,10 +66,11 @@ class Network {
   static_assert(sizeof(M) <= Simulator::kInlineStorage,
                 "network message types must fit the 48-byte inline-event budget");
 
-  Network(const Graph& graph, Simulator& sim, Latency latency)
+  Network(const Graph& graph, Simulator& sim, Latency latency, Faults faults = Faults{})
       : graph_(graph),
         sim_(sim),
         latency_(std::move(latency)),
+        faults_(std::move(faults)),
         busy_until_(static_cast<std::size_t>(graph.node_count()), 0),
         fifo_ready_(graph.dir_edge_count(), 0) {}
 
@@ -91,6 +96,8 @@ class Network {
   const Graph& graph() const { return graph_; }
   Simulator& sim() { return sim_; }
   Latency& latency() { return latency_; }
+  Faults& faults() { return faults_; }
+  const Faults& faults() const { return faults_; }
   const NetworkStats& stats() const { return stats_; }
 
   /// Send over graph edge {from, to}; latency sampled from the model and
@@ -105,11 +112,28 @@ class Network {
     ARROWDQ_ASSERT_MSG(edge, "send over a non-edge");
     Time lat = latency_(from, to, edge.weight);
     ARROWDQ_ASSERT(lat >= 1);
+    bool duplicated = false;
+    if constexpr (Faults::kActive) {
+      EdgeFaultResult f = faults_.on_edge(from, to, lat);
+      lat = f.latency;
+      duplicated = f.duplicated;
+    }
     Time deliver = sim_.now() + lat;
     // FIFO clamp: never deliver before an earlier message on this edge.
     Time& ready = fifo_ready_[static_cast<std::size_t>(edge.id)];
     if (deliver < ready) deliver = ready;
+    if constexpr (Faults::kActive) {
+      // A delivery falling inside a crash window of `to` waits the window
+      // out; the FIFO horizon moves with it so link order still holds.
+      deliver = faults_.defer(to, deliver);
+    }
     ready = deliver;
+    if constexpr (Faults::kActive) {
+      // The duplicate copy is suppressed at the transport (the protocols
+      // are not idempotent) but still occupies the link behind the
+      // original, so duplication surfaces as FIFO congestion.
+      if (duplicated) ready += lat;
+    }
     ++stats_.edge_messages;
     stats_.total_edge_latency += lat;
     schedule_processing(from, to, deliver, msg);
@@ -120,8 +144,13 @@ class Network {
   /// against edge traffic (it does not traverse a single link).
   void send_with_latency(NodeId from, NodeId to, Time latency, M msg) {
     ARROWDQ_ASSERT(latency >= 0);
+    Time deliver = sim_.now() + latency;
+    if constexpr (Faults::kActive) {
+      deliver = sim_.now() + faults_.on_direct(from, to, latency);
+      deliver = faults_.defer(to, deliver);
+    }
     ++stats_.direct_messages;
-    schedule_processing(from, to, sim_.now() + latency, msg);
+    schedule_processing(from, to, deliver, msg);
   }
 
  private:
@@ -192,6 +221,7 @@ class Network {
   const Graph& graph_;
   Simulator& sim_;
   Latency latency_;
+  Faults faults_{};
   Handler handler_{};
   bool handler_set_ = false;
   Time service_time_ = 0;

@@ -1,0 +1,57 @@
+#include "support/parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace arrowdq {
+
+namespace {
+
+// strtoll/strtod skip leading whitespace, which would quietly accept
+// " 12"; reject it up front so the CLI surface is strict.
+bool has_leading_space(const std::string& s) {
+  return !s.empty() && std::isspace(static_cast<unsigned char>(s.front()));
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_i64(const std::string& s) {
+  if (s.empty() || has_leading_space(s)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end == s.c_str() || *end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> parse_f64(const std::string& s) {
+  if (s.empty() || has_leading_space(s)) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end == s.c_str() || *end != '\0') return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> parse_positive_i64(const std::string& s) {
+  auto v = parse_i64(s);
+  if (!v || *v <= 0) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> parse_nonneg_i64(const std::string& s) {
+  auto v = parse_i64(s);
+  if (!v || *v < 0) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_positive_f64(const std::string& s) {
+  auto v = parse_f64(s);
+  if (!v || *v <= 0.0) return std::nullopt;
+  return v;
+}
+
+}  // namespace arrowdq

@@ -1,0 +1,35 @@
+// Checked numeric parsing for CLI input.
+//
+// std::atoi / std::atof silently turn garbage into 0, so a typo like
+// `--nodes foo` or `torus:0x0` used to become a degenerate scenario cell
+// instead of an error. These parsers accept a string only when the *entire*
+// string is a well-formed number within range, and return std::nullopt
+// otherwise; the positive/non-negative variants add the sign constraint the
+// CLI axes need. Callers turn nullopt into a usage message and a nonzero
+// exit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace arrowdq {
+
+/// Full-string signed integer parse (base 10). Rejects empty strings,
+/// leading/trailing junk, and out-of-range values.
+std::optional<std::int64_t> parse_i64(const std::string& s);
+
+/// Full-string floating-point parse. Rejects empty strings, trailing junk,
+/// infinities, NaN, and out-of-range values.
+std::optional<double> parse_f64(const std::string& s);
+
+/// parse_i64, additionally requiring the value to be > 0.
+std::optional<std::int64_t> parse_positive_i64(const std::string& s);
+
+/// parse_i64, additionally requiring the value to be >= 0.
+std::optional<std::int64_t> parse_nonneg_i64(const std::string& s);
+
+/// parse_f64, additionally requiring the value to be > 0.
+std::optional<double> parse_positive_f64(const std::string& s);
+
+}  // namespace arrowdq

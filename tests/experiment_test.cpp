@@ -393,6 +393,23 @@ TEST(Replication, NormalQuantileMatchesKnownValues) {
   EXPECT_NEAR(normal_quantile(0.001), -3.0902323061678132, 1e-6);
 }
 
+TEST(Replication, StudentTQuantileMatchesKnownValues) {
+  // Reference values for t(0.975, dof) — dof 1 and 2 exercise the closed
+  // forms, the rest the incomplete-beta inversion.
+  EXPECT_NEAR(student_t_quantile(0.975, 1), 12.706204736432095, 1e-9);
+  EXPECT_NEAR(student_t_quantile(0.975, 2), 4.302652729911275, 1e-9);
+  EXPECT_NEAR(student_t_quantile(0.975, 3), 3.182446305284263, 1e-9);
+  EXPECT_NEAR(student_t_quantile(0.975, 4), 2.7764451051977987, 1e-9);
+  EXPECT_NEAR(student_t_quantile(0.975, 7), 2.364624251592785, 1e-9);
+  EXPECT_NEAR(student_t_quantile(0.975, 9), 2.2621571627409915, 1e-9);
+  EXPECT_NEAR(student_t_quantile(0.975, 29), 2.045229642132703, 1e-9);
+  // Symmetry and the median.
+  EXPECT_NEAR(student_t_quantile(0.025, 7), -2.364624251592785, 1e-9);
+  EXPECT_DOUBLE_EQ(student_t_quantile(0.5, 7), 0.0);
+  // Converges to the normal quantile as dof grows.
+  EXPECT_NEAR(student_t_quantile(0.975, 2000), normal_quantile(0.975), 2e-3);
+}
+
 TEST(Replication, FoldMetricMatchesClosedForm) {
   // Textbook sample: mean 5, sum of squared deviations 32 over n-1 = 7.
   const std::vector<double> samples = {2, 4, 4, 4, 5, 5, 7, 9};
@@ -401,7 +418,9 @@ TEST(Replication, FoldMetricMatchesClosedForm) {
   EXPECT_DOUBLE_EQ(s.min, 2.0);
   EXPECT_DOUBLE_EQ(s.max, 9.0);
   EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
-  const double half = 1.959963984540054 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0);
+  // Student-t half-width at 7 degrees of freedom: t(0.975, 7) = 2.3646...
+  // (the old normal-approximation z = 1.96 understated the interval).
+  const double half = 2.364624251592785 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0);
   EXPECT_NEAR(s.ci_lo, 5.0 - half, 1e-7);
   EXPECT_NEAR(s.ci_hi, 5.0 + half, 1e-7);
 
@@ -542,6 +561,22 @@ TEST(Replication, ReplicasActuallyVaryOnRandomizedCells) {
   EXPECT_GT(r.makespan_units.ci_hi, r.makespan_units.mean);
   EXPECT_LE(r.makespan_units.min, r.makespan_units.mean);
   EXPECT_GE(r.makespan_units.max, r.makespan_units.mean);
+}
+
+TEST(Replication, ReplicaLabelsRetainedInReplicaOrder) {
+  // Reseeded replicas can label differently from the cell (seed-dependent
+  // topology tokens), so run_replicated keeps every replica's label;
+  // replica_labels[0] is the cell's own.
+  Experiment e;
+  e.protocol = ProtocolSpec::arrow_one_shot();
+  e.topology = TopologySpec::random_tree(24, 5);
+  e.workload = WorkloadSpec::poisson(20, 0.5, 9);
+  e.label = e.default_label();
+  auto folded = run_replicated({e}, ReplicationSpec{4, 7, 0.95});
+  ASSERT_EQ(folded.size(), 1u);
+  ASSERT_EQ(folded[0].replica_labels.size(), 4u);
+  EXPECT_EQ(folded[0].replica_labels.front(), folded[0].label);
+  for (const std::string& label : folded[0].replica_labels) EXPECT_FALSE(label.empty());
 }
 
 // --- competitive analysis wiring --------------------------------------------

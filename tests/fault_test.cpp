@@ -1,0 +1,324 @@
+// Fault injection as a scenario axis: spec parsing, schedule determinism,
+// the arrow quiescence property under randomized fault schedules, baseline
+// graceful degradation, and thread-count invariance of faulty sweeps.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arrow/arrow.hpp"
+#include "exp/experiment.hpp"
+#include "sim/fault.hpp"
+#include "sim/latency.hpp"
+#include "support/random.hpp"
+#include "testutil.hpp"
+
+namespace arrowdq {
+namespace {
+
+// --- FaultSpec parsing ------------------------------------------------------
+
+TEST(FaultSpec, ParsesValidTokens) {
+  auto none = parse_fault_spec("none");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none->kind, FaultKind::kNone);
+  EXPECT_FALSE(none->active());
+
+  auto loss = parse_fault_spec("loss:0.25");
+  ASSERT_TRUE(loss.has_value());
+  EXPECT_EQ(loss->kind, FaultKind::kLoss);
+  EXPECT_DOUBLE_EQ(loss->loss_prob, 0.25);
+  EXPECT_TRUE(loss->message_faults());
+  EXPECT_FALSE(loss->has_crash());
+
+  auto dup = parse_fault_spec("dup:0.5");
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->kind, FaultKind::kDuplicate);
+  EXPECT_DOUBLE_EQ(dup->dup_prob, 0.5);
+
+  auto jitter = parse_fault_spec("jitter:0.3:2.5");
+  ASSERT_TRUE(jitter.has_value());
+  EXPECT_EQ(jitter->kind, FaultKind::kJitter);
+  EXPECT_DOUBLE_EQ(jitter->jitter_prob, 0.3);
+  EXPECT_DOUBLE_EQ(jitter->jitter_max_units, 2.5);
+
+  auto spike = parse_fault_spec("spike:0.2:6");
+  ASSERT_TRUE(spike.has_value());
+  EXPECT_EQ(spike->kind, FaultKind::kSpike);
+  EXPECT_DOUBLE_EQ(spike->spike_prob, 0.2);
+  EXPECT_DOUBLE_EQ(spike->spike_factor, 6.0);
+
+  auto crash = parse_fault_spec("crash:3:2:8");
+  ASSERT_TRUE(crash.has_value());
+  EXPECT_EQ(crash->kind, FaultKind::kCrash);
+  EXPECT_EQ(crash->crash_count, 3);
+  EXPECT_DOUBLE_EQ(crash->crash_downtime_units, 2.0);
+  EXPECT_DOUBLE_EQ(crash->crash_period_units, 8.0);
+  EXPECT_TRUE(crash->has_crash());
+  EXPECT_FALSE(crash->message_faults());
+
+  auto chaos = parse_fault_spec("chaos");
+  ASSERT_TRUE(chaos.has_value());
+  EXPECT_EQ(chaos->kind, FaultKind::kChaos);
+  EXPECT_TRUE(chaos->message_faults());
+  EXPECT_TRUE(chaos->has_crash());
+}
+
+TEST(FaultSpec, RejectsMalformedTokens) {
+  for (const char* bad :
+       {"", "bogus", "loss", "loss:", "loss:0", "loss:-0.1", "loss:1.5", "loss:abc",
+        "dup:0:", "dup:2", "jitter:0.5:-1", "jitter:0.5:0", "spike:0.2:abc", "crash",
+        "crash:0", "crash:-1", "crash:2:0", "crash:2:4:0", "chaos:0.5", "none:1"}) {
+    EXPECT_FALSE(parse_fault_spec(bad).has_value()) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(FaultSpec, WithoutCrashStripsOnlyTheCrashSchedule) {
+  FaultSpec chaos = FaultSpec::chaos();
+  FaultSpec stripped = chaos.without_crash();
+  EXPECT_FALSE(stripped.has_crash());
+  EXPECT_TRUE(stripped.message_faults());
+  EXPECT_DOUBLE_EQ(stripped.loss_prob, chaos.loss_prob);
+
+  // A pure-crash spec strips to inactive.
+  EXPECT_FALSE(FaultSpec::crash(2).without_crash().active());
+}
+
+TEST(FaultSpec, CrashScheduleIsDeterministicAndSorted) {
+  FaultSpec spec = FaultSpec::crash(4, /*downtime_units=*/2.0, /*period_units=*/8.0);
+  spec.seed = 99;
+  auto a = crash_schedule(spec, 32);
+  auto b = crash_schedule(spec, 32);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].victim, b[i].victim);
+    EXPECT_GT(a[i].up_at, a[i].at);
+    EXPECT_GE(a[i].victim, 0);
+    EXPECT_LT(a[i].victim, 32);
+    if (i > 0) {
+      EXPECT_GE(a[i].at, a[i - 1].at);
+    }
+  }
+  // A different seed moves the victims (overwhelmingly likely over 4 draws).
+  spec.seed = 100;
+  auto c = crash_schedule(spec, 32);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_differs |= a[i].victim != c[i].victim;
+  EXPECT_TRUE(any_differs);
+}
+
+// --- the quiescence property ------------------------------------------------
+
+/// A randomized fault spec covering every kind, seeded from `rng`.
+FaultSpec random_fault(Rng& rng) {
+  const auto pick = rng.next_below(6);
+  FaultSpec spec;
+  switch (pick) {
+    case 0: spec = FaultSpec::loss(0.05 + 0.3 * rng.next_double()); break;
+    case 1: spec = FaultSpec::duplicate(0.05 + 0.4 * rng.next_double()); break;
+    case 2: spec = FaultSpec::jitter(0.1 + 0.4 * rng.next_double(), 0.5 + rng.next_double()); break;
+    case 3: spec = FaultSpec::spike(0.05 + 0.2 * rng.next_double(), 2.0 + 4.0 * rng.next_double()); break;
+    case 4:
+      spec = FaultSpec::crash(1 + static_cast<std::int32_t>(rng.next_below(3)),
+                              1.0 + 3.0 * rng.next_double(), 4.0 + 8.0 * rng.next_double());
+      break;
+    default: spec = FaultSpec::chaos(); break;
+  }
+  spec.seed = rng.next();
+  return spec;
+}
+
+TEST(FaultProperty, ArrowReachesQuiescenceUnderRandomizedSchedules) {
+  // The tentpole property: for every randomized fault schedule the arrow
+  // protocol still reaches quiescence with a unique sink, every request
+  // completed no earlier than issued, and — crash-free — a full total order.
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng = testutil::seeded_rng(seed, /*salt=*/0xfa117);
+    auto inst = testutil::make_tree_instance(seed);
+    FaultSpec fault = random_fault(rng);
+    SynchronousLatency sync;
+    ArrowEngine engine(inst.tree, sync);
+    engine.set_fault(fault);
+    QueuingOutcome out = engine.run(inst.requests);
+
+    EXPECT_TRUE(out.is_complete()) << "seed " << seed << " fault " << fault.name();
+    // Unique sink: exactly one node's link points to itself.
+    int sinks = 0;
+    for (NodeId v = 0; v < inst.tree.node_count(); ++v)
+      if (engine.links()[static_cast<std::size_t>(v)] == v) ++sinks;
+    EXPECT_EQ(sinks, 1) << "seed " << seed << " fault " << fault.name();
+    EXPECT_EQ(engine.sink_node(),
+              engine.links()[static_cast<std::size_t>(engine.sink_node())]);
+    // No request completes before it was issued.
+    for (RequestId id = 1; id <= out.request_count(); ++id) {
+      EXPECT_GE(out.completion(id).completed_at, inst.requests.by_id(id).time)
+          << "seed " << seed << " request " << id;
+    }
+    if (!fault.has_crash()) {
+      // Message faults are delay-only, so the full Definition 3.2 total
+      // order must survive them (validate aborts on violation).
+      out.validate(inst.requests);
+      EXPECT_EQ(out.order().size(), static_cast<std::size_t>(out.request_count() + 1));
+    } else {
+      // Crash recovery may sever the pre-crash successor chain, but every
+      // request still queues behind a distinct predecessor.
+      std::set<RequestId> preds;
+      for (RequestId id = 1; id <= out.request_count(); ++id)
+        preds.insert(out.completion(id).predecessor);
+      EXPECT_EQ(preds.size(), static_cast<std::size_t>(out.request_count()))
+          << "seed " << seed << ": duplicate predecessor post-recovery";
+    }
+  }
+}
+
+TEST(FaultProperty, ArrowRunsAreDeterministicPerSpec) {
+  auto inst = testutil::make_tree_instance(11);
+  FaultSpec fault = FaultSpec::chaos();
+  fault.seed = 777;
+  auto run_once = [&]() {
+    SynchronousLatency sync;
+    ArrowEngine engine(inst.tree, sync);
+    engine.set_fault(fault);
+    QueuingOutcome out = engine.run(inst.requests);
+    return std::tuple(engine.messages_sent(), engine.fault_stats().messages_dropped,
+                      engine.fault_stats().messages_duplicated, engine.sink_node(),
+                      engine.stabilize_rounds(), out.total_hops());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --- baselines: graceful degradation ---------------------------------------
+
+TEST(FaultProperty, BaselinesDegradeGracefullyUnderLoss) {
+  // Centralized and pointer forwarding never corrupt state (their pointer is
+  // in stable storage); loss shows up as drops + extra latency only, and
+  // every round still completes.
+  for (Protocol proto : {Protocol::kCentralized, Protocol::kPointerForwarding}) {
+    Experiment e;
+    e.protocol = proto == Protocol::kCentralized
+                     ? ProtocolSpec::centralized(0)
+                     : ProtocolSpec::pointer_forwarding();
+    e.topology = TopologySpec::complete(24);
+    e.rounds = 10;
+    e.fault = FaultSpec::loss(0.2);
+    e = e.with_seed(5);
+    RunResult r = run_experiment(e);
+    EXPECT_EQ(r.total_requests, 24 * 10) << protocol_name(proto);
+    EXPECT_GT(r.messages_dropped, 0u) << protocol_name(proto);
+    EXPECT_EQ(r.stabilize_rounds, 0) << protocol_name(proto);
+    EXPECT_EQ(r.stabilize_corrections, 0) << protocol_name(proto);
+
+    // The same cell fault-free drops nothing and finishes no later.
+    Experiment clean = e;
+    clean.fault = FaultSpec::none();
+    RunResult base = run_experiment(clean);
+    EXPECT_EQ(base.messages_dropped, 0u);
+    EXPECT_LE(base.makespan, r.makespan) << protocol_name(proto);
+  }
+}
+
+TEST(FaultProperty, TokenPassingStripsCrashesButKeepsMessageFaults) {
+  Experiment e;
+  e.protocol = ProtocolSpec::token_passing();
+  e.topology = TopologySpec::random_tree(20, 3);
+  e.workload = WorkloadSpec::poisson(15, 0.5, 7);
+  e.fault = FaultSpec::chaos();
+  e = e.with_seed(9);
+  RunResult r = run_experiment(e);
+  EXPECT_EQ(r.total_requests, 15);
+  EXPECT_EQ(r.crashes, 0);  // crash schedule stripped
+  EXPECT_GT(r.messages_dropped + r.messages_duplicated, 0u);
+}
+
+// --- sweep integration ------------------------------------------------------
+
+std::vector<Experiment> faulty_cells() {
+  std::vector<Experiment> cells;
+  std::uint64_t seed = 40;
+  for (const FaultSpec& fault :
+       {FaultSpec::loss(0.15), FaultSpec::crash(2), FaultSpec::chaos()}) {
+    {
+      Experiment e;
+      e.protocol = ProtocolSpec::arrow_one_shot();
+      e.topology = TopologySpec::random_tree(20, 1);
+      e.workload = WorkloadSpec::poisson(16, 0.6, 2);
+      e.fault = fault;
+      cells.push_back(e.with_seed(++seed));
+    }
+    {
+      Experiment e;
+      e.protocol = ProtocolSpec::arrow_closed_loop();
+      e.topology = TopologySpec::complete(16);
+      e.rounds = 8;
+      e.fault = fault;
+      cells.push_back(e.with_seed(++seed));
+    }
+    {
+      Experiment e;
+      e.protocol = ProtocolSpec::pointer_forwarding();
+      e.topology = TopologySpec::complete(16);
+      e.rounds = 8;
+      e.fault = fault;
+      cells.push_back(e.with_seed(++seed));
+    }
+  }
+  return cells;
+}
+
+TEST(FaultProperty, FaultySweepsAreBitIdenticalAcrossThreadCounts) {
+  // The acceptance bar: under a fixed fault schedule, results — fault
+  // metrics included — are bit-identical across 1/2/4/5 sweep threads and
+  // against the serial path. Each run owns its fault filter, so thread
+  // interleavings cannot touch the draw streams.
+  auto cells = faulty_cells();
+  auto serial = run_experiments(cells);
+  ASSERT_EQ(serial.size(), cells.size());
+  for (unsigned threads : {1u, 2u, 4u, 5u}) {
+    auto parallel = run_experiments(cells, SweepRunner(threads));
+    ASSERT_EQ(parallel.size(), serial.size()) << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const RunResult& a = parallel[i].result;
+      const RunResult& b = serial[i].result;
+      EXPECT_EQ(a.makespan, b.makespan) << threads << " cell " << i;
+      EXPECT_EQ(a.messages, b.messages) << threads << " cell " << i;
+      EXPECT_EQ(a.total_hops, b.total_hops) << threads << " cell " << i;
+      EXPECT_EQ(a.messages_dropped, b.messages_dropped) << threads << " cell " << i;
+      EXPECT_EQ(a.messages_duplicated, b.messages_duplicated) << threads << " cell " << i;
+      EXPECT_EQ(a.crashes, b.crashes) << threads << " cell " << i;
+      EXPECT_EQ(a.stabilize_rounds, b.stabilize_rounds) << threads << " cell " << i;
+      EXPECT_EQ(a.stabilize_corrections, b.stabilize_corrections) << threads << " cell " << i;
+      EXPECT_DOUBLE_EQ(a.recovery_delta_units, b.recovery_delta_units)
+          << threads << " cell " << i;
+    }
+  }
+}
+
+TEST(FaultProperty, RecoveryDeltaFilledOnlyForFaultyCells) {
+  Experiment e;
+  e.protocol = ProtocolSpec::arrow_closed_loop();
+  e.topology = TopologySpec::complete(16);
+  e.rounds = 8;
+  e = e.with_seed(3);
+  RunResult clean = run_experiment(e);
+  EXPECT_DOUBLE_EQ(clean.recovery_delta_units, 0.0);
+  EXPECT_EQ(clean.messages_dropped, 0u);
+  EXPECT_EQ(clean.crashes, 0);
+
+  // A short crash period so the schedule fires within the loop's makespan
+  // (the driver reports windows that actually fired, not the nominal count).
+  e.fault = FaultSpec::crash(2, /*downtime_units=*/2.0, /*period_units=*/4.0);
+  e.fault.seed = 21;
+  RunResult faulty = run_experiment(e);
+  EXPECT_GE(faulty.crashes, 1);
+  EXPECT_LE(faulty.crashes, 2);
+  // The twin comparison is the faulty makespan minus the clean one.
+  EXPECT_NEAR(faulty.recovery_delta_units,
+              static_cast<double>(faulty.makespan - clean.makespan) /
+                  static_cast<double>(kTicksPerUnit),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace arrowdq

@@ -1,0 +1,62 @@
+// Checked CLI numeric parsing: the whole point of support/parse.hpp is that
+// garbage never silently coerces to 0 the way std::atoi did, so the negative
+// paths are the interesting ones.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "support/parse.hpp"
+
+namespace arrowdq {
+namespace {
+
+TEST(Parse, AcceptsWellFormedIntegers) {
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-17"), -17);
+  EXPECT_EQ(parse_i64("+8"), 8);
+  EXPECT_EQ(parse_i64("9223372036854775807"), 9223372036854775807LL);
+  EXPECT_EQ(parse_i64("-9223372036854775808"), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Parse, RejectsMalformedIntegers) {
+  for (const char* bad : {"", " ", "abc", "12abc", "abc12", "1 2", " 42", "42 ",
+                          "4.5", "0x10", "1e3", "--3", "9223372036854775808"}) {
+    EXPECT_FALSE(parse_i64(bad).has_value()) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Parse, AcceptsWellFormedDoubles) {
+  EXPECT_DOUBLE_EQ(*parse_f64("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_f64("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(*parse_f64("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(*parse_f64("7"), 7.0);
+}
+
+TEST(Parse, RejectsMalformedDoubles) {
+  for (const char* bad : {"", " ", "abc", "1.5x", "x1.5", "1.5 ", " 1.5",
+                          "nan", "inf", "-inf", "1e999"}) {
+    EXPECT_FALSE(parse_f64(bad).has_value()) << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Parse, SignConstrainedVariants) {
+  EXPECT_EQ(parse_positive_i64("5"), 5);
+  EXPECT_FALSE(parse_positive_i64("0").has_value());
+  EXPECT_FALSE(parse_positive_i64("-5").has_value());
+  EXPECT_FALSE(parse_positive_i64("foo").has_value());
+
+  EXPECT_EQ(parse_nonneg_i64("0"), 0);
+  EXPECT_EQ(parse_nonneg_i64("12"), 12);
+  EXPECT_FALSE(parse_nonneg_i64("-1").has_value());
+
+  EXPECT_DOUBLE_EQ(*parse_positive_f64("0.1"), 0.1);
+  EXPECT_FALSE(parse_positive_f64("0").has_value());
+  EXPECT_FALSE(parse_positive_f64("0.0").has_value());
+  EXPECT_FALSE(parse_positive_f64("-0.1").has_value());
+}
+
+}  // namespace
+}  // namespace arrowdq

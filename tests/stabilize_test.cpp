@@ -107,6 +107,50 @@ TEST(Stabilize, RepairsRandomCorruption) {
   }
 }
 
+TEST(Stabilize, RepairsMutualPairLivelock) {
+  // Pinned regression: a mutual pair (1 -> 2, 2 -> 1) where node 1's hop
+  // estimate coincidentally satisfies h(1) == h(2) + 1. Node 1 then passes
+  // the plain local check forever while node 2 fails and idempotently resets
+  // to its anchored parent — which is exactly node 1 — so without the
+  // 2-cycle rejection the round count never reaches zero corrections.
+  Tree t = shortest_path_tree(make_path(4), 0);
+  SelfStabilizer stab(t, 0);
+  std::vector<NodeId> links{0, 2, 1, 2};
+  std::vector<NodeId> h{0, 3, 2, 3};
+  auto res = stab.stabilize(links, h, 100);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.rounds, 4);
+  EXPECT_TRUE(links_form_in_tree(links, t));
+  EXPECT_EQ(check_link_state(links, t).sink, 0);
+}
+
+TEST(Stabilize, RepairsAdversarialMutualPairs) {
+  // Randomized version of the livelock shape: start from the legal state,
+  // plant back-edges that form 2-cycles with tree edges, and rig the hop
+  // estimate of one end so it looks locally consistent.
+  Rng rng(406);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId n = 8 + static_cast<NodeId>(rng.next_below(25));
+    Graph g = make_random_tree(n, rng);
+    Tree t = shortest_path_tree(g, 0);
+    SelfStabilizer stab(t, 0);
+    auto links = legal_links_toward(t, 0);
+    std::vector<NodeId> h(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) h[static_cast<std::size_t>(v)] = t.depth(v);
+    for (int k = 0; k < 3; ++k) {
+      auto v = static_cast<NodeId>(1 + rng.next_below(static_cast<std::uint64_t>(n - 1)));
+      NodeId p = t.parent(v);
+      auto pi = static_cast<std::size_t>(p);
+      links[pi] = v;  // back-edge: (v -> p, p -> v) is now a mutual pair
+      h[pi] = h[static_cast<std::size_t>(v)] + 1;  // p looks consistent
+    }
+    auto res = stab.stabilize(links, h, 4 * n + 8);
+    EXPECT_TRUE(res.converged) << "trial " << trial;
+    EXPECT_TRUE(links_form_in_tree(links, t)) << "trial " << trial;
+    EXPECT_EQ(check_link_state(links, t).sink, 0) << "trial " << trial;
+  }
+}
+
 TEST(Stabilize, ConvergesWithinLinearRounds) {
   Rng rng(405);
   Graph g = make_path(32);
