@@ -21,15 +21,28 @@
 //  4. sweep_scaling   — a fixed scenario set through SweepRunner at 1, 2
 //                       and 4 threads; per-thread-count wall time and
 //                       speedup, plus the determinism cross-check.
+//  5. fig10_scale     — the Figure 10 workload on the implicit scale tier
+//                       (closed-form hypercube, CompactSimulator's 32-byte
+//                       slots, no Graph/Tree/APSP) at n = 2^20 / 2^22 /
+//                       2^24, with peak-RSS and bytes-per-node readings
+//                       against a recorded memory budget. Runs FIRST and in
+//                       ascending n: ru_maxrss is a process-wide high-water
+//                       mark, so a cell's reading is attributable only while
+//                       it is the largest allocation so far.
 //
 // Usage: bench_throughput [--quick] [--out FILE.json]
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "arrow/closed_loop.hpp"
 #include "graph/generators.hpp"
@@ -62,6 +75,21 @@ double time_best(int reps, F&& fn) {
     best = std::min(best, now_sec() - t0);
   }
   return best;
+}
+
+/// Process-wide high-water resident set in bytes (0 where unavailable).
+std::uint64_t peak_rss_bytes_now() {
+#if defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<std::uint64_t>(u.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024;  // kilobytes on Linux
+#else
+  return 0;
+#endif
 }
 
 // --- 1. event core -------------------------------------------------------
@@ -302,6 +330,57 @@ int run(int argc, char** argv) {
   }
   const int reps = quick ? 2 : 3;
 
+  // 0. Figure 10 at scale on the implicit tier. Single-shot timings (no
+  // best-of-reps): a repetition would re-allocate under an already-raised
+  // RSS high-water mark and destroy the per-cell memory attribution.
+  struct ScaleCell {
+    int dims;
+    std::int64_t rounds;
+  };
+  const std::vector<ScaleCell> scale_cells =
+      quick ? std::vector<ScaleCell>{{20, 2}}
+            : std::vector<ScaleCell>{{20, 4}, {22, 2}, {24, 1}};
+  struct ScaleRow {
+    std::int64_t nodes = 0;
+    std::int64_t rounds = 0;
+    double seconds = 0;
+    double rps = 0;
+    std::uint64_t rss = 0;
+    double bytes_per_node = 0;
+  };
+  // Recorded budget for the compact path: ~150 B/node of driver state plus
+  // process baseline; the gate fails any run whose measured bytes/node
+  // exceeds this.
+  constexpr double kMemoryBudgetBytesPerNode = 320.0;
+  std::vector<ScaleRow> scale_rows;
+  std::printf("fig10_scale     implicit hypercube, compact arrow closed loop\n");
+  for (const ScaleCell& cell : scale_cells) {
+    ImplicitTopology topo;
+    topo.family = ImplicitFamily::kHypercube;
+    topo.n = NodeId{1} << cell.dims;
+    SynchronousLatency lat;
+    ClosedLoopConfig cfg;
+    cfg.requests_per_node = cell.rounds;
+    cfg.service_time = kTicksPerUnit / 16;
+    const double t0 = now_sec();
+    const ClosedLoopResult res = run_arrow_closed_loop_implicit(topo, lat, cfg);
+    const double sec = now_sec() - t0;
+    ARROWDQ_ASSERT_MSG(
+        res.total_requests == static_cast<std::int64_t>(topo.n) * cell.rounds,
+        "scale run lost requests");
+    ScaleRow row;
+    row.nodes = topo.n;
+    row.rounds = cell.rounds;
+    row.seconds = sec;
+    row.rps = static_cast<double>(res.total_requests) / sec;
+    row.rss = peak_rss_bytes_now();
+    row.bytes_per_node = static_cast<double>(row.rss) / static_cast<double>(topo.n);
+    std::printf("  n=2^%-2d %9lld nodes   %7.3f s   %11.0f reqs/s  rss %7.0f MB  %6.1f B/node\n",
+                cell.dims, static_cast<long long>(row.nodes), row.seconds, row.rps,
+                static_cast<double>(row.rss) / 1048576.0, row.bytes_per_node);
+    scale_rows.push_back(row);
+  }
+
   // 1. Event core, protocol-sized (40-byte) events — the realistic case.
   const std::size_t n_events = quick ? (1u << 16) : (1u << 20);
   std::uint64_t sink = 0;
@@ -452,6 +531,20 @@ int run(int argc, char** argv) {
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"throughput\",\n  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(f,
+               "  \"fig10_scale\": {\n"
+               "    \"memory_budget_bytes_per_node\": %.0f",
+               kMemoryBudgetBytesPerNode);
+  for (const ScaleRow& row : scale_rows) {
+    std::fprintf(f,
+                 ",\n    \"n_%lld\": {\"nodes\": %lld, \"rounds\": %lld, "
+                 "\"seconds\": %.6f, \"requests_per_sec\": %.0f, "
+                 "\"peak_rss_bytes\": %llu, \"bytes_per_node\": %.1f}",
+                 static_cast<long long>(row.nodes), static_cast<long long>(row.nodes),
+                 static_cast<long long>(row.rounds), row.seconds, row.rps,
+                 static_cast<unsigned long long>(row.rss), row.bytes_per_node);
+  }
+  std::fprintf(f, "\n  },\n");
   std::fprintf(f,
                "  \"event_core\": {\n"
                "    \"n_events\": %zu,\n"

@@ -5,8 +5,9 @@
 #   scripts/bench.sh            # full run (~1 min)
 #   scripts/bench.sh --quick    # CI-sized smoke run (~5 s)
 #   scripts/bench.sh --check    # additionally gate fresh numbers against the
-#                               # committed BENCH_throughput.json (>25%
-#                               # events/s regression on any metric fails)
+#                               # committed BENCH_throughput.json (>20%
+#                               # speedup-ratio regression on any metric, or
+#                               # a blown fig10_scale memory budget, fails)
 #   BUILD_DIR=out scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +41,6 @@ echo "BENCH_throughput.json written."
 
 if [[ "$CHECK" == 1 ]]; then
   echo "comparing against committed baseline:"
-  python3 scripts/bench_gate.py "$BASELINE" BENCH_throughput.json --tolerance 0.25
+  python3 scripts/bench_gate.py "$BASELINE" BENCH_throughput.json --tolerance 0.20
   rm -f "$BASELINE"
 fi

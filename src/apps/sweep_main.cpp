@@ -20,8 +20,8 @@
 // Axes
 //   --protocol  arrow | arrow-loop | centralized | forwarding |
 //               forwarding-loop | token
-//   --topology  complete | path | randtree | wtree | grid:RxC | torus:RxC |
-//               hypercube | geometric[:RADIUS]
+//   --topology  complete | path | ring | randtree | wtree | grid:RxC |
+//               torus:RxC | hypercube | geometric[:RADIUS]
 //   --nodes     N1,N2,...      (applied to every topology without a fixed
 //               size; hypercube rounds each N down to a power of two)
 //   --latency   sync | scaled:F | uniform:MIN | exp:MEAN
@@ -39,8 +39,20 @@
 //
 // JSON: --json FILE emits the cross-product with uniform metrics per
 // scenario (schema validated by scripts/bench_gate.py --validate-sweep).
+//
+// CSV: --csv FILE emits the same sweep in long format — one row per
+// cell x replica x metric (label,protocol,topology,nodes,latency,fault,
+// rounds,replica,metric,value) — ready for dataframe tooling with no
+// unpivoting. Unlike the JSON point sample, every replica's raw runs are
+// dumped, so cross-replica statistics can be recomputed downstream.
+//
+// Every cell is validated before any run starts: structurally inconsistent
+// or absurdly large requests (a complete graph at n = 10^6 is ~5 * 10^11
+// edges) are refused with a diagnostic and exit code 2 instead of an OOM
+// kill hours in.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +82,7 @@ struct Options {
   int repeat = 1;             // separately-reported rows per grid point
   int replicas = 1;           // statistically folded replicas per cell
   std::string json_path;      // empty = no JSON
+  std::string csv_path;       // empty = no CSV (long format, all replicas)
   bool smoke = false;
 };
 
@@ -117,6 +130,9 @@ bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
     out = TopologySpec::complete(nodes);
   } else if (s == "path") {
     out = TopologySpec::path(nodes);
+  } else if (s == "ring") {
+    if (nodes < 3) return false;  // wraparound needs >= 3 nodes
+    out = TopologySpec::ring(nodes);
   } else if (s == "randtree") {
     out = TopologySpec::random_tree(nodes, /*seed=*/0);  // seeded per scenario
   } else if (s == "wtree") {
@@ -137,8 +153,11 @@ bool parse_topology(const std::string& s, NodeId nodes, TopologySpec& out) {
     out = TopologySpec::torus(static_cast<NodeId>(*rows), static_cast<NodeId>(*cols));
   } else if (s == "hypercube") {
     if (nodes < 2) return false;
+    // 2^dims = largest power <= nodes. 64-bit shift and a hard dims cap:
+    // the old `NodeId{2} << dims` comparison overflowed int32 (UB) for
+    // nodes >= 2^30 instead of refusing them.
     int dims = 0;
-    while ((NodeId{2} << dims) <= nodes) ++dims;  // 2^dims = largest power <= nodes
+    while (dims < 28 && (std::int64_t{1} << (dims + 1)) <= nodes) ++dims;
     out = TopologySpec::hypercube(dims);
   } else if (s == "geometric" || s.rfind("geometric:", 0) == 0) {
     double radius = 0.35;
@@ -219,9 +238,10 @@ int usage() {
                "                  [--nodes N1,N2,..] [--latency SPEC1,SPEC2,..]\n"
                "                  [--fault F1,F2,..] [--workload W] [--reqs N]\n"
                "                  [--service-frac D] [--threads T] [--seed S]\n"
-               "                  [--repeat R] [--replicas R] [--json FILE] [--smoke]\n"
+               "                  [--repeat R] [--replicas R] [--json FILE] [--csv FILE]\n"
+               "                  [--smoke]\n"
                "  P: arrow | arrow-loop | centralized | forwarding | forwarding-loop | token\n"
-               "  T: complete | path | randtree | wtree | grid:RxC | torus:RxC |\n"
+               "  T: complete | path | ring | randtree | wtree | grid:RxC | torus:RxC |\n"
                "     hypercube | geometric[:RADIUS]\n"
                "  SPEC: sync | scaled:F | uniform:MIN | exp:MEAN\n"
                "  F: none | loss:P | dup:P | jitter:P[:MAXU] | spike:P[:F] |\n"
@@ -230,7 +250,8 @@ int usage() {
                "  service time = one unit / D ticks (0 = free local processing)\n"
                "  numeric flags take checked values: garbage or out-of-range input is\n"
                "  rejected with exit code 2, never silently coerced\n"
-               "  --replicas >= 2 folds per-cell statistics (mean/stddev/CI) into the JSON\n");
+               "  --replicas >= 2 folds per-cell statistics (mean/stddev/CI) into the JSON\n"
+               "  --csv dumps long format: one row per cell x replica x metric\n");
   return 2;
 }
 
@@ -341,6 +362,48 @@ int emit_json(const std::string& path, const Options& opt, unsigned threads,
   return 0;
 }
 
+/// Long-format dump: one row per cell x replica x metric. Labels and axis
+/// names never contain commas (they are generated from fixed token sets), so
+/// no quoting is needed. Fault metrics are emitted only for fault cells,
+/// mirroring the JSON schema's conditional block.
+int emit_csv(const std::string& path, const std::vector<Experiment>& exps,
+             const std::vector<ReplicatedExperimentResult>& results) {
+  std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "label,protocol,topology,nodes,latency,fault,rounds,replica,metric,value\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ReplicatedExperimentResult& r = results[i];
+    const Experiment& e = exps[i];
+    for (std::size_t rep = 0; rep < r.result.runs.size(); ++rep) {
+      const RunResult& run = r.result.runs[rep];
+      auto row = [&](const char* metric, double value) {
+        std::fprintf(f, "%s,%s,%s,%d,%s,%s,%lld,%zu,%s,%.6f\n", r.label.c_str(),
+                     e.protocol.name(), e.topology.family_name(), e.topology.nodes,
+                     e.latency.name(), e.fault.active() ? e.fault.name() : "none",
+                     static_cast<long long>(e.rounds), rep, metric, value);
+      };
+      row("makespan_units", ticks_to_units_d(run.makespan));
+      row("total_requests", static_cast<double>(run.total_requests));
+      row("messages", static_cast<double>(run.messages));
+      row("total_hops", static_cast<double>(run.total_hops));
+      row("avg_hops_per_request", run.avg_hops_per_request);
+      row("avg_round_latency_units", run.avg_round_latency_units);
+      row("total_latency_units", ticks_to_units_d(run.total_latency));
+      if (e.fault.active()) {
+        row("messages_dropped", static_cast<double>(run.messages_dropped));
+        row("messages_duplicated", static_cast<double>(run.messages_duplicated));
+        row("crashes", static_cast<double>(run.crashes));
+        row("recovery_delta_units", run.recovery_delta_units);
+      }
+    }
+  }
+  if (f != stdout) std::fclose(f);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,9 +422,17 @@ int main(int argc, char** argv) {
       opt.topologies = split_csv(next("--topology"));
     } else if (!std::strcmp(argv[i], "--nodes")) {
       opt.nodes.clear();
-      for (const auto& tok : split_csv(next("--nodes")))
-        opt.nodes.push_back(
-            static_cast<NodeId>(require_i64("--nodes", tok.c_str(), parse_positive_i64)));
+      for (const auto& tok : split_csv(next("--nodes"))) {
+        const std::int64_t n = require_i64("--nodes", tok.c_str(), parse_positive_i64);
+        // Checked before the NodeId narrowing: 5e9 must be refused, not
+        // silently wrapped into a small plausible-looking instance.
+        if (n > (std::int64_t{1} << 28)) {
+          std::fprintf(stderr, "--nodes: %lld exceeds the 2^28 scale cap\n",
+                       static_cast<long long>(n));
+          return 2;
+        }
+        opt.nodes.push_back(static_cast<NodeId>(n));
+      }
     } else if (!std::strcmp(argv[i], "--latency")) {
       opt.latencies = split_csv(next("--latency"));
     } else if (!std::strcmp(argv[i], "--fault")) {
@@ -385,6 +456,8 @@ int main(int argc, char** argv) {
           static_cast<int>(require_i64("--replicas", next("--replicas"), parse_positive_i64));
     } else if (!std::strcmp(argv[i], "--json")) {
       opt.json_path = next("--json");
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      opt.csv_path = next("--csv");
     } else if (!std::strcmp(argv[i], "--smoke")) {
       opt.smoke = true;
     } else {
@@ -522,10 +595,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Refuse inconsistent or absurd cells before any simulation starts:
+  // structural errors (grid dims vs nodes, hypercube id budget) and
+  // materialization blowups (complete at n = 10^6 is ~5 * 10^11 edges) exit
+  // 2 with a checked diagnostic instead of dying in the allocator.
+  for (const Experiment& e : exps) {
+    if (auto err = validate_experiment(e)) {
+      std::fprintf(stderr, "%s: %s\n", e.label.c_str(), err->c_str());
+      return 2;
+    }
+  }
+
   SweepRunner runner(opt.threads);
-  // --json - owns stdout: the human-readable table would corrupt the piped
-  // document, so suppress it there.
-  const bool quiet = opt.json_path == "-";
+  // --json - / --csv - own stdout: the human-readable table would corrupt
+  // the piped document, so suppress it there.
+  const bool quiet = opt.json_path == "-" || opt.csv_path == "-";
   if (!quiet)
     std::printf("=== experiment sweep: %zu cells (%zu protocols x %zu topologies x %zu sizes "
                 "x %zu latencies x %zu faults x %d) x %d replicas, %u threads ===\n\n",
@@ -576,6 +660,10 @@ int main(int argc, char** argv) {
   if (!opt.json_path.empty()) {
     if (int rc = emit_json(opt.json_path, opt, runner.threads(), exps, results, wall)) return rc;
     if (opt.json_path != "-") std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+  if (!opt.csv_path.empty()) {
+    if (int rc = emit_csv(opt.csv_path, exps, results)) return rc;
+    if (opt.csv_path != "-") std::printf("wrote %s\n", opt.csv_path.c_str());
   }
   return 0;
 }

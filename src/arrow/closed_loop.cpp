@@ -1,11 +1,13 @@
 #include "arrow/closed_loop.hpp"
 
 #include <functional>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "arrow/stabilize.hpp"
+#include "graph/implicit.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "support/assert.hpp"
@@ -25,53 +27,107 @@ struct LoopMsg {
   std::int32_t epoch = 0;  // crash-recovery epoch (kQueue only); 0 fault-free
 };
 
+/// Topology policies for the closed-loop driver. The protocol core reads
+/// only node_count / root / parent plus a Network-compatible edge index, so
+/// one driver implementation serves both tiers — which is what makes the
+/// implicit path tick-identical to the materialized one by construction.
+///
+/// Materialized: a Tree and its Graph, the default 64-byte event slots,
+/// crash recovery available (SelfStabilizer walks the real tree).
+struct MaterializedTopo {
+  const Tree* tree = nullptr;
+  using Index = Graph;
+  using Sim = Simulator;
+  /// Round counters are kept wide; requests_per_node is an int64 axis.
+  using RoundCount = std::int64_t;
+  static constexpr bool kMaterialized = true;
+  NodeId node_count() const { return tree->node_count(); }
+  NodeId root() const { return tree->root(); }
+  NodeId parent(NodeId v) const { return tree->parent(v); }
+  Index make_index() const { return tree->as_graph(); }
+};
+
+/// Implicit: closed-form parents and on-the-fly edge ids (no stored Graph,
+/// no stored parent array), CompactSimulator's 32-byte event slots, 32-bit
+/// round counters — the compact configuration for million-node runs.
+struct ImplicitLoopTopo {
+  ImplicitTopology topo;
+  using Index = ImplicitTreeIndex;
+  using Sim = CompactSimulator;
+  using RoundCount = std::int32_t;
+  static constexpr bool kMaterialized = false;
+  NodeId node_count() const { return topo.n; }
+  NodeId root() const { return topo.root; }
+  NodeId parent(NodeId v) const { return topo.tree_parent(v); }
+  Index make_index() const { return ImplicitTreeIndex{topo}; }
+};
+
 /// Closed-loop arrow driver. The protocol core mirrors ArrowEngine; requests
 /// are generated on the fly, one outstanding per node. Templated on the
 /// latency sampler and the network handler so the default path runs with no
 /// virtual `sample` call and no std::function dispatch between a delivery
 /// and the protocol logic (`run_arrow_closed_loop_dynamic` instantiates the
 /// same driver with both dynamic layers for benchmarking and equivalence
-/// tests).
-template <typename Latency, typename Handler, typename Faults = NoFaults>
+/// tests), and on the topology policy so the same protocol code runs
+/// materialized or implicit (`run_arrow_closed_loop_implicit`).
+template <typename Latency, typename Handler, typename Faults = NoFaults,
+          typename Topo = MaterializedTopo>
 class Driver {
  public:
-  Driver(const Tree& tree, Latency latency, Faults faults, const ClosedLoopConfig& config)
-      : tree_(tree),
+  Driver(Topo topo, Latency latency, Faults faults, const ClosedLoopConfig& config)
+      : topo_(std::move(topo)),
         config_(config),
-        graph_(tree.as_graph()),
-        net_(graph_, sim_, std::move(latency), std::move(faults)),
-        link_(static_cast<std::size_t>(tree.node_count())),
-        last_req_(static_cast<std::size_t>(tree.node_count()), kNoRequest),
-        issued_(static_cast<std::size_t>(tree.node_count()), 0),
-        issue_time_(static_cast<std::size_t>(tree.node_count()), 0) {
+        index_(topo_.make_index()),
+        net_(index_, sim_, std::move(latency), std::move(faults)),
+        link_(static_cast<std::size_t>(topo_.node_count())),
+        last_req_(static_cast<std::size_t>(topo_.node_count()), kNoRequest),
+        issued_(static_cast<std::size_t>(topo_.node_count()), 0),
+        issue_time_(static_cast<std::size_t>(topo_.node_count()), 0) {
     // One outstanding request per node bounds concurrently pending events
     // and in-flight messages to O(n).
-    const auto n = static_cast<std::size_t>(tree.node_count());
-    sim_.reserve(4 * n);
-    net_.reserve_messages(2 * n);
+    const auto n = static_cast<std::size_t>(topo_.node_count());
+    if constexpr (Topo::kMaterialized) {
+      sim_.reserve(4 * n);
+      net_.reserve_messages(2 * n);
+    } else {
+      // At million-node scale the reserve itself is the memory budget:
+      // ~n events (every node's t=0 issue) and ~n in-flight messages are
+      // live at once; growth past the hint stays amortized.
+      sim_.reserve(n + n / 4 + 64);
+      net_.reserve_messages(n + n / 4 + 64);
+    }
     net_.set_service_time(config.service_time);
-    NodeId root = tree.root();
-    for (NodeId v = 0; v < tree.node_count(); ++v)
-      link_[static_cast<std::size_t>(v)] = v == root ? v : tree.parent(v);
+    NodeId root = topo_.root();
+    for (NodeId v = 0; v < topo_.node_count(); ++v)
+      link_[static_cast<std::size_t>(v)] = v == root ? v : topo_.parent(v);
     last_req_[static_cast<std::size_t>(root)] = kRootRequest;
     if constexpr (Faults::kActive) {
-      crashes_ = crash_schedule(config.fault, tree.node_count());
+      crashes_ = crash_schedule(config.fault, topo_.node_count());
       crash_rng_ = Rng(mix64(config.fault.seed ^ 0xa770c4a54ULL));
-      if (!crashes_.empty()) stab_.emplace(tree_, root);
+      if (!crashes_.empty()) {
+        if constexpr (Topo::kMaterialized) {
+          stab_.emplace(*topo_.tree, root);
+        } else {
+          // The registry keeps crash schedules off the implicit tier
+          // (resolve() materializes the tree instead); this is the
+          // backstop for direct callers.
+          ARROWDQ_ASSERT_MSG(false, "crash recovery requires a materialized tree");
+        }
+      }
     }
   }
 
   void install(Handler h) { net_.set_handler(std::move(h)); }
 
   ClosedLoopResult run() {
-    for (NodeId v = 0; v < tree_.node_count(); ++v) sim_.at(0, IssueEvent{this, v});
+    for (NodeId v = 0; v < topo_.node_count(); ++v) sim_.at(0, IssueEvent{this, v});
     if constexpr (Faults::kActive) {
       if (!crashes_.empty()) sim_.at(crashes_[0].at, CrashEvent{this, 0});
     }
     sim_.run();
     ClosedLoopResult res;
     res.makespan = sim_.now();
-    res.total_requests = static_cast<std::int64_t>(tree_.node_count()) *
+    res.total_requests = static_cast<std::int64_t>(topo_.node_count()) *
                          config_.requests_per_node;
     res.tree_messages = net_.stats().edge_messages;
     res.notify_messages = net_.stats().direct_messages;
@@ -158,7 +214,7 @@ class Driver {
     NodeId v;
     void operator()() const { driver->issue(v); }
   };
-  static_assert(Simulator::template fits_inline_v<IssueEvent>,
+  static_assert(Topo::Sim::template fits_inline_v<IssueEvent>,
                 "IssueEvent must stay on the simulator's inline path");
 
   struct CrashEvent {
@@ -207,61 +263,65 @@ class Driver {
 
   void on_crash(std::size_t k) {
     const std::int64_t total =
-        static_cast<std::int64_t>(tree_.node_count()) * config_.requests_per_node;
+        static_cast<std::int64_t>(topo_.node_count()) * config_.requests_per_node;
     if (static_cast<std::int64_t>(latencies_.count()) < total) {
       corrupt_and_recover(crashes_[k].victim);
       if (k + 1 < crashes_.size()) sim_.at(crashes_[k + 1].at, CrashEvent{this, k + 1});
     }
   }
 
-  void corrupt_and_recover(NodeId victim) {
-    const NodeId n = tree_.node_count();
-    const NodeId anchor = tree_.root();
-    // Snapshot pending tails before corrupting anything (see arrow.cpp's
-    // one-shot driver for the invariant argument).
-    NodeId first_sink = kNoNode;
-    bool anchor_was_sink = false;
-    for (NodeId v = 0; v < n; ++v) {
-      if (link_[static_cast<std::size_t>(v)] == v) {
-        if (first_sink == kNoNode) first_sink = v;
-        if (v == anchor) anchor_was_sink = true;
+  void corrupt_and_recover([[maybe_unused]] NodeId victim) {
+    if constexpr (!Topo::kMaterialized) {
+      ARROWDQ_ASSERT_MSG(false, "crash recovery requires a materialized tree");
+    } else {
+      const NodeId n = topo_.node_count();
+      const NodeId anchor = topo_.root();
+      // Snapshot pending tails before corrupting anything (see arrow.cpp's
+      // one-shot driver for the invariant argument).
+      NodeId first_sink = kNoNode;
+      bool anchor_was_sink = false;
+      for (NodeId v = 0; v < n; ++v) {
+        if (link_[static_cast<std::size_t>(v)] == v) {
+          if (first_sink == kNoNode) first_sink = v;
+          if (v == anchor) anchor_was_sink = true;
+        }
       }
-    }
-    ARROWDQ_ASSERT_MSG(first_sink != kNoNode, "crash with no live sink");
-    RequestId adopted = last_req_[static_cast<std::size_t>(first_sink)];
+      ARROWDQ_ASSERT_MSG(first_sink != kNoNode, "crash with no live sink");
+      RequestId adopted = last_req_[static_cast<std::size_t>(first_sink)];
 
-    auto wi = static_cast<std::size_t>(victim);
-    switch (crash_rng_.next_below(3)) {
-      case 0: link_[wi] = victim; break;
-      case 1:
-        link_[wi] = static_cast<NodeId>(crash_rng_.next_below(static_cast<std::uint64_t>(n)));
-        break;
-      default: link_[wi] = victim == tree_.root() ? victim : tree_.parent(victim); break;
-    }
+      auto wi = static_cast<std::size_t>(victim);
+      switch (crash_rng_.next_below(3)) {
+        case 0: link_[wi] = victim; break;
+        case 1:
+          link_[wi] = static_cast<NodeId>(crash_rng_.next_below(static_cast<std::uint64_t>(n)));
+          break;
+        default: link_[wi] = victim == anchor ? victim : topo_.parent(victim); break;
+      }
 
-    ++epoch_;
+      ++epoch_;
 
-    auto h = stab_->estimate_hops(link_);
-    StabilizeResult res = stab_->stabilize(link_, h, 4 * n + 8);
-    ARROWDQ_ASSERT_MSG(res.converged, "self-stabilization did not converge");
-    stabilize_rounds_ += res.rounds;
-    stabilize_corrections_ += res.corrections;
-    ++crashes_applied_;
+      auto h = stab_->estimate_hops(link_);
+      StabilizeResult res = stab_->stabilize(link_, h, 4 * n + 8);
+      ARROWDQ_ASSERT_MSG(res.converged, "self-stabilization did not converge");
+      stabilize_rounds_ += res.rounds;
+      stabilize_corrections_ += res.corrections;
+      ++crashes_applied_;
 
-    if (!anchor_was_sink) {
-      ARROWDQ_ASSERT_MSG(adopted != kNoRequest, "pre-crash sink without a tail");
-      last_req_[static_cast<std::size_t>(anchor)] = adopted;
+      if (!anchor_was_sink) {
+        ARROWDQ_ASSERT_MSG(adopted != kNoRequest, "pre-crash sink without a tail");
+        last_req_[static_cast<std::size_t>(anchor)] = adopted;
+      }
     }
   }
 
-  const Tree& tree_;
+  Topo topo_;
   const ClosedLoopConfig& config_;
-  Graph graph_;
-  Simulator sim_;
-  Network<LoopMsg, Latency, Handler, Faults> net_;
+  typename Topo::Index index_;
+  typename Topo::Sim sim_;
+  Network<LoopMsg, Latency, Handler, Faults, typename Topo::Index, typename Topo::Sim> net_;
   std::vector<NodeId> link_;
   std::vector<RequestId> last_req_;
-  std::vector<std::int64_t> issued_;
+  std::vector<typename Topo::RoundCount> issued_;
   std::vector<Time> issue_time_;
   StatAccumulator latencies_;
   RequestId next_id_ = kRootRequest;
@@ -276,9 +336,9 @@ class Driver {
 
 /// Typed handler for the statically dispatched path: one pointer, direct
 /// call, fully inlinable into Network::deliver.
-template <typename Latency, typename Faults = NoFaults>
+template <typename Latency, typename Faults = NoFaults, typename Topo = MaterializedTopo>
 struct LoopHandler {
-  Driver<Latency, LoopHandler, Faults>* driver = nullptr;
+  Driver<Latency, LoopHandler, Faults, Topo>* driver = nullptr;
   void operator()(NodeId from, NodeId to, const LoopMsg& m) const {
     driver->receive(from, to, m);
   }
@@ -293,8 +353,30 @@ ClosedLoopResult run_arrow_closed_loop(const Tree& tree, LatencyModel& latency,
     return with_fault_filter(config.fault, tree.node_count(), [&](auto filt) {
       using L = decltype(lat);
       using F = decltype(filt);
-      Driver<L, LoopHandler<L, F>, F> driver(tree, std::move(lat), std::move(filt), config);
+      Driver<L, LoopHandler<L, F>, F> driver(MaterializedTopo{&tree}, std::move(lat),
+                                             std::move(filt), config);
       driver.install(LoopHandler<L, F>{&driver});
+      return driver.run();
+    });
+  });
+}
+
+ClosedLoopResult run_arrow_closed_loop_implicit(const ImplicitTopology& topo,
+                                                LatencyModel& latency,
+                                                const ClosedLoopConfig& config) {
+  ARROWDQ_ASSERT_MSG(config.requests_per_node >= 0, "requests_per_node must be >= 0");
+  ARROWDQ_ASSERT_MSG(config.requests_per_node <= std::numeric_limits<std::int32_t>::max(),
+                     "implicit tier keeps 32-bit round counters");
+  ARROWDQ_ASSERT_MSG(!config.fault.has_crash(),
+                     "crash recovery requires a materialized tree");
+  return with_static_latency(latency, [&](auto lat) {
+    return with_fault_filter(config.fault, topo.n, [&](auto filt) {
+      using L = decltype(lat);
+      using F = decltype(filt);
+      using T = ImplicitLoopTopo;
+      Driver<L, LoopHandler<L, F, T>, F, T> driver(ImplicitLoopTopo{topo}, std::move(lat),
+                                                   std::move(filt), config);
+      driver.install(LoopHandler<L, F, T>{&driver});
       return driver.run();
     });
   });
@@ -306,8 +388,8 @@ ClosedLoopResult run_arrow_closed_loop_dynamic(const Tree& tree, LatencyModel& l
   using Handler = std::function<void(NodeId, NodeId, const LoopMsg&)>;
   return with_fault_filter(config.fault, tree.node_count(), [&](auto filt) {
     using F = decltype(filt);
-    Driver<VirtualSampler, Handler, F> driver(tree, VirtualSampler{latency}, std::move(filt),
-                                              config);
+    Driver<VirtualSampler, Handler, F> driver(MaterializedTopo{&tree}, VirtualSampler{latency},
+                                              std::move(filt), config);
     driver.install(
         [&driver](NodeId from, NodeId to, const LoopMsg& m) { driver.receive(from, to, m); });
     return driver.run();

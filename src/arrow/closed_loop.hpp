@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "graph/implicit.hpp"
 #include "graph/tree.hpp"
 #include "sim/fault.hpp"
 #include "sim/latency.hpp"
@@ -69,5 +70,19 @@ ClosedLoopResult run_arrow_closed_loop(const Tree& tree, LatencyModel& latency,
 /// reference for the static-dispatch speedup.
 ClosedLoopResult run_arrow_closed_loop_dynamic(const Tree& tree, LatencyModel& latency,
                                                const ClosedLoopConfig& config);
+
+/// The scale path: the same closed-loop driver on an implicit topology
+/// (graph/implicit.hpp) — tree parents computed in closed form, network edge
+/// ids derived on the fly, CompactSimulator's 32-byte event slots, 32-bit
+/// round counters. No Graph, Tree, or APSP is materialized, so memory is a
+/// small constant per node and Figure-10-style runs reach n = 10^6-10^7.
+/// Tick-identical to run_arrow_closed_loop on the materialized equivalent
+/// of `topo` by construction (one driver implementation; pinned by
+/// tests/scale_test.cpp). Crash schedules are not supported here — the
+/// recovery wave needs a real Tree — and are rejected by assertion;
+/// message-level faults (loss, duplication, jitter, spikes) work normally.
+ClosedLoopResult run_arrow_closed_loop_implicit(const ImplicitTopology& topo,
+                                                LatencyModel& latency,
+                                                const ClosedLoopConfig& config);
 
 }  // namespace arrowdq

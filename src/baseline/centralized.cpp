@@ -283,17 +283,8 @@ CentralizedLoopResult run_centralized_closed_loop_impl(NodeId node_count,
 
 }  // namespace
 
-QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, UnitDist dist,
-                               const CentralizedConfig& config) {
-  return run_centralized_impl(node_count, requests, dist, config);
-}
-
-QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, ApspDist dist,
-                               const CentralizedConfig& config) {
-  return run_centralized_impl(node_count, requests, dist, config);
-}
-
-QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, FnDist dist,
+template <typename Dist>
+QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests, Dist dist,
                                const CentralizedConfig& config) {
   return run_centralized_impl(node_count, requests, dist, config);
 }
@@ -305,20 +296,9 @@ QueuingOutcome run_centralized(NodeId node_count, const RequestSet& requests,
   });
 }
 
+template <typename Dist>
 CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
-                                                  std::int64_t requests_per_node, UnitDist dist,
-                                                  const CentralizedConfig& config) {
-  return run_centralized_closed_loop_impl(node_count, requests_per_node, dist, config);
-}
-
-CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
-                                                  std::int64_t requests_per_node, ApspDist dist,
-                                                  const CentralizedConfig& config) {
-  return run_centralized_closed_loop_impl(node_count, requests_per_node, dist, config);
-}
-
-CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
-                                                  std::int64_t requests_per_node, FnDist dist,
+                                                  std::int64_t requests_per_node, Dist dist,
                                                   const CentralizedConfig& config) {
   return run_centralized_closed_loop_impl(node_count, requests_per_node, dist, config);
 }
@@ -331,5 +311,24 @@ CentralizedLoopResult run_centralized_closed_loop(NodeId node_count,
     return run_centralized_closed_loop_impl(node_count, requests_per_node, oracle, config);
   });
 }
+
+// One explicit instantiation per concrete oracle in dist.hpp. An oracle type
+// missing here fails at link time rather than silently falling back to the
+// type-erased tier.
+#define ARROWDQ_CENTRALIZED_INSTANTIATE(Dist)                                              \
+  template QueuingOutcome run_centralized<Dist>(NodeId, const RequestSet&, Dist,           \
+                                                const CentralizedConfig&);                 \
+  template CentralizedLoopResult run_centralized_closed_loop<Dist>(NodeId, std::int64_t,   \
+                                                                   Dist,                   \
+                                                                   const CentralizedConfig&)
+ARROWDQ_CENTRALIZED_INSTANTIATE(UnitDist);
+ARROWDQ_CENTRALIZED_INSTANTIATE(ApspDist);
+ARROWDQ_CENTRALIZED_INSTANTIATE(FnDist);
+ARROWDQ_CENTRALIZED_INSTANTIATE(PathDist);
+ARROWDQ_CENTRALIZED_INSTANTIATE(RingDist);
+ARROWDQ_CENTRALIZED_INSTANTIATE(GridDist);
+ARROWDQ_CENTRALIZED_INSTANTIATE(TorusDist);
+ARROWDQ_CENTRALIZED_INSTANTIATE(HypercubeDist);
+#undef ARROWDQ_CENTRALIZED_INSTANTIATE
 
 }  // namespace arrowdq

@@ -13,6 +13,9 @@
 // only for caller-supplied closures.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <functional>
 
 #include "graph/shortest_paths.hpp"
@@ -45,6 +48,73 @@ struct FnDist {
   const char* name() const { return "fn"; }
 };
 
+// --- Closed-form oracles for the structured topology families --------------
+//
+// On path/ring/grid/torus/hypercube the graph distance is a formula of the
+// node ids, so the baselines can draw dG without an O(n^2) APSP table — the
+// piece that capped single runs in the tens of thousands of nodes. Each
+// oracle mirrors the node numbering of the corresponding generator in
+// graph/generators.cpp (unit edge weights); tests/scale_test.cpp pins every
+// one bit-identical to ApspDist on the materialized graph at small n.
+
+/// Line 0 - 1 - ... - n-1: dG(u, v) = |u - v|.
+struct PathDist {
+  Weight units(NodeId u, NodeId v) const {
+    return static_cast<Weight>(u < v ? v - u : u - v);
+  }
+  Time operator()(NodeId u, NodeId v) const { return units_to_ticks(units(u, v)); }
+  const char* name() const { return "path"; }
+};
+
+/// Cycle on n nodes: dG(u, v) = min(|u - v|, n - |u - v|).
+struct RingDist {
+  NodeId n = 0;
+  Weight units(NodeId u, NodeId v) const {
+    const NodeId d = u < v ? v - u : u - v;
+    return static_cast<Weight>(std::min(d, n - d));
+  }
+  Time operator()(NodeId u, NodeId v) const { return units_to_ticks(units(u, v)); }
+  const char* name() const { return "ring"; }
+};
+
+/// rows x cols mesh, node v at (v / cols, v % cols): Manhattan distance.
+struct GridDist {
+  NodeId cols = 0;
+  Weight units(NodeId u, NodeId v) const {
+    const NodeId ru = u / cols, cu = u % cols;
+    const NodeId rv = v / cols, cv = v % cols;
+    return static_cast<Weight>((ru < rv ? rv - ru : ru - rv) +
+                               (cu < cv ? cv - cu : cu - cv));
+  }
+  Time operator()(NodeId u, NodeId v) const { return units_to_ticks(units(u, v)); }
+  const char* name() const { return "grid"; }
+};
+
+/// rows x cols torus: per-axis wrap-around minimum, summed.
+struct TorusDist {
+  NodeId rows = 0;
+  NodeId cols = 0;
+  static NodeId axis(NodeId a, NodeId b, NodeId extent) {
+    const NodeId d = a < b ? b - a : a - b;
+    return std::min(d, extent - d);
+  }
+  Weight units(NodeId u, NodeId v) const {
+    return static_cast<Weight>(axis(u / cols, v / cols, rows) +
+                               axis(u % cols, v % cols, cols));
+  }
+  Time operator()(NodeId u, NodeId v) const { return units_to_ticks(units(u, v)); }
+  const char* name() const { return "torus"; }
+};
+
+/// 2^dims-node hypercube: Hamming distance of the labels.
+struct HypercubeDist {
+  Weight units(NodeId u, NodeId v) const {
+    return static_cast<Weight>(std::popcount(static_cast<std::uint32_t>(u ^ v)));
+  }
+  Time operator()(NodeId u, NodeId v) const { return units_to_ticks(units(u, v)); }
+  const char* name() const { return "hypercube"; }
+};
+
 /// dG-based oracle from a precomputed APSP (must outlive the returned fn).
 DistTicksFn apsp_dist_fn(const AllPairs& apsp);
 
@@ -60,6 +130,11 @@ template <typename Fn>
 decltype(auto) with_static_dist(const DistTicksFn& dist, Fn&& fn) {
   if (const UnitDist* p = dist.target<UnitDist>()) return fn(*p);
   if (const ApspDist* p = dist.target<ApspDist>()) return fn(*p);
+  if (const PathDist* p = dist.target<PathDist>()) return fn(*p);
+  if (const RingDist* p = dist.target<RingDist>()) return fn(*p);
+  if (const GridDist* p = dist.target<GridDist>()) return fn(*p);
+  if (const TorusDist* p = dist.target<TorusDist>()) return fn(*p);
+  if (const HypercubeDist* p = dist.target<HypercubeDist>()) return fn(*p);
   return fn(FnDist{&dist});
 }
 

@@ -320,18 +320,9 @@ ForwardingLoopResult run_pointer_forwarding_closed_loop_impl(
 
 }  // namespace
 
+template <typename Dist>
 QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      UnitDist dist, const PointerForwardingConfig& config) {
-  return run_pointer_forwarding_impl(node_count, requests, dist, config);
-}
-
-QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      ApspDist dist, const PointerForwardingConfig& config) {
-  return run_pointer_forwarding_impl(node_count, requests, dist, config);
-}
-
-QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      FnDist dist, const PointerForwardingConfig& config) {
+                                      Dist dist, const PointerForwardingConfig& config) {
   return run_pointer_forwarding_impl(node_count, requests, dist, config);
 }
 
@@ -343,23 +334,10 @@ QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& reque
   });
 }
 
+template <typename Dist>
 ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
                                                         std::int64_t requests_per_node,
-                                                        UnitDist dist,
-                                                        const PointerForwardingConfig& config) {
-  return run_pointer_forwarding_closed_loop_impl(node_count, requests_per_node, dist, config);
-}
-
-ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
-                                                        std::int64_t requests_per_node,
-                                                        ApspDist dist,
-                                                        const PointerForwardingConfig& config) {
-  return run_pointer_forwarding_closed_loop_impl(node_count, requests_per_node, dist, config);
-}
-
-ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
-                                                        std::int64_t requests_per_node,
-                                                        FnDist dist,
+                                                        Dist dist,
                                                         const PointerForwardingConfig& config) {
   return run_pointer_forwarding_closed_loop_impl(node_count, requests_per_node, dist, config);
 }
@@ -373,5 +351,22 @@ ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
                                                    config);
   });
 }
+
+// One explicit instantiation per concrete oracle in dist.hpp (see
+// centralized.cpp for the rationale).
+#define ARROWDQ_FORWARDING_INSTANTIATE(Dist)                                            \
+  template QueuingOutcome run_pointer_forwarding<Dist>(NodeId, const RequestSet&, Dist, \
+                                                       const PointerForwardingConfig&); \
+  template ForwardingLoopResult run_pointer_forwarding_closed_loop<Dist>(               \
+      NodeId, std::int64_t, Dist, const PointerForwardingConfig&)
+ARROWDQ_FORWARDING_INSTANTIATE(UnitDist);
+ARROWDQ_FORWARDING_INSTANTIATE(ApspDist);
+ARROWDQ_FORWARDING_INSTANTIATE(FnDist);
+ARROWDQ_FORWARDING_INSTANTIATE(PathDist);
+ARROWDQ_FORWARDING_INSTANTIATE(RingDist);
+ARROWDQ_FORWARDING_INSTANTIATE(GridDist);
+ARROWDQ_FORWARDING_INSTANTIATE(TorusDist);
+ARROWDQ_FORWARDING_INSTANTIATE(HypercubeDist);
+#undef ARROWDQ_FORWARDING_INSTANTIATE
 
 }  // namespace arrowdq

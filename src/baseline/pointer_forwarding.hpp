@@ -50,15 +50,14 @@ struct PointerForwardingConfig {
 /// Completion per Definition 3.2: recorded when the find message reaches the
 /// node holding the predecessor request.
 ///
-/// The oracle overloads are the statically dispatched tier; the DistTicksFn
-/// overload probes for a wrapped UnitDist/ApspDist once per run
-/// (with_static_dist) and otherwise pays the type-erased call per message.
+/// The oracle template is the statically dispatched tier, explicitly
+/// instantiated in pointer_forwarding.cpp for every concrete oracle type in
+/// dist.hpp; the DistTicksFn overload probes for a wrapped oracle once per
+/// run (with_static_dist) and otherwise pays the type-erased call per
+/// message.
+template <typename Dist>
 QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      UnitDist dist, const PointerForwardingConfig& config);
-QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      ApspDist dist, const PointerForwardingConfig& config);
-QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
-                                      FnDist dist, const PointerForwardingConfig& config);
+                                      Dist dist, const PointerForwardingConfig& config);
 QueuingOutcome run_pointer_forwarding(NodeId node_count, const RequestSet& requests,
                                       const DistTicksFn& dist,
                                       const PointerForwardingConfig& config);
@@ -83,18 +82,11 @@ struct ForwardingLoopResult {
 /// requester issues its next request one service interval after the reply
 /// arrives. A request finding the predecessor locally completes with a
 /// zero-latency local reply, exactly like the arrow loop. Same
-/// oracle-overload scheme as run_pointer_forwarding.
+/// oracle-dispatch scheme as run_pointer_forwarding.
+template <typename Dist>
 ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
                                                         std::int64_t requests_per_node,
-                                                        UnitDist dist,
-                                                        const PointerForwardingConfig& config);
-ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
-                                                        std::int64_t requests_per_node,
-                                                        ApspDist dist,
-                                                        const PointerForwardingConfig& config);
-ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
-                                                        std::int64_t requests_per_node,
-                                                        FnDist dist,
+                                                        Dist dist,
                                                         const PointerForwardingConfig& config);
 ForwardingLoopResult run_pointer_forwarding_closed_loop(NodeId node_count,
                                                         std::int64_t requests_per_node,

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "apps/token_sim.hpp"
 #include "arrow/arrow.hpp"
@@ -41,6 +48,8 @@ Graph TopologySpec::build_graph() const {
       return make_complete(nodes);
     case Family::kPath:
       return make_path(nodes);
+    case Family::kRing:
+      return make_ring(nodes);
     case Family::kGrid:
       return make_grid(rows, cols);
     case Family::kTorus:
@@ -98,6 +107,8 @@ const char* TopologySpec::family_name() const {
       return "complete";
     case Family::kPath:
       return "path";
+    case Family::kRing:
+      return "ring";
     case Family::kGrid:
       return "grid";
     case Family::kTorus:
@@ -114,6 +125,71 @@ const char* TopologySpec::family_name() const {
       return "custom";
   }
   return "?";
+}
+
+namespace {
+
+// Scale-path caps. 2^28 nodes keeps the implicit tier's dense directed tree
+// ids (2n + 1) inside int32 with headroom; the materialization-cost caps
+// (edge count, APSP table size) depend on the protocol and live in
+// validate_experiment().
+constexpr NodeId kMaxNodes = NodeId{1} << 28;
+constexpr std::int64_t kMaxMaterializedEdges = std::int64_t{1} << 26;
+constexpr NodeId kMaxApspNodes = 8192;
+// make_hypercube() stores 2^dims * dims directed edges; past this the graph
+// must stay implicit.
+constexpr int kMaxMaterializedHypercubeDims = 20;
+
+}  // namespace
+
+std::optional<std::string> TopologySpec::validate() const {
+  if (nodes < 1) return "topology: nodes must be >= 1";
+  if (nodes > kMaxNodes)
+    return "topology: " + std::to_string(nodes) +
+           " nodes exceeds the 2^28 cap (edge/event ids are 32-bit)";
+  switch (family) {
+    case Family::kComplete:
+    case Family::kPath:
+    case Family::kRandomTree:
+      break;
+    case Family::kRing:
+      if (nodes < 3) return "ring: needs >= 3 nodes";
+      break;
+    case Family::kGrid:
+      if (rows < 1 || cols < 1) return "grid: rows and cols must be >= 1";
+      if (static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols) != nodes)
+        return "grid: rows * cols (" + std::to_string(rows) + " * " + std::to_string(cols) +
+               ") must equal nodes (" + std::to_string(nodes) + ")";
+      break;
+    case Family::kTorus:
+      if (rows < 3 || cols < 3) return "torus: rows and cols must be >= 3";
+      if (static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols) != nodes)
+        return "torus: rows * cols (" + std::to_string(rows) + " * " + std::to_string(cols) +
+               ") must equal nodes (" + std::to_string(nodes) + ")";
+      break;
+    case Family::kHypercube:
+      if (dims < 0 || dims > 28)
+        return "hypercube: dims must be in [0, 28], got " + std::to_string(dims);
+      if (nodes != (NodeId{1} << dims))
+        return "hypercube: nodes (" + std::to_string(nodes) + ") must equal 2^dims (" +
+               std::to_string(NodeId{1} << dims) + ")";
+      break;
+    case Family::kGeometric:
+      if (!(radius > 0.0)) return "geometric: radius must be > 0";
+      break;
+    case Family::kWeightedTree:
+      if (max_weight < 1) return "wtree: max_weight must be >= 1";
+      break;
+    case Family::kCustom:
+      if (!custom_graph) return "custom: no graph supplied";
+      if (!custom_tree) return "custom: no tree supplied";
+      if (custom_graph->node_count() != nodes)
+        return "custom: nodes (" + std::to_string(nodes) + ") must match the supplied graph (" +
+               std::to_string(custom_graph->node_count()) + ")";
+      break;
+  }
+  if (root < 0 || root >= nodes) return "topology: root out of range";
+  return std::nullopt;
 }
 
 // --- workload ---------------------------------------------------------------
@@ -214,6 +290,97 @@ void fill_one_shot(RunResult& r, const Experiment& e, const RequestSet& requests
   if (e.keep_outcome) r.outcome = std::move(out);
 }
 
+bool is_baseline(const Experiment& e) {
+  return e.protocol.kind == Protocol::kCentralized ||
+         e.protocol.kind == Protocol::kPointerForwarding;
+}
+
+bool is_closed_loop(const Experiment& e) {
+  return e.protocol.kind == Protocol::kArrowClosedLoop ||
+         (is_baseline(e) && e.rounds > 0);
+}
+
+/// The structured families with closed forms for distance, adjacency, and
+/// the canonical shortest-path-tree parent (graph/implicit.hpp).
+std::optional<ImplicitFamily> implicit_family(TopologySpec::Family f) {
+  switch (f) {
+    case TopologySpec::Family::kComplete:
+      return ImplicitFamily::kComplete;
+    case TopologySpec::Family::kPath:
+      return ImplicitFamily::kPath;
+    case TopologySpec::Family::kRing:
+      return ImplicitFamily::kRing;
+    case TopologySpec::Family::kGrid:
+      return ImplicitFamily::kGrid;
+    case TopologySpec::Family::kTorus:
+      return ImplicitFamily::kTorus;
+    case TopologySpec::Family::kHypercube:
+      return ImplicitFamily::kHypercube;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// The one materialize-or-not decision, shared verbatim by resolve() and
+/// validate_experiment() so the cost guards always judge the path that will
+/// actually run.
+struct ResolvePlan {
+  std::optional<ImplicitFamily> fam;  // engaged iff the family has closed forms
+  bool materialize = true;            // build Graph (+ Dijkstra/Kruskal tree)?
+};
+
+ResolvePlan plan_resolve(const Experiment& e) {
+  const TopologySpec& t = e.topology;
+  ResolvePlan plan;
+  plan.fam = implicit_family(t.family);
+  // analyze_competitive walks the real graph, so analysis always
+  // materializes. Baselines only read n / root / a distance oracle; the sole
+  // reason they'd need the graph is kMedianSpt, whose root is derived from
+  // the graph rather than taken from the spec. The arrow/token protocols
+  // need a tree: when it has a closed form (shortest-path, or the balanced
+  // binary overlay on a complete graph) it comes from ImplicitTopology in
+  // O(n) with no graph; otherwise (MST, median SPT, overlay on a
+  // non-complete family) the graph is built.
+  const bool closed_form_tree =
+      plan.fam.has_value() &&
+      (t.tree_kind == TopologySpec::TreeKind::kShortestPath ||
+       (t.family == TopologySpec::Family::kComplete &&
+        t.tree_kind == TopologySpec::TreeKind::kBalancedBinary && t.root == 0));
+  if (!plan.fam || e.analyze)
+    plan.materialize = true;
+  else if (is_baseline(e))
+    plan.materialize = (t.tree_kind == TopologySpec::TreeKind::kMedianSpt);
+  else
+    plan.materialize = !closed_form_tree;
+  return plan;
+}
+
+/// Invoke `fn` with the value-type distance oracle resolve() selected.
+/// Callers get a fully typed oracle (static dispatch end to end); the
+/// baseline drivers are explicitly instantiated per oracle, so an enum value
+/// without an instantiation fails at link time rather than silently erasing.
+template <typename Fn>
+auto with_resolved_dist(const Resolved& r, Fn&& fn) {
+  switch (r.dist) {
+    case DistOracle::kUnit:
+      return fn(UnitDist{});
+    case DistOracle::kApsp:
+      return fn(ApspDist{&*r.apsp});
+    case DistOracle::kPath:
+      return fn(PathDist{});
+    case DistOracle::kRing:
+      return fn(RingDist{r.n});
+    case DistOracle::kGrid:
+      return fn(GridDist{r.cols});
+    case DistOracle::kTorus:
+      return fn(TorusDist{r.rows, r.cols});
+    case DistOracle::kHypercube:
+      return fn(HypercubeDist{});
+  }
+  ARROWDQ_ASSERT_MSG(false, "unknown distance oracle");
+  return fn(UnitDist{});
+}
+
 }  // namespace
 
 template <>
@@ -249,7 +416,12 @@ RunResult run_protocol<Protocol::kArrowClosedLoop>(const Experiment& e, Resolved
   cfg.requests_per_node = e.rounds;
   cfg.service_time = e.protocol.service_time;
   cfg.fault = e.fault;
-  ClosedLoopResult loop = run_arrow_closed_loop(r.tree, *model, cfg);
+  // The scale path: structured family, closed-form tree, no crash schedule
+  // (the recovery wave needs a materialized tree) — run the implicit driver
+  // with compact 32-byte event slots instead of building Graph + Tree.
+  ClosedLoopResult loop = r.implicit_loop
+                              ? run_arrow_closed_loop_implicit(*r.implicit, *model, cfg)
+                              : run_arrow_closed_loop(r.tree, *model, cfg);
   RunResult res;
   res.protocol = e.protocol.kind;
   res.makespan = loop.makespan;
@@ -272,14 +444,14 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
   cfg.center = e.protocol.center;
   cfg.service_time = e.protocol.service_time;
   cfg.fault = e.fault;
-  const NodeId n = r.graph.node_count();
+  const NodeId n = r.n;
   RunResult res;
   res.protocol = e.protocol.kind;
   res.crashes = e.fault.has_crash() ? e.fault.crash_count : 0;
   if (e.rounds > 0) {
-    CentralizedLoopResult loop =
-        r.apsp ? run_centralized_closed_loop(n, e.rounds, ApspDist{&*r.apsp}, cfg)
-               : run_centralized_closed_loop(n, e.rounds, UnitDist{}, cfg);
+    CentralizedLoopResult loop = with_resolved_dist(r, [&](auto dist) {
+      return run_centralized_closed_loop(n, e.rounds, dist, cfg);
+    });
     res.makespan = loop.makespan;
     res.total_requests = loop.total_requests;
     res.messages = loop.messages;
@@ -295,8 +467,8 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
   }
   FaultStats fs;
   cfg.fault_stats_out = &fs;
-  QueuingOutcome out = r.apsp ? run_centralized(n, r.requests, ApspDist{&*r.apsp}, cfg)
-                              : run_centralized(n, r.requests, UnitDist{}, cfg);
+  QueuingOutcome out = with_resolved_dist(
+      r, [&](auto dist) { return run_centralized(n, r.requests, dist, cfg); });
   out.validate(r.requests);
   res.messages = static_cast<std::uint64_t>(out.total_hops());
   res.messages_dropped = fs.messages_dropped;
@@ -310,16 +482,16 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
   PointerForwardingConfig cfg;
   cfg.mode = e.protocol.mode;
   cfg.service_time = e.protocol.service_time;
-  cfg.initial_owner = r.tree.root();
+  cfg.initial_owner = r.root;
   cfg.fault = e.fault;
-  const NodeId n = r.graph.node_count();
+  const NodeId n = r.n;
   RunResult res;
   res.protocol = e.protocol.kind;
   res.crashes = e.fault.has_crash() ? e.fault.crash_count : 0;
   if (e.rounds > 0) {
-    ForwardingLoopResult loop =
-        r.apsp ? run_pointer_forwarding_closed_loop(n, e.rounds, ApspDist{&*r.apsp}, cfg)
-               : run_pointer_forwarding_closed_loop(n, e.rounds, UnitDist{}, cfg);
+    ForwardingLoopResult loop = with_resolved_dist(r, [&](auto dist) {
+      return run_pointer_forwarding_closed_loop(n, e.rounds, dist, cfg);
+    });
     res.makespan = loop.makespan;
     res.total_requests = loop.total_requests;
     res.messages = loop.find_messages + loop.reply_messages;
@@ -332,9 +504,8 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
   }
   FaultStats fs;
   cfg.fault_stats_out = &fs;
-  QueuingOutcome out =
-      r.apsp ? run_pointer_forwarding(n, r.requests, ApspDist{&*r.apsp}, cfg)
-             : run_pointer_forwarding(n, r.requests, UnitDist{}, cfg);
+  QueuingOutcome out = with_resolved_dist(
+      r, [&](auto dist) { return run_pointer_forwarding(n, r.requests, dist, cfg); });
   out.validate(r.requests);
   res.messages = static_cast<std::uint64_t>(out.total_hops());
   res.messages_dropped = fs.messages_dropped;
@@ -380,43 +551,161 @@ RunResult run_protocol<Protocol::kTokenPassing>(const Experiment& e, Resolved& r
   return res;
 }
 
-namespace {
-
-bool is_closed_loop(const Experiment& e) {
-  return e.protocol.kind == Protocol::kArrowClosedLoop ||
-         ((e.protocol.kind == Protocol::kCentralized ||
-           e.protocol.kind == Protocol::kPointerForwarding) &&
-          e.rounds > 0);
-}
-
-bool needs_apsp_oracle(const Experiment& e) {
-  if (e.protocol.kind != Protocol::kCentralized &&
-      e.protocol.kind != Protocol::kPointerForwarding)
-    return false;
-  // A complete unit-weight graph is exactly the UnitDist oracle; everything
-  // else routes distances through a per-run APSP table.
-  return e.topology.family != TopologySpec::Family::kComplete;
-}
-
 Resolved resolve(const Experiment& e) {
+  const TopologySpec& t = e.topology;
+  const ResolvePlan plan = plan_resolve(e);
   Resolved r;
-  r.graph = e.topology.build_graph();
-  r.tree = e.topology.build_tree(r.graph);
-  if (!is_closed_loop(e)) r.requests = e.workload.build(r.graph.node_count(), r.tree.root());
-  if (needs_apsp_oracle(e)) r.apsp.emplace(r.graph);
+  if (plan.materialize) {
+    r.graph = t.build_graph();
+    r.tree = t.build_tree(r.graph);
+    r.n = r.graph.node_count();
+    r.root = r.tree.root();  // kMedianSpt derives the root from the graph
+  } else {
+    // Scale tier: no Graph, no Dijkstra. Structured families answer
+    // distance/adjacency/tree-parent queries in closed form.
+    r.n = t.nodes;
+    r.root = t.root;
+    r.implicit.emplace();
+    r.implicit->family = *plan.fam;
+    r.implicit->n = t.nodes;
+    r.implicit->rows = t.rows;
+    r.implicit->cols = t.cols;
+    r.implicit->root = t.root;
+    r.implicit->balanced_binary = (t.tree_kind == TopologySpec::TreeKind::kBalancedBinary);
+    const Protocol p = e.protocol.kind;
+    // ArrowEngine / token passing / the crash-recovery wave hold a real
+    // Tree; O(n) from the closed-form parents, still no graph or APSP.
+    const bool needs_tree = p == Protocol::kArrowOneShot || p == Protocol::kTokenPassing ||
+                            (p == Protocol::kArrowClosedLoop && e.fault.has_crash());
+    if (needs_tree) r.tree = r.implicit->materialize_tree();
+    r.implicit_loop = (p == Protocol::kArrowClosedLoop && !e.fault.has_crash());
+  }
+  r.rows = t.rows;
+  r.cols = t.cols;
+  if (is_baseline(e)) {
+    if (!plan.fam) {
+      // Irregular family: the oracle is a per-run APSP table (O(n^2),
+      // capped by validate_experiment()).
+      r.apsp.emplace(r.graph);
+      r.dist = DistOracle::kApsp;
+    } else {
+      switch (*plan.fam) {
+        case ImplicitFamily::kComplete:
+          r.dist = DistOracle::kUnit;
+          break;
+        case ImplicitFamily::kPath:
+          r.dist = DistOracle::kPath;
+          break;
+        case ImplicitFamily::kRing:
+          r.dist = DistOracle::kRing;
+          break;
+        case ImplicitFamily::kGrid:
+          r.dist = DistOracle::kGrid;
+          break;
+        case ImplicitFamily::kTorus:
+          r.dist = DistOracle::kTorus;
+          break;
+        case ImplicitFamily::kHypercube:
+          r.dist = DistOracle::kHypercube;
+          break;
+      }
+    }
+  }
+  if (!is_closed_loop(e)) r.requests = e.workload.build(r.n, r.root);
   return r;
 }
 
-}  // namespace
 }  // namespace exp_detail
+
+std::optional<std::string> validate_experiment(const Experiment& e) {
+  if (auto err = e.topology.validate()) return err;
+  const TopologySpec& t = e.topology;
+  const exp_detail::ResolvePlan plan = exp_detail::plan_resolve(e);
+  if (plan.materialize) {
+    const std::int64_t n = t.nodes;
+    std::int64_t edges = 0;  // undirected edge estimate for the refusal gate
+    switch (t.family) {
+      case TopologySpec::Family::kComplete:
+        edges = n * (n - 1) / 2;
+        break;
+      case TopologySpec::Family::kPath:
+      case TopologySpec::Family::kRandomTree:
+      case TopologySpec::Family::kWeightedTree:
+        edges = n - 1;
+        break;
+      case TopologySpec::Family::kRing:
+        edges = n;
+        break;
+      case TopologySpec::Family::kGrid:
+        edges = 2 * n - t.rows - t.cols;
+        break;
+      case TopologySpec::Family::kTorus:
+        edges = 2 * n;
+        break;
+      case TopologySpec::Family::kHypercube:
+        if (t.dims > kMaxMaterializedHypercubeDims)
+          return std::string("hypercube: dims ") + std::to_string(t.dims) +
+                 " requires the implicit tier (generator cap is dims <= " +
+                 std::to_string(kMaxMaterializedHypercubeDims) +
+                 "); use a shortest-path tree without analysis";
+        edges = n * t.dims / 2;
+        break;
+      case TopologySpec::Family::kGeometric: {
+        // Expected unit-square pair density within radius r is <= pi r^2.
+        const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n);
+        const double density = std::min(1.0, 3.15 * t.radius * t.radius);
+        edges = static_cast<std::int64_t>(pairs * density);
+        break;
+      }
+      case TopologySpec::Family::kCustom:
+        edges = static_cast<std::int64_t>(t.custom_graph->edges().size());
+        break;
+    }
+    if (edges > kMaxMaterializedEdges)
+      return std::string(t.family_name()) + ": ~" + std::to_string(edges) +
+             " edges would be materialized (cap " + std::to_string(kMaxMaterializedEdges) +
+             "); this configuration cannot use the implicit tier" +
+             (plan.fam ? " because the protocol/tree/analysis settings force a real graph"
+                       : "");
+  }
+  if (exp_detail::is_baseline(e) && !plan.fam && t.nodes > kMaxApspNodes)
+    return std::string(t.family_name()) + ": baseline distance oracle needs an O(n^2) APSP " +
+           "table; " + std::to_string(t.nodes) + " nodes exceeds the " +
+           std::to_string(kMaxApspNodes) + "-node cap";
+  return std::nullopt;
+}
+
+namespace {
+
+/// Process-wide high-water resident set, in bytes (0 where unavailable).
+/// Monotone over the process lifetime: meaningful as a per-run budget only
+/// when the largest run executes first (bench_throughput orders its
+/// fig10_scale cells ascending for exactly this reason).
+std::uint64_t peak_rss_bytes_now() {
+#if defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<std::uint64_t>(u.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<std::uint64_t>(u.ru_maxrss) * 1024;  // kilobytes on Linux
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 RunResult run_experiment(const Experiment& e) {
   const auto index = static_cast<std::size_t>(e.protocol.kind);
   ARROWDQ_ASSERT_MSG(index < exp_detail::kDriverRegistry.size(), "unknown protocol");
   ARROWDQ_ASSERT_MSG(!e.analyze || e.keep_outcome,
                      "Experiment::analyze requires keep_outcome");
+  if (auto err = validate_experiment(e)) ARROWDQ_ASSERT_MSG(false, err->c_str());
   exp_detail::Resolved r = exp_detail::resolve(e);
   RunResult res = exp_detail::kDriverRegistry[index](e, r);
+  res.peak_rss_bytes = peak_rss_bytes_now();
   if (e.analyze && res.outcome)
     res.competitive = analyze_competitive(r.graph, r.tree, r.requests, *res.outcome);
   if (e.fault.active()) {

@@ -119,6 +119,7 @@ struct TopologySpec {
   enum class Family : std::uint8_t {
     kComplete,      // Section 5's SP2 model: K_n, unit pairwise latency
     kPath,          // worst-stretch line
+    kRing,          // cycle on n nodes
     kGrid,          // rows x cols mesh
     kTorus,         // rows x cols grid with wraparound (vertex-transitive)
     kHypercube,     // 2^dims nodes, edges join labels differing in one bit
@@ -155,6 +156,14 @@ struct TopologySpec {
   Tree build_tree(const Graph& g) const;
   const char* family_name() const;
 
+  /// Structural validation: a diagnostic when the spec is inconsistent or
+  /// overflow-prone (grid/torus dims that don't multiply to `nodes`,
+  /// hypercube dims outside the id budget, sizes past the 2^28-node cap),
+  /// nullopt when well-formed. CLI front ends print it and exit 2;
+  /// run_experiment asserts on it. Does not consider materialization cost —
+  /// that depends on the protocol and lives in validate_experiment().
+  std::optional<std::string> validate() const;
+
   static TopologySpec complete(NodeId n) {
     TopologySpec t;
     t.family = Family::kComplete;
@@ -165,6 +174,12 @@ struct TopologySpec {
   static TopologySpec path(NodeId n) {
     TopologySpec t;
     t.family = Family::kPath;
+    t.nodes = n;
+    return t;
+  }
+  static TopologySpec ring(NodeId n) {
+    TopologySpec t;
+    t.family = Family::kRing;
     t.nodes = n;
     return t;
   }
@@ -332,6 +347,12 @@ struct RunResult {
   int stabilize_rounds = 0;
   int stabilize_corrections = 0;
   double recovery_delta_units = 0.0;
+  /// Process-wide peak resident set size (bytes) sampled when the driver
+  /// returned, via getrusage. Monotone over the process lifetime, so within
+  /// one process only the first / largest run's value is a faithful ceiling
+  /// for that run (the fig10_scale bench orders its cells accordingly).
+  /// 0 on platforms without getrusage.
+  std::uint64_t peak_rss_bytes = 0;
   /// The full queuing outcome (one-shot protocols, keep_outcome only):
   /// feeds analyze_competitive and the application layers.
   std::optional<QueuingOutcome> outcome;
@@ -374,10 +395,21 @@ struct Experiment {
   Experiment with_seed(std::uint64_t seed) const;
 };
 
+/// Pre-flight check for run_experiment: TopologySpec::validate() plus
+/// materialization guards. Refuses combinations that would materialize an
+/// absurd structure — e.g. `complete` at n = 10^6 (~10^12 edges) on a path
+/// that needs the adjacency, or an O(n^2) APSP table past ~8k nodes —
+/// with a diagnostic instead of OOM-ing. Structured families on their
+/// implicit paths (closed-form oracles / implicit arrow loop) pass at any
+/// n up to the 2^28 id cap. CLI front ends print the diagnostic and exit
+/// 2; run_experiment asserts on it.
+std::optional<std::string> validate_experiment(const Experiment& e);
+
 /// Run one experiment through the protocol registry. Asserts on malformed
 /// combinations (closed-loop rounds for pointer forwarding, rounds == 0 for
-/// kArrowClosedLoop). When a fault schedule is active, additionally runs the
-/// fault-free twin to fill RunResult::recovery_delta_units.
+/// kArrowClosedLoop, anything validate_experiment rejects). When a fault
+/// schedule is active, additionally runs the fault-free twin to fill
+/// RunResult::recovery_delta_units.
 RunResult run_experiment(const Experiment& e);
 
 /// One sweep slot, in scenario order (mirrors SweepResult).

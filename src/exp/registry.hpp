@@ -19,27 +19,62 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <optional>
 
 #include "exp/experiment.hpp"
+#include "graph/implicit.hpp"
 #include "graph/shortest_paths.hpp"
 
 namespace arrowdq {
 namespace exp_detail {
 
+/// Which dG oracle the baseline drivers draw distances from. The structured
+/// families use the closed forms of baseline/dist.hpp — no APSP table — so
+/// only the irregular families (geometric, random/weighted tree, custom)
+/// still pay O(n^2).
+enum class DistOracle : std::uint8_t {
+  kUnit,       // complete graph
+  kApsp,       // irregular families: per-run APSP table
+  kPath,
+  kRing,
+  kGrid,
+  kTorus,
+  kHypercube,
+};
+
 /// Everything a driver needs, materialized once per run from the value
-/// specs: private graph/tree copies (Graph's lazy edge index is not
-/// thread-safe to share), the request schedule for one-shot protocols, and
-/// the APSP table behind the baselines' distance oracle on non-complete
-/// topologies.
+/// specs. On the materialized tier: private graph/tree copies (Graph's lazy
+/// edge index is not thread-safe to share), the request schedule for
+/// one-shot protocols, and the APSP table behind the baselines' oracle on
+/// irregular topologies. On the scale tier, resolve() leaves `graph` (and
+/// where possible `tree`) empty: structured families carry closed forms for
+/// distance, adjacency, and the canonical tree parent, so baselines draw dG
+/// straight from a formula and the arrow closed loop runs fully implicit.
 struct Resolved {
-  Graph graph;
+  Graph graph;  // empty (node_count 0) when no driver path reads adjacency
   Tree tree{std::vector<NodeId>{kNoNode}, std::vector<Weight>{1}, 0};
   RequestSet requests{0, {}};    // empty for pure closed-loop runs
   std::optional<AllPairs> apsp;  // engaged iff the dG oracle needs it
+  NodeId n = 0;                  // authoritative node count (graph may be empty)
+  NodeId root = 0;               // tree root / forwarding initial owner
+  NodeId rows = 0, cols = 0;     // grid/torus closed-form oracle parameters
+  DistOracle dist = DistOracle::kUnit;
+  /// Engaged for structured families resolved without a graph; carries the
+  /// closed forms (and materializes the tree in O(n) when a driver needs
+  /// one).
+  std::optional<ImplicitTopology> implicit;
+  /// kArrowClosedLoop only: run the compact implicit driver instead of the
+  /// materialized one.
+  bool implicit_loop = false;
 };
 
 using DriverFn = RunResult (*)(const Experiment&, Resolved&);
+
+/// Materialize (or deliberately skip materializing) everything `e`'s driver
+/// needs. Exposed for tests probing the scale-path decisions (e.g. that no
+/// APSP is built for structured families).
+Resolved resolve(const Experiment& e);
 
 template <Protocol P>
 RunResult run_protocol(const Experiment& e, Resolved& r);

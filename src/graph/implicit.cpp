@@ -1,0 +1,26 @@
+#include "graph/implicit.hpp"
+
+#include <utility>
+
+namespace arrowdq {
+
+std::vector<NodeId> ImplicitTopology::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(degree(v)));
+  for_each_neighbor(v, [&](NodeId w) { out.push_back(w); });
+  return out;
+}
+
+Tree ImplicitTopology::materialize_tree() const {
+  ARROWDQ_ASSERT_MSG(n >= 1, "implicit topology without nodes");
+  ARROWDQ_ASSERT_MSG(root >= 0 && root < n, "implicit topology root out of range");
+  ARROWDQ_ASSERT_MSG(!balanced_binary || (family == ImplicitFamily::kComplete && root == 0),
+                     "balanced binary overlay requires the complete family rooted at 0");
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), kNoNode);
+  std::vector<Weight> wpar(static_cast<std::size_t>(n), 1);
+  for (NodeId v = 0; v < n; ++v)
+    if (v != root) parent[static_cast<std::size_t>(v)] = tree_parent(v);
+  return Tree(std::move(parent), std::move(wpar), root);
+}
+
+}  // namespace arrowdq

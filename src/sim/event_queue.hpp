@@ -48,12 +48,13 @@ namespace arrowdq {
 /// by seq whenever times tie — so a 16-byte entry still realizes the exact
 /// deterministic (time, seq) order.
 struct EventEntry {
-  /// Capacity split of the packed word: at most 2^24-1 (~16.7M) events may
-  /// be *concurrently pending* (a 1 GiB arena — far beyond any workload in
-  /// this repo, whose closed loops keep O(n) pending; exceeding it is a
-  /// loud assert, not corruption) and at most 2^40 (~10^12) events may be
-  /// scheduled over a simulator's lifetime.
-  static constexpr unsigned kSlotBits = 24;
+  /// Capacity split of the packed word: at most 2^28-1 (~268M) events may
+  /// be *concurrently pending* (the implicit scale tier keeps ~1.25n
+  /// pending in closed loop, so this covers the n = 2^24 fig10_scale cell
+  /// with an order of magnitude to spare; exceeding it is a loud assert,
+  /// not corruption) and at most 2^36 (~7x10^10) events may be scheduled
+  /// over a simulator's lifetime.
+  static constexpr unsigned kSlotBits = 28;
   static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
   static constexpr std::uint64_t kMaxSeq = std::uint64_t{1} << (64 - kSlotBits);
 

@@ -30,6 +30,14 @@
 // source-compatible on the dynamically dispatched path; with `NoFaults` the
 // fault branches are `if constexpr`-eliminated, so the fault-free hot path
 // is unchanged down to the instruction level (the golden hashes pin this).
+//
+// The trailing `Index` and `Sim` parameters generalize the edge index and
+// the event arena for the scale path: `Index` is anything with Graph's
+// node_count / dir_edge_count / find_edge shape (graph/implicit.hpp's
+// ImplicitTreeIndex computes edges on the fly for the structured families),
+// and `Sim` selects the event-slot width (CompactSimulator's 32-byte slots
+// for network-sized protocol events at millions of nodes). Both default to
+// the materialized types, so every existing instantiation is untouched.
 #pragma once
 
 #include <cstdint>
@@ -54,19 +62,21 @@ struct NetworkStats {
 
 template <typename M, typename Latency = VirtualSampler,
           typename Handler = std::function<void(NodeId from, NodeId to, const M& msg)>,
-          typename Faults = NoFaults>
+          typename Faults = NoFaults, typename Index = Graph, typename Sim = Simulator>
 class Network {
  public:
   // Guard rails on the fast path: messages are copied in and out of the
-  // in-flight pool and must stay trivially copyable and within the
+  // in-flight pool and must stay trivially copyable and within the default
   // simulator's inline-event budget, so a future field addition cannot
-  // silently push deliveries onto a slow path.
+  // silently push deliveries onto a slow path. (Messages live in the
+  // network's own pool, never in an event slot, so the compact simulator
+  // does not tighten this bound.)
   static_assert(std::is_trivially_copyable_v<M>,
                 "network message types must be trivially copyable");
   static_assert(sizeof(M) <= Simulator::kInlineStorage,
                 "network message types must fit the 48-byte inline-event budget");
 
-  Network(const Graph& graph, Simulator& sim, Latency latency, Faults faults = Faults{})
+  Network(const Index& graph, Sim& sim, Latency latency, Faults faults = Faults{})
       : graph_(graph),
         sim_(sim),
         latency_(std::move(latency)),
@@ -93,8 +103,8 @@ class Network {
     free_.reserve(n);
   }
 
-  const Graph& graph() const { return graph_; }
-  Simulator& sim() { return sim_; }
+  const Index& graph() const { return graph_; }
+  Sim& sim() { return sim_; }
   Latency& latency() { return latency_; }
   Faults& faults() { return faults_; }
   const Faults& faults() const { return faults_; }
@@ -168,7 +178,7 @@ class Network {
     std::uint32_t slot;
     void operator()() const { net->deliver(slot); }
   };
-  static_assert(Simulator::template fits_inline_v<DeliveryEvent>,
+  static_assert(Sim::template fits_inline_v<DeliveryEvent>,
                 "DeliveryEvent must stay on the simulator's inline path");
 
   void schedule_processing(NodeId from, NodeId to, Time deliver, const M& msg) {
@@ -218,8 +228,8 @@ class Network {
     handler_(from, to, msg);
   }
 
-  const Graph& graph_;
-  Simulator& sim_;
+  const Index& graph_;
+  Sim& sim_;
   Latency latency_;
   Faults faults_{};
   Handler handler_{};
