@@ -29,6 +29,15 @@
 //                       ascending n: ru_maxrss is a process-wide high-water
 //                       mark, so a cell's reading is attributable only while
 //                       it is the largest allocation so far.
+//  6. fig10_parallel  — the same implicit Figure 10 macro at n = 2^20 on the
+//                       sharded conservative engine (sim/parallel/) at
+//                       K = 1 / 2 / 4 lanes: events/s plus the safe-window
+//                       barrier counters (windows, merged entries) that
+//                       quantify the cost K must amortize. Bit-identity
+//                       across K is asserted in-process; the recorded
+//                       hardware_concurrency tells the gate whether a K=2
+//                       speedup is meaningful (a 1-core box runs lanes
+//                       time-sliced and can only lose).
 //
 // Usage: bench_throughput [--quick] [--out FILE.json]
 #include <algorithm>
@@ -48,6 +57,7 @@
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
 #include "legacy_sim.hpp"
+#include "sim/parallel/parallel.hpp"
 #include "sim/latency.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -381,6 +391,59 @@ int run(int argc, char** argv) {
     scale_rows.push_back(row);
   }
 
+  // 0b. The same implicit Figure 10 macro on the sharded conservative
+  // engine at K = 1 / 2 / 4. Single-shot timings like fig10_scale (the run
+  // is seconds long; rep noise is small against the K-to-K ratios that
+  // matter). K = 1 runs the identical window/merge machinery inline, so
+  // K1-vs-serial is the barrier overhead and K2/K4-vs-K1 is the parallel
+  // payoff. Results are asserted bit-identical across K.
+  const unsigned hw = std::thread::hardware_concurrency();
+  struct ParallelRow {
+    int shards = 0;
+    double seconds = 0;
+    double eps = 0;  // engine events per second
+    ClosedLoopResult res;
+    ParallelStats stats;
+  };
+  const int par_dims = quick ? 16 : 20;
+  const std::int64_t par_rounds = quick ? 2 : 4;
+  std::vector<ParallelRow> par_rows;
+  {
+    ImplicitTopology topo;
+    topo.family = ImplicitFamily::kHypercube;
+    topo.n = NodeId{1} << par_dims;
+    ClosedLoopConfig cfg;
+    cfg.requests_per_node = par_rounds;
+    cfg.service_time = kTicksPerUnit / 16;
+    std::printf("fig10_parallel  implicit hypercube n=2^%d, sharded engine, hw_concurrency=%u\n",
+                par_dims, hw);
+    for (int k : {1, 2, 4}) {
+      SynchronousLatency lat;
+      ShardSpec spec;
+      spec.shards = k;
+      ParallelRow row;
+      row.shards = k;
+      const double t0 = now_sec();
+      row.res = run_arrow_closed_loop_implicit_sharded(topo, lat, cfg, spec, &row.stats);
+      row.seconds = now_sec() - t0;
+      row.eps = static_cast<double>(row.stats.events_executed) / row.seconds;
+      if (!par_rows.empty()) {
+        ARROWDQ_ASSERT_MSG(row.res.makespan == par_rows.front().res.makespan &&
+                               row.res.tree_messages == par_rows.front().res.tree_messages &&
+                               row.res.notify_messages == par_rows.front().res.notify_messages,
+                           "sharded engine results differ across K");
+      }
+      std::printf("  K=%d                  %8.3f s   %11.0f events/s  %8llu windows  "
+                  "%10llu merged",
+                  k, row.seconds, row.eps,
+                  static_cast<unsigned long long>(row.stats.windows),
+                  static_cast<unsigned long long>(row.stats.merged_entries));
+      if (k > 1) std::printf("  (%.2fx vs K=1)", par_rows.front().seconds / row.seconds);
+      std::printf("\n");
+      par_rows.push_back(row);
+    }
+  }
+
   // 1. Event core, protocol-sized (40-byte) events — the realistic case.
   const std::size_t n_events = quick ? (1u << 16) : (1u << 20);
   std::uint64_t sink = 0;
@@ -513,7 +576,6 @@ int run(int argc, char** argv) {
                      "sweep results depend on thread count");
   std::int64_t sweep_total = 0;
   for (const SweepResult& r : ref) sweep_total += r.result.total_requests;
-  const unsigned hw = std::thread::hardware_concurrency();
   std::printf("sweep_scaling   %zu scenarios, %lld reqs total, hw_concurrency=%u\n",
               scenarios.size(), static_cast<long long>(sweep_total), hw);
   std::printf("  1 thread             %8.3f s        %12.0f reqs/s\n", w1,
@@ -543,6 +605,26 @@ int run(int argc, char** argv) {
                  static_cast<long long>(row.nodes), static_cast<long long>(row.nodes),
                  static_cast<long long>(row.rounds), row.seconds, row.rps,
                  static_cast<unsigned long long>(row.rss), row.bytes_per_node);
+  }
+  std::fprintf(f, "\n  },\n");
+  std::fprintf(f,
+               "  \"fig10_parallel\": {\n"
+               "    \"nodes\": %lld,\n"
+               "    \"rounds\": %lld,\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"lookahead_ticks\": %lld,\n"
+               "    \"results_identical_across_k\": true",
+               static_cast<long long>(NodeId{1} << par_dims), static_cast<long long>(par_rounds),
+               hw, static_cast<long long>(par_rows.front().stats.lookahead));
+  for (const ParallelRow& row : par_rows) {
+    std::fprintf(f,
+                 ",\n    \"k_%d\": {\"shards\": %d, \"seconds\": %.6f, "
+                 "\"events_per_sec\": %.0f, \"windows\": %llu, \"merged_entries\": %llu, "
+                 "\"speedup_vs_k1\": %.3f}",
+                 row.shards, row.shards, row.seconds, row.eps,
+                 static_cast<unsigned long long>(row.stats.windows),
+                 static_cast<unsigned long long>(row.stats.merged_entries),
+                 par_rows.front().seconds / row.seconds);
   }
   std::fprintf(f, "\n  },\n");
   std::fprintf(f,

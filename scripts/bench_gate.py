@@ -14,68 +14,97 @@ Every gated metric is a throughput number *normalized by a same-run,
 same-section reference* (the bench runs the pre-rewrite legacy core in the
 same binary), so the comparison is a speedup ratio and systematic machine
 differences between the baseline host and the CI runner cancel out. The
-event-core rows normalize by the *tiny* (non-allocating) legacy reference
-instead of the allocation-bound 40-byte one, whose ±30% session drift
-forced the old 25% tolerance; with per-section references the observed
-worst-case cross-run drift is ~16%, so the gate runs at 20%. Only ratios
-computable in *both* files are compared (schema additions never break the
-gate); a metric fails when its fresh speedup drops below
+40-byte event-core rows normalize by the tiny *pooled bucketed* reference —
+the fully allocation-free default path, the steadiest loop in the binary —
+rather than any legacy std::function run: even the tiny legacy reference
+keeps a virtual dispatch per event whose branch-predictor sensitivity
+showed up as extra cross-run drift. With the steadier reference those rows
+run at a tightened 15% tolerance (per-row, see RATIOS); the legacy speedup
+claim itself survives as the tiny-pooled-vs-tiny-legacy row at the default
+20%. Only ratios computable in *both* files are compared (schema additions
+never break the gate); a metric fails when its fresh speedup drops below
 (1 - tolerance) x its baseline speedup.
 
 When both files carry a fig10_scale section (the implicit-topology scale
 tier), the fresh one is additionally schema-checked and each cell's
 bytes_per_node is gated against the recorded memory_budget_bytes_per_node.
+A fig10_parallel section (the sharded conservative engine) is likewise
+schema-checked, and — only when the fresh run recorded
+hardware_concurrency >= 2 — the K=2 lane must clear a 1.3x speedup over
+K=1. On a 1-core runner the lanes are time-sliced and can only lose, so
+the speedup gate is skipped there (the schema + bit-identity flag still
+apply).
 """
 import argparse
 import json
 import sys
 
-# Non-allocating event-core reference: 8-byte captures fit std::function's
-# inline buffer, so the legacy run never touches the allocator — a fraction
-# of the session-to-session drift of the allocation-bound 40-byte legacy
-# reference that earlier revisions normalized the event-core rows by.
+# Non-allocating legacy event-core reference: 8-byte captures fit
+# std::function's inline buffer, so the legacy run never touches the
+# allocator. Kept as the reference for the one row that *is* the legacy
+# speedup claim.
 TINY_REF = "event_core_tiny.legacy_priority_queue.events_per_sec"
 
-# (metric path, same-run reference path, human label). Each metric is
-# normalized by a reference of the *same workload shape measured adjacently
-# in the same run* — numerator and denominator then see the same machine
-# and the same load, so both systematic host differences and transient
-# contention cancel. (A single shared reference was tried and is strictly
-# worse: it correlates every row with one workload's noise, and macro
-# sections respond to load differently than a micro loop.) Units differ
-# across rows — irrelevant, the gate compares fresh *ratio* vs baseline
-# *ratio*.
+# Steadier event-core reference: the tiny pooled-bucketed run is the
+# default engine path — no allocation, no std::function dispatch, a pure
+# arena + bucket loop. Measured cross-run drift is roughly half the tiny
+# legacy reference's (the virtual call per event is branch-predictor
+# sensitive), so rows normalized by it run at a tighter tolerance.
+STEADY_REF = "event_core_tiny.pooled_bucketed.events_per_sec"
+
+# (metric path, same-run reference path, human label, tolerance override).
+# Each metric is normalized by a reference of the *same workload shape
+# measured adjacently in the same run* — numerator and denominator then see
+# the same machine and the same load, so both systematic host differences
+# and transient contention cancel. (A single shared reference was tried and
+# is strictly worse: it correlates every row with one workload's noise, and
+# macro sections respond to load differently than a micro loop.) Units
+# differ across rows — irrelevant, the gate compares fresh *ratio* vs
+# baseline *ratio*. A None tolerance uses --tolerance.
 RATIOS = [
-    ("event_core.pooled_bucketed.events_per_sec", TINY_REF,
-     "event core (bucketed, default)"),
-    ("event_core.pooled_binary_heap.events_per_sec", TINY_REF,
-     "event core (binary heap)"),
+    ("event_core.pooled_bucketed.events_per_sec", STEADY_REF,
+     "event core (bucketed, default)", 0.15),
+    ("event_core.pooled_binary_heap.events_per_sec", STEADY_REF,
+     "event core (binary heap)", 0.15),
     ("event_core_tiny.pooled_bucketed.events_per_sec", TINY_REF,
-     "tiny event core (bucketed)"),
+     "tiny event core (bucketed vs legacy)", None),
     ("event_core_compact.slot_32b_compact.events_per_sec",
      "event_core_compact.slot_64b_default.events_per_sec",
-     "compact event core (32B vs 64B slots)"),
+     "compact event core (32B vs 64B slots)", None),
     ("network.static.messages_per_sec", "network.legacy.messages_per_sec",
-     "network static dispatch"),
+     "network static dispatch", None),
     ("network.dynamic.messages_per_sec", "network.legacy.messages_per_sec",
-     "network dynamic dispatch"),
+     "network dynamic dispatch", None),
     ("closed_loop_fig10.static.requests_per_sec",
      "closed_loop_fig10.legacy.requests_per_sec",
-     "Figure 10 macro (static, default)"),
+     "Figure 10 macro (static, default)", None),
     ("closed_loop_fig10.dynamic.requests_per_sec",
      "closed_loop_fig10.legacy.requests_per_sec",
-     "Figure 10 macro (dynamic)"),
+     "Figure 10 macro (dynamic)", None),
     ("sweep_scaling.threads_1.requests_per_sec",
      "closed_loop_fig10.legacy.requests_per_sec",
-     "sweep @1 thread"),
+     "sweep @1 thread", None),
     ("fig10_scale.n_1048576.requests_per_sec",
      "closed_loop_fig10.static.requests_per_sec",
-     "Figure 10 scale (n=2^20 implicit)"),
+     "Figure 10 scale (n=2^20 implicit)", None),
+    ("fig10_parallel.k_1.events_per_sec",
+     "closed_loop_fig10.static.requests_per_sec",
+     "Figure 10 parallel (K=1 window/merge overhead)", None),
 ]
 
 # Every fig10_scale cell must carry exactly these numeric keys.
 SCALE_CELL_KEYS = ["nodes", "rounds", "seconds", "requests_per_sec",
                    "peak_rss_bytes", "bytes_per_node"]
+
+# Every fig10_parallel k_<shards> cell must carry these numeric keys.
+PARALLEL_CELL_KEYS = ["shards", "seconds", "events_per_sec", "windows",
+                      "merged_entries", "speedup_vs_k1"]
+
+# K=2 must beat K=1 by this much on a genuinely multi-core runner. The bar
+# is deliberately below the 2x ideal: the barrier merge is serial and the
+# synchronous-latency workload gives the smallest safe windows the engine
+# ever sees, so 1.3x there is real parallel payoff.
+PARALLEL_MIN_K2_SPEEDUP = 1.3
 
 
 def lookup(doc, dotted):
@@ -133,6 +162,51 @@ def check_fig10_scale(doc):
                 and cell["bytes_per_node"] > budget:
             errors.append(f"fig10_scale.{name}: {cell['bytes_per_node']:.1f} "
                           f"bytes/node exceeds the {budget:.0f} B/node budget")
+    return errors
+
+
+def check_fig10_parallel(doc):
+    """Schema- and speedup-check a fresh run's fig10_parallel section.
+
+    Returns a list of error strings (empty when the section is absent, so
+    baselines predating the sharded engine keep gating). The K=2 >= 1.3x
+    speedup bar applies only when the run itself recorded
+    hardware_concurrency >= 2 — a 1-core runner time-slices the lanes and
+    can only lose, which says nothing about the engine.
+    """
+    section = doc.get("fig10_parallel")
+    if section is None:
+        return []
+    if not isinstance(section, dict):
+        return ["fig10_parallel is not an object"]
+    errors = []
+    for key in ("nodes", "rounds", "hardware_concurrency", "lookahead_ticks"):
+        value = section.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+            errors.append(f"fig10_parallel.{key} missing or non-positive")
+    if section.get("results_identical_across_k") is not True:
+        errors.append("fig10_parallel.results_identical_across_k is not true "
+                      "(the bench asserts bit-identity in-process and emits the flag)")
+    cells = {k: v for k, v in section.items() if k.startswith("k_")}
+    for name in ("k_1", "k_2", "k_4"):
+        if name not in cells:
+            errors.append(f"fig10_parallel.{name} cell missing")
+    for name, cell in sorted(cells.items()):
+        if not isinstance(cell, dict):
+            errors.append(f"fig10_parallel.{name} is not an object")
+            continue
+        bad = [k for k in PARALLEL_CELL_KEYS
+               if not isinstance(cell.get(k), (int, float))
+               or isinstance(cell.get(k), bool)]
+        if bad:
+            errors.append(f"fig10_parallel.{name} missing numeric {'/'.join(bad)}")
+    if errors:
+        return errors
+    hw = section["hardware_concurrency"]
+    k2 = section["k_2"]["speedup_vs_k1"]
+    if hw >= 2 and k2 < PARALLEL_MIN_K2_SPEEDUP:
+        errors.append(f"fig10_parallel: K=2 speedup {k2:.2f}x below the "
+                      f"{PARALLEL_MIN_K2_SPEEDUP}x bar on a {hw:.0f}-core runner")
     return errors
 
 
@@ -301,6 +375,48 @@ def validate_sweep(path):
     return 0
 
 
+# Keys that legitimately differ between two runs of the same scenarios:
+# wall-clock timings, and the shard count itself (the whole point of the
+# comparison is that K must not change anything else).
+COMPARE_VOLATILE_KEYS = {"seconds", "wall_seconds", "shards"}
+
+
+def _strip_volatile(obj):
+    if isinstance(obj, dict):
+        return {k: _strip_volatile(v) for k, v in obj.items()
+                if k not in COMPARE_VOLATILE_KEYS}
+    if isinstance(obj, list):
+        return [_strip_volatile(v) for v in obj]
+    return obj
+
+
+def compare_sweeps(path_a, path_b):
+    """Bit-identity check between two sweep JSONs modulo timing/shard keys.
+
+    The CI perf-smoke job runs the same Figure-10 cell serial (K=1) and
+    sharded (K=2) and feeds both here: every simulation observable —
+    makespans, message counts, hop totals, replication statistics, fault
+    metrics — must match exactly, or the sharded engine's determinism
+    guarantee is broken.
+    """
+    with open(path_a) as f:
+        a = _strip_volatile(json.load(f))
+    with open(path_b) as f:
+        b = _strip_volatile(json.load(f))
+    if a != b:
+        keys = sorted(set(a) | set(b))
+        for k in keys:
+            if a.get(k) != b.get(k):
+                print(f"bench_gate: sweep outputs differ at top-level key {k!r}",
+                      file=sys.stderr)
+        print(f"bench_gate: {path_a} and {path_b} are NOT identical modulo "
+              f"{sorted(COMPARE_VOLATILE_KEYS)}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: {path_a} and {path_b} identical modulo "
+          f"{sorted(COMPARE_VOLATILE_KEYS)}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline", nargs="?")
@@ -308,8 +424,13 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.20)
     ap.add_argument("--validate-sweep", metavar="SWEEP_JSON",
                     help="schema-check a sweep_main --json output instead of gating")
+    ap.add_argument("--compare-sweeps", nargs=2, metavar=("A_JSON", "B_JSON"),
+                    help="require two sweep_main --json outputs to be identical "
+                         "modulo timing keys (the sharded-determinism smoke)")
     args = ap.parse_args()
 
+    if args.compare_sweeps:
+        return compare_sweeps(*args.compare_sweeps)
     if args.validate_sweep:
         return validate_sweep(args.validate_sweep)
     if args.baseline is None or args.fresh is None:
@@ -327,19 +448,20 @@ def main():
 
     compared = 0
     failures = []
-    for metric, reference, label in RATIOS:
+    for metric, reference, label, row_tol in RATIOS:
         base_s = speedup(baseline, metric, reference)
         fresh_s = speedup(fresh, metric, reference)
         if base_s is None or fresh_s is None or base_s <= 0:
             continue
         compared += 1
+        tol = args.tolerance if row_tol is None else row_tol
         ratio = fresh_s / base_s
         status = "OK "
-        if ratio < 1.0 - args.tolerance:
+        if ratio < 1.0 - tol:
             status = "FAIL"
             failures.append(label)
-        print(f"  [{status}] {label:38s} speedup-vs-legacy {base_s:6.2f}x -> "
-              f"{fresh_s:6.2f}x  ({ratio:5.2f} of baseline)")
+        print(f"  [{status}] {label:44s} speedup {base_s:6.2f}x -> "
+              f"{fresh_s:6.2f}x  ({ratio:5.2f} of baseline, tol {tol:.0%})")
 
     scale_errors = check_fig10_scale(fresh)
     for e in scale_errors:
@@ -347,6 +469,16 @@ def main():
         failures.append("fig10_scale")
     if not scale_errors and "fig10_scale" in fresh:
         print("  [OK ] fig10_scale schema + memory budget")
+
+    parallel_errors = check_fig10_parallel(fresh)
+    for e in parallel_errors:
+        print(f"  [FAIL] {e}")
+        failures.append("fig10_parallel")
+    if not parallel_errors and "fig10_parallel" in fresh:
+        hw = fresh["fig10_parallel"].get("hardware_concurrency", 0)
+        note = ("schema + K=2 speedup bar" if hw >= 2
+                else "schema only (1-core runner, speedup bar skipped)")
+        print(f"  [OK ] fig10_parallel {note}")
 
     if compared == 0:
         print("bench_gate: no comparable metrics between baseline and fresh JSON", file=sys.stderr)

@@ -36,6 +36,10 @@
 //               "replication" block per scenario row with mean/stddev/
 //               min/max/ci_lo/ci_hi per metric at 95% confidence
 //               (Student-t intervals at R-1 degrees of freedom)
+//   --shards    intra-run shard count for the conservative parallel engine
+//               (sim/parallel/): arrow-loop cells without a crash schedule
+//               run on K lanes with bit-identical results; every other cell
+//               stays serial. Default 0 inherits ARROWDQ_SIM_SHARDS.
 //
 // JSON: --json FILE emits the cross-product with uniform metrics per
 // scenario (schema validated by scripts/bench_gate.py --validate-sweep).
@@ -81,6 +85,7 @@ struct Options {
   std::uint64_t seed = 1;
   int repeat = 1;             // separately-reported rows per grid point
   int replicas = 1;           // statistically folded replicas per cell
+  int shards = 0;             // intra-run lanes; 0 = inherit ARROWDQ_SIM_SHARDS
   std::string json_path;      // empty = no JSON
   std::string csv_path;       // empty = no CSV (long format, all replicas)
   bool smoke = false;
@@ -238,8 +243,8 @@ int usage() {
                "                  [--nodes N1,N2,..] [--latency SPEC1,SPEC2,..]\n"
                "                  [--fault F1,F2,..] [--workload W] [--reqs N]\n"
                "                  [--service-frac D] [--threads T] [--seed S]\n"
-               "                  [--repeat R] [--replicas R] [--json FILE] [--csv FILE]\n"
-               "                  [--smoke]\n"
+               "                  [--repeat R] [--replicas R] [--shards K]\n"
+               "                  [--json FILE] [--csv FILE] [--smoke]\n"
                "  P: arrow | arrow-loop | centralized | forwarding | forwarding-loop | token\n"
                "  T: complete | path | ring | randtree | wtree | grid:RxC | torus:RxC |\n"
                "     hypercube | geometric[:RADIUS]\n"
@@ -251,6 +256,8 @@ int usage() {
                "  numeric flags take checked values: garbage or out-of-range input is\n"
                "  rejected with exit code 2, never silently coerced\n"
                "  --replicas >= 2 folds per-cell statistics (mean/stddev/CI) into the JSON\n"
+               "  --shards K runs arrow-loop cells on the sharded parallel engine (K lanes,\n"
+               "  bit-identical results; crash cells and other protocols stay serial)\n"
                "  --csv dumps long format: one row per cell x replica x metric\n");
   return 2;
 }
@@ -299,6 +306,7 @@ int emit_json(const std::string& path, const Options& opt, unsigned threads,
   std::fprintf(f, "  \"mode\": \"%s\",\n", opt.smoke ? "smoke" : "full");
   std::fprintf(f, "  \"threads\": %u,\n  \"seed\": %llu,\n  \"replicas\": %d,\n", threads,
                static_cast<unsigned long long>(opt.seed), opt.replicas);
+  std::fprintf(f, "  \"shards\": %d,\n", opt.shards);
   std::fprintf(f, "  \"scenario_count\": %zu,\n  \"total_requests\": %lld,\n",
                results.size(), static_cast<long long>(total_reqs));
   std::fprintf(f, "  \"wall_seconds\": %.6f,\n  \"scenarios\": [\n", wall);
@@ -454,6 +462,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--replicas")) {
       opt.replicas =
           static_cast<int>(require_i64("--replicas", next("--replicas"), parse_positive_i64));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      opt.shards = static_cast<int>(require_i64("--shards", next("--shards"), parse_positive_i64));
     } else if (!std::strcmp(argv[i], "--json")) {
       opt.json_path = next("--json");
     } else if (!std::strcmp(argv[i], "--csv")) {
@@ -542,6 +552,10 @@ int main(int argc, char** argv) {
                 e.rounds = opt.reqs_per_node;
               else
                 e.workload = workload;
+              // Only arrow-loop cells without a crash schedule can shard;
+              // the rest stay serial rather than failing validation.
+              if (proto.kind == Protocol::kArrowClosedLoop && !fault.has_crash())
+                e.shards = opt.shards;
               e = e.with_seed(++scenario_seed);
               e.label = e.default_label();
               if (is_loop_token(proto_str) && proto.kind == Protocol::kPointerForwarding)

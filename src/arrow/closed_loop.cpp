@@ -135,9 +135,11 @@ class Driver {
         res.total_requests == 0
             ? 0.0
             : static_cast<double>(res.tree_messages) / static_cast<double>(res.total_requests);
-    res.avg_round_latency_units = latencies_.count() == 0
-                                      ? 0.0
-                                      : latencies_.mean() / static_cast<double>(kTicksPerUnit);
+    res.avg_round_latency_units =
+        latency_count_ == 0 ? 0.0
+                            : static_cast<double>(latency_sum_) /
+                                  static_cast<double>(latency_count_) /
+                                  static_cast<double>(kTicksPerUnit);
     if constexpr (Faults::kActive) {
       res.messages_dropped = net_.faults().stats().messages_dropped;
       res.messages_duplicated = net_.faults().stats().messages_duplicated;
@@ -229,7 +231,8 @@ class Driver {
   }
 
   void round_done(NodeId v) {
-    latencies_.add(static_cast<double>(sim_.now() - issue_time_[static_cast<std::size_t>(v)]));
+    latency_sum_ += sim_.now() - issue_time_[static_cast<std::size_t>(v)];
+    ++latency_count_;
     // Re-issue through the event loop (not recursively) so long local-only
     // streaks do not grow the call stack. Preparing the next request costs
     // one service interval of local CPU time — without this, a node holding
@@ -264,7 +267,7 @@ class Driver {
   void on_crash(std::size_t k) {
     const std::int64_t total =
         static_cast<std::int64_t>(topo_.node_count()) * config_.requests_per_node;
-    if (static_cast<std::int64_t>(latencies_.count()) < total) {
+    if (latency_count_ < total) {
       corrupt_and_recover(crashes_[k].victim);
       if (k + 1 < crashes_.size()) sim_.at(crashes_[k + 1].at, CrashEvent{this, k + 1});
     }
@@ -323,7 +326,11 @@ class Driver {
   std::vector<RequestId> last_req_;
   std::vector<typename Topo::RoundCount> issued_;
   std::vector<Time> issue_time_;
-  StatAccumulator latencies_;
+  // Exact integer latency sum (not a Welford accumulator): integer addition
+  // is order-free, so the sharded engine's per-lane sums reproduce this
+  // average bit for bit for any shard count.
+  __int128 latency_sum_ = 0;
+  std::int64_t latency_count_ = 0;
   RequestId next_id_ = kRootRequest;
   std::int32_t epoch_ = 0;
   std::vector<CrashEventSpec> crashes_;

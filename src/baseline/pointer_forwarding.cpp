@@ -181,7 +181,11 @@ struct LoopForwarder {
   std::vector<RequestId> last_req;
   std::vector<std::int64_t> issued;
   std::vector<Time> issue_time;
-  StatAccumulator latencies;
+  // Exact integer latency sum (not a Welford accumulator): integer addition
+  // is order-free, so the sharded engine's per-lane sums reproduce this
+  // average bit for bit for any shard count.
+  __int128 latency_sum = 0;
+  std::int64_t latency_count = 0;
   std::uint64_t find_messages = 0;
   std::uint64_t reply_messages = 0;
   RequestId next_id = kRootRequest;
@@ -266,7 +270,8 @@ struct LoopForwarder {
   }
 
   void round_done(NodeId v) {
-    latencies.add(static_cast<double>(sim.now() - issue_time[static_cast<std::size_t>(v)]));
+    latency_sum += sim.now() - issue_time[static_cast<std::size_t>(v)];
+    ++latency_count;
     // Re-issue through the event loop: preparing the next request costs one
     // service interval of local CPU time (same rule as the arrow loop).
     sim.in(config.service_time, IssueEvent{this, v});
@@ -305,10 +310,11 @@ ForwardingLoopResult run_pointer_forwarding_closed_loop_impl(
         res.total_requests == 0
             ? 0.0
             : static_cast<double>(res.find_messages) / static_cast<double>(res.total_requests);
-    res.avg_round_latency_units = driver.latencies.count() == 0
-                                      ? 0.0
-                                      : driver.latencies.mean() /
-                                            static_cast<double>(kTicksPerUnit);
+    res.avg_round_latency_units =
+        driver.latency_count == 0 ? 0.0
+                                  : static_cast<double>(driver.latency_sum) /
+                                        static_cast<double>(driver.latency_count) /
+                                        static_cast<double>(kTicksPerUnit);
     if constexpr (F::kActive) {
       res.messages_dropped = driver.net.faults().stats().messages_dropped;
       res.messages_duplicated = driver.net.faults().stats().messages_duplicated;

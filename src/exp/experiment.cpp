@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "exp/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
+#include "sim/parallel/parallel.hpp"
 #include "support/assert.hpp"
 #include "support/random.hpp"
 #include "workload/workloads.hpp"
@@ -381,6 +383,31 @@ auto with_resolved_dist(const Resolved& r, Fn&& fn) {
   return fn(UnitDist{});
 }
 
+/// ARROWDQ_SIM_SHARDS, parsed once per process. Out-of-range or
+/// non-numeric values mean 1 (serial); the cap matches the engine's
+/// practical lane range.
+int env_shards() {
+  static const int cached = [] {
+    const char* s = std::getenv("ARROWDQ_SIM_SHARDS");
+    if (s == nullptr || *s == '\0') return 1;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1 || v > 1024) return 1;
+    return static_cast<int>(v);
+  }();
+  return cached;
+}
+
+/// The shard count a run should actually use. An explicit Experiment::shards
+/// wins (validate_experiment has already rejected unshardable combinations);
+/// scenarios the parallel engine cannot run stay serial.
+int effective_shards(const Experiment& e) {
+  const int k = e.shards > 0 ? e.shards : env_shards();
+  if (k <= 1) return 1;
+  if (e.protocol.kind != Protocol::kArrowClosedLoop || e.fault.has_crash()) return 1;
+  return k;
+}
+
 }  // namespace
 
 template <>
@@ -419,9 +446,20 @@ RunResult run_protocol<Protocol::kArrowClosedLoop>(const Experiment& e, Resolved
   // The scale path: structured family, closed-form tree, no crash schedule
   // (the recovery wave needs a materialized tree) — run the implicit driver
   // with compact 32-byte event slots instead of building Graph + Tree.
-  ClosedLoopResult loop = r.implicit_loop
-                              ? run_arrow_closed_loop_implicit(*r.implicit, *model, cfg)
-                              : run_arrow_closed_loop(r.tree, *model, cfg);
+  // Shards > 1 routes to the conservative parallel engine (sim/parallel/),
+  // bit-identical to the serial drivers by construction.
+  const int shards = effective_shards(e);
+  ClosedLoopResult loop;
+  if (shards > 1) {
+    ShardSpec spec;
+    spec.shards = shards;
+    loop = r.implicit_loop
+               ? run_arrow_closed_loop_implicit_sharded(*r.implicit, *model, cfg, spec)
+               : run_arrow_closed_loop_sharded(r.tree, *model, cfg, spec);
+  } else {
+    loop = r.implicit_loop ? run_arrow_closed_loop_implicit(*r.implicit, *model, cfg)
+                           : run_arrow_closed_loop(r.tree, *model, cfg);
+  }
   RunResult res;
   res.protocol = e.protocol.kind;
   res.makespan = loop.makespan;
@@ -672,6 +710,15 @@ std::optional<std::string> validate_experiment(const Experiment& e) {
     return std::string(t.family_name()) + ": baseline distance oracle needs an O(n^2) APSP " +
            "table; " + std::to_string(t.nodes) + " nodes exceeds the " +
            std::to_string(kMaxApspNodes) + "-node cap";
+  if (e.shards > 1) {
+    if (e.protocol.kind != Protocol::kArrowClosedLoop)
+      return std::string(e.protocol.name()) +
+             ": shards > 1 is wired for the arrow closed loop only";
+    if (e.fault.has_crash())
+      return std::string(
+          "shards > 1 cannot run a crash schedule (the recovery wave is a global "
+          "pointer rewrite that cannot execute inside a safe window)");
+  }
   return std::nullopt;
 }
 

@@ -351,6 +351,10 @@ struct RunResult {
   /// returned, via getrusage. Monotone over the process lifetime, so within
   /// one process only the first / largest run's value is a faithful ceiling
   /// for that run (the fig10_scale bench orders its cells accordingly).
+  /// Because the reading is process-wide it is taken exactly once per run
+  /// — after the driver returns — never per shard: a sharded run
+  /// (shards > 1) reports one number covering all lanes' arenas combined,
+  /// which is the quantity a memory budget cares about anyway.
   /// 0 on platforms without getrusage.
   std::uint64_t peak_rss_bytes = 0;
   /// The full queuing outcome (one-shot protocols, keep_outcome only):
@@ -385,6 +389,15 @@ struct Experiment {
   /// RunResult::competitive. Requires keep_outcome; a no-op for closed loops
   /// (they produce no QueuingOutcome).
   bool analyze = false;
+  /// Intra-run shard count for the conservative parallel engine
+  /// (sim/parallel/). Results are bit-identical to the serial core for any
+  /// value, so this is purely a speed knob. 0 = inherit ARROWDQ_SIM_SHARDS
+  /// (default 1; scenarios the parallel engine cannot run fall back to
+  /// serial silently). Setting > 1 explicitly is validated: only
+  /// kArrowClosedLoop is wired, and crash schedules cannot shard (the
+  /// recovery wave is a global pointer rewrite) — both are
+  /// validate_experiment errors rather than silent fallbacks.
+  int shards = 0;
 
   /// "protocol topology-n latency" summary used when `label` is empty.
   std::string default_label() const;

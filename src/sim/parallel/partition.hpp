@@ -1,0 +1,97 @@
+// Node-to-shard partitioning for the sharded discrete-event engine.
+//
+// The default partition is contiguous id blocks: shard i owns node ids
+// [bounds[i], bounds[i+1]). Contiguity makes lane lookup a divide (or, for
+// custom partitions, one binary search over K+1 bounds) and keeps each
+// shard's per-node state arrays dense. A custom partitioner plugs in by
+// supplying its own bounds — any monotone split of [0, n) works, since the
+// engine only needs a total, deterministic node -> shard map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq {
+
+/// A contiguous-block partition of node ids [0, n) into K shards.
+class ShardPartition {
+ public:
+  /// Balanced contiguous blocks: shard i owns [floor(i*n/k), floor((i+1)*n/k)).
+  static ShardPartition contiguous(NodeId n, int k) {
+    ARROWDQ_ASSERT_MSG(n >= 1 && k >= 1, "partition needs n >= 1, k >= 1");
+    if (k > n) k = static_cast<int>(n);  // no empty shards
+    std::vector<NodeId> bounds(static_cast<std::size_t>(k) + 1);
+    for (int i = 0; i <= k; ++i)
+      bounds[static_cast<std::size_t>(i)] = static_cast<NodeId>(
+          static_cast<std::int64_t>(i) * static_cast<std::int64_t>(n) / k);
+    return ShardPartition(std::move(bounds));
+  }
+
+  /// Pluggable partitioner hook: any strictly increasing bounds vector with
+  /// bounds.front() == 0 and bounds.back() == n defines a valid partition.
+  static ShardPartition from_bounds(std::vector<NodeId> bounds) {
+    ARROWDQ_ASSERT_MSG(bounds.size() >= 2, "partition needs at least one shard");
+    ARROWDQ_ASSERT_MSG(bounds.front() == 0, "partition must start at node 0");
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      ARROWDQ_ASSERT_MSG(bounds[i] > bounds[i - 1], "partition bounds must increase");
+    return ShardPartition(std::move(bounds));
+  }
+
+  int shard_count() const { return static_cast<int>(bounds_.size()) - 1; }
+  NodeId node_count() const { return bounds_.back(); }
+  NodeId begin(int shard) const { return bounds_[static_cast<std::size_t>(shard)]; }
+  NodeId end(int shard) const { return bounds_[static_cast<std::size_t>(shard) + 1]; }
+
+  /// The shard owning node v. Binary search over the K+1 bounds — K is tiny
+  /// (2..16), so this is 1-4 well-predicted branches.
+  int shard_of(NodeId v) const {
+    ARROWDQ_ASSERT(v >= 0 && v < node_count());
+    int lo = 0, hi = shard_count() - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (v >= bounds_[static_cast<std::size_t>(mid)])
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    return lo;
+  }
+
+ private:
+  explicit ShardPartition(std::vector<NodeId> bounds) : bounds_(std::move(bounds)) {}
+
+  std::vector<NodeId> bounds_;  // K+1 entries, bounds_[0] == 0
+};
+
+/// How a driver run should be sharded. shards == 1 runs the identical
+/// window/merge machinery inline on the calling thread (no worker threads);
+/// the result is bit-identical for every K, so K is purely a speed knob.
+struct ShardSpec {
+  int shards = 1;
+  /// Custom partition bounds (pluggable partitioner). Empty = balanced
+  /// contiguous blocks.
+  std::vector<NodeId> bounds;
+  /// Test hook: override the derived lookahead (clamped to >= 1). 0 = derive
+  /// from the latency model / distance oracle floors. Forcing 1 exercises
+  /// the zero-lookahead lock-step fallback on any scenario.
+  Time force_lookahead = 0;
+
+  ShardPartition partition(NodeId n) const {
+    return bounds.empty() ? ShardPartition::contiguous(n, shards)
+                          : ShardPartition::from_bounds(bounds);
+  }
+};
+
+/// Engine-level counters surfaced for the fig10_parallel bench section:
+/// window/barrier overhead is the cost K > 1 must amortize.
+struct ParallelStats {
+  std::uint64_t windows = 0;         // safe windows executed (= barriers)
+  std::uint64_t merged_entries = 0;  // schedule-log entries merged at barriers
+  std::uint64_t events_executed = 0; // total events across all lanes
+  Time lookahead = 0;                // the derived (or forced) safe-window width
+};
+
+}  // namespace arrowdq

@@ -79,6 +79,7 @@ class BasicSimulator {
         free_head_(other.free_head_),
         now_(other.now_),
         next_seq_(other.next_seq_),
+        current_seq_slot_(other.current_seq_slot_),
         executed_(other.executed_) {
     other.reset_moved_from();
   }
@@ -92,6 +93,7 @@ class BasicSimulator {
       free_head_ = other.free_head_;
       now_ = other.now_;
       next_seq_ = other.next_seq_;
+      current_seq_slot_ = other.current_seq_slot_;
       executed_ = other.executed_;
       other.reset_moved_from();
     }
@@ -151,6 +153,43 @@ class BasicSimulator {
     at(now_ + delay, std::forward<F>(fn));
   }
 
+  /// Schedule `fn` at time t with an explicitly chosen sequence number,
+  /// bypassing the internal schedule counter. The sharded engine uses this
+  /// to reproduce the serial core's global (time, seq) order across shard
+  /// queues: barrier merges assign each event the rank the serial run would
+  /// have given it. Caller contract (required by BucketedEventQueue): for
+  /// any single time bucket, successive pushes must carry increasing seqs.
+  template <typename F>
+  void at_seq(Time t, std::uint64_t seq, F&& fn) {
+    ARROWDQ_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    ARROWDQ_ASSERT_MSG(seq < EventEntry::kMaxSeq, "event sequence out of range");
+    using Fn = std::decay_t<F>;
+    std::uint32_t slot;
+    if constexpr (fits_inline_v<Fn>) {
+      slot = acquire_slot();
+      Slot& s = slots_[slot];
+      ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(fn));
+      s.invoke = [](BasicSimulator* self, std::uint32_t sl) {
+        Fn local = *std::launder(reinterpret_cast<Fn*>(self->slots_[sl].storage));
+        self->release_slot(sl);
+        local();
+      };
+      s.destroy = nullptr;
+    } else {
+      auto boxed = std::make_unique<Fn>(std::forward<F>(fn));
+      slot = acquire_slot();
+      Slot& s = slots_[slot];
+      ::new (static_cast<void*>(s.storage)) (Fn*)(boxed.release());
+      s.invoke = [](BasicSimulator* self, std::uint32_t sl) {
+        std::unique_ptr<Fn> f(*std::launder(reinterpret_cast<Fn**>(self->slots_[sl].storage)));
+        self->release_slot(sl);
+        (*f)();
+      };
+      s.destroy = [](void* p) { delete *std::launder(static_cast<Fn**>(p)); };
+    }
+    queue_.push(EventEntry::make(t, seq, slot));
+  }
+
   /// Execute the single earliest event. Returns false if none pending.
   /// Refills the same-tick batch buffer from the queue when it runs dry.
   bool step() {
@@ -163,6 +202,7 @@ class BasicSimulator {
     EventEntry e = batch_[batch_pos_++];
     ARROWDQ_ASSERT(e.t >= now_);
     now_ = e.t;
+    current_seq_slot_ = e.seq_slot;
     ++executed_;
     std::uint32_t slot = e.slot();
     slots_[slot].invoke(this, slot);
@@ -192,6 +232,17 @@ class BasicSimulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const {
     return queue_.size() + (batch_.size() - batch_pos_);
+  }
+
+  /// Sequence number of the event currently (or most recently) executing.
+  /// The sharded engine reads this inside handlers to key causal parents.
+  std::uint64_t current_seq() const { return current_seq_slot_ >> EventEntry::kSlotBits; }
+
+  /// Earliest pending event time; requires !idle(). Public for the sharded
+  /// engine's safe-window computation (min over shard queues).
+  Time next_event_time() const {
+    ARROWDQ_ASSERT(!idle());
+    return next_time();
   }
 
  private:
@@ -240,6 +291,7 @@ class BasicSimulator {
     free_head_ = kNoSlot;
     now_ = 0;
     next_seq_ = 0;
+    current_seq_slot_ = 0;
     executed_ = 0;
   }
 
@@ -267,6 +319,7 @@ class BasicSimulator {
   std::uint32_t free_head_ = kNoSlot;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t current_seq_slot_ = 0;
   std::uint64_t executed_ = 0;
 };
 
