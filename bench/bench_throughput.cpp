@@ -38,6 +38,16 @@
 //                       hardware_concurrency tells the gate whether a K=2
 //                       speedup is meaningful (a 1-core box runs lanes
 //                       time-sliced and can only lose).
+//  7. bench_runtime   — the real-thread arrow runtime (src/rt/) driving the
+//                       mutex app on a balanced-binary tree at T = 1 / 2 / 4
+//                       workers: measured ops/s (history recording off — the
+//                       seq_cst stamp counter would serialize the hot path),
+//                       plus a second recorded run whose merged history goes
+//                       through rt::check_history — the checker verdict, not
+//                       a golden, is the correctness signal (thread
+//                       interleavings are not reproducible). The sim twin's
+//                       predicted hops/op is recorded next to the measured
+//                       one; their ratio is the cross-validation number.
 //
 // Usage: bench_throughput [--quick] [--out FILE.json]
 #include <algorithm>
@@ -57,6 +67,8 @@
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
 #include "legacy_sim.hpp"
+#include "rt/history.hpp"
+#include "rt/runtime.hpp"
 #include "sim/parallel/parallel.hpp"
 #include "sim/latency.hpp"
 #include "sim/network.hpp"
@@ -585,6 +597,79 @@ int run(int argc, char** argv) {
   std::printf("  4 threads            %8.3f s        %12.0f reqs/s  (%.2fx)\n", w4,
               static_cast<double>(sweep_total) / w4, w1 / w4);
 
+  // 7. Real-thread arrow runtime at T = 1 / 2 / 4 workers, mutex app.
+  // Two runs per T: a throughput run with history recording off (the
+  // seq_cst stamp counter is a global serialization point the ops/s number
+  // must not pay), and a recorded run whose merged history is checked —
+  // linearizability via rt::check_history replaces bit-identity here.
+  struct RuntimeRow {
+    int threads = 0;
+    double seconds = 0;
+    double ops_per_sec = 0;
+    std::uint64_t queue_messages = 0;
+    double hops_per_op = 0;
+    bool checker_passed = false;
+  };
+  const NodeId rt_nodes = quick ? 256 : 1024;
+  const std::int64_t rt_rounds = quick ? 4 : 16;
+  Graph rt_g = make_complete(rt_nodes);
+  Tree rt_tree = balanced_binary_overlay(rt_g);
+  // Sim twin for the predicted hop count (same tree, same rounds; the sim's
+  // closed loop re-issues on queuing completion rather than token release,
+  // so the ratio is an O(1) consistency check, not an identity).
+  SynchronousLatency rt_lat;
+  ClosedLoopConfig rt_sim_cfg;
+  rt_sim_cfg.requests_per_node = rt_rounds;
+  rt_sim_cfg.service_time = kTicksPerUnit / 16;
+  const ClosedLoopResult rt_sim = run_arrow_closed_loop(rt_tree, rt_lat, rt_sim_cfg);
+  const double rt_sim_hops =
+      rt_sim.total_requests > 0
+          ? static_cast<double>(rt_sim.tree_messages) / static_cast<double>(rt_sim.total_requests)
+          : 0.0;
+  std::vector<RuntimeRow> rt_rows;
+  std::printf("bench_runtime   balanced-binary n=%d, %lld rounds/node, mutex app, "
+              "hw_concurrency=%u\n",
+              rt_nodes, static_cast<long long>(rt_rounds), hw);
+  for (int t_count : {1, 2, 4}) {
+    rt::RtConfig rc;
+    rc.threads = t_count;
+    rc.rounds_per_node = rt_rounds;
+    rc.app = rt::RtApp::kMutex;
+    rc.record_history = false;
+    rt::RtResult best{};
+    double best_sec = 1e100;
+    for (int r = 0; r < reps; ++r) {
+      rt::RtResult res = run_runtime(rt_tree, rc);
+      if (res.wall_seconds < best_sec) {
+        best_sec = res.wall_seconds;
+        best = std::move(res);
+      }
+    }
+    rc.record_history = true;
+    rt::RtResult recorded = run_runtime(rt_tree, rc);
+    rt::CheckSpec spec;
+    spec.nodes = rt_nodes;
+    spec.rounds = rt_rounds;
+    spec.app = rc.app;
+    const rt::CheckResult check = rt::check_history(recorded.history, spec);
+    ARROWDQ_ASSERT_MSG(check.ok, "runtime history failed the linearizability check");
+    RuntimeRow row;
+    row.threads = t_count;
+    row.seconds = best.wall_seconds;
+    row.ops_per_sec = best.ops_per_sec;
+    row.queue_messages = best.queue_messages;
+    row.hops_per_op = best.hops_per_op();
+    row.checker_passed = check.ok;
+    std::printf("  T=%d                  %8.3f s   %11.0f ops/s      hops/op %.2f (sim %.2f)  "
+                "checker %s",
+                t_count, row.seconds, row.ops_per_sec, row.hops_per_op, rt_sim_hops,
+                row.checker_passed ? "PASS" : "FAIL");
+    if (t_count > 1 && !rt_rows.empty())
+      std::printf("  (%.2fx vs T=1)", rt_rows.front().seconds / row.seconds);
+    std::printf("\n");
+    rt_rows.push_back(row);
+  }
+
   // JSON.
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -707,6 +792,26 @@ int run(int argc, char** argv) {
                n_nodes, static_cast<long long>(reqs_per_node), c_legacy, n_reqs / c_legacy,
                c_dynamic, n_reqs / c_dynamic, c_static, n_reqs / c_static, c_legacy / c_dynamic,
                c_legacy / c_static, c_dynamic / c_static);
+  std::fprintf(f,
+               "  \"bench_runtime\": {\n"
+               "    \"nodes\": %d,\n"
+               "    \"rounds\": %lld,\n"
+               "    \"app\": \"mutex\",\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"sim_hops_per_op\": %.4f",
+               rt_nodes, static_cast<long long>(rt_rounds), hw, rt_sim_hops);
+  for (const RuntimeRow& row : rt_rows) {
+    std::fprintf(f,
+                 ",\n    \"t_%d\": {\"threads\": %d, \"seconds\": %.6f, \"ops_per_sec\": %.0f, "
+                 "\"queue_messages\": %llu, \"checker_passed\": %s, \"rt_hops_per_op\": %.4f, "
+                 "\"hops_ratio\": %.4f, \"speedup_vs_t1\": %.3f}",
+                 row.threads, row.threads, row.seconds, row.ops_per_sec,
+                 static_cast<unsigned long long>(row.queue_messages),
+                 row.checker_passed ? "true" : "false", row.hops_per_op,
+                 rt_sim_hops > 0 ? row.hops_per_op / rt_sim_hops : 0.0,
+                 rt_rows.front().seconds / row.seconds);
+  }
+  std::fprintf(f, "\n  },\n");
   std::fprintf(f,
                "  \"sweep_scaling\": {\n"
                "    \"scenarios\": %zu,\n"

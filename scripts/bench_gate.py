@@ -34,6 +34,12 @@ hardware_concurrency >= 2 — the K=2 lane must clear a 1.3x speedup over
 K=1. On a 1-core runner the lanes are time-sliced and can only lose, so
 the speedup gate is skipped there (the schema + bit-identity flag still
 apply).
+
+A bench_runtime section (the real-thread arrow runtime, src/rt/) is
+schema-checked the same way: every t_<threads> cell must carry positive
+ops_per_sec and checker_passed: true — the linearizability checker, not any
+golden, is the runtime's correctness oracle — and the T=2 speedup bar
+applies only on a recorded hardware_concurrency >= 2.
 """
 import argparse
 import json
@@ -105,6 +111,17 @@ PARALLEL_CELL_KEYS = ["shards", "seconds", "events_per_sec", "windows",
 # synchronous-latency workload gives the smallest safe windows the engine
 # ever sees, so 1.3x there is real parallel payoff.
 PARALLEL_MIN_K2_SPEEDUP = 1.3
+
+# Every bench_runtime t_<threads> cell must carry these keys (checker_passed
+# is checked separately — it is a bool, not a number).
+RUNTIME_CELL_KEYS = ["threads", "seconds", "ops_per_sec", "queue_messages",
+                     "rt_hops_per_op", "hops_ratio", "speedup_vs_t1"]
+
+# T=2 must beat T=1 by this much on a genuinely multi-core runner. The bar
+# is modest: the runtime's token is a single serialization point (mutual
+# exclusion is the workload), so multi-thread payoff comes only from
+# overlapping queue-message routing with critical sections.
+RUNTIME_MIN_T2_SPEEDUP = 1.05
 
 
 def lookup(doc, dotted):
@@ -207,6 +224,58 @@ def check_fig10_parallel(doc):
     if hw >= 2 and k2 < PARALLEL_MIN_K2_SPEEDUP:
         errors.append(f"fig10_parallel: K=2 speedup {k2:.2f}x below the "
                       f"{PARALLEL_MIN_K2_SPEEDUP}x bar on a {hw:.0f}-core runner")
+    return errors
+
+
+def check_bench_runtime(doc):
+    """Schema-check a fresh run's bench_runtime section (src/rt/).
+
+    Returns a list of error strings (empty when the section is absent, so
+    baselines predating the runtime tier keep gating). Hard requirements:
+    checker_passed must be true in every cell — the history checker, not a
+    golden, is the runtime's correctness oracle — and ops_per_sec must be
+    positive. The T=2 speedup bar applies only when the run recorded
+    hardware_concurrency >= 2 (a 1-core runner time-slices the workers and
+    can only lose, which says nothing about the runtime).
+    """
+    section = doc.get("bench_runtime")
+    if section is None:
+        return []
+    if not isinstance(section, dict):
+        return ["bench_runtime is not an object"]
+    errors = []
+    for key in ("nodes", "rounds", "hardware_concurrency", "sim_hops_per_op"):
+        value = section.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+            errors.append(f"bench_runtime.{key} missing or non-positive")
+    if not isinstance(section.get("app"), str) or not section.get("app"):
+        errors.append("bench_runtime.app missing")
+    cells = {k: v for k, v in section.items() if k.startswith("t_")}
+    for name in ("t_1", "t_2", "t_4"):
+        if name not in cells:
+            errors.append(f"bench_runtime.{name} cell missing")
+    for name, cell in sorted(cells.items()):
+        if not isinstance(cell, dict):
+            errors.append(f"bench_runtime.{name} is not an object")
+            continue
+        bad = [k for k in RUNTIME_CELL_KEYS
+               if not isinstance(cell.get(k), (int, float))
+               or isinstance(cell.get(k), bool)]
+        if bad:
+            errors.append(f"bench_runtime.{name} missing numeric {'/'.join(bad)}")
+            continue
+        if cell["ops_per_sec"] <= 0:
+            errors.append(f"bench_runtime.{name}.ops_per_sec is not positive")
+        if cell.get("checker_passed") is not True:
+            errors.append(f"bench_runtime.{name}.checker_passed is not true "
+                          "(the history checker is the runtime's correctness oracle)")
+    if errors:
+        return errors
+    hw = section["hardware_concurrency"]
+    t2 = section["t_2"]["speedup_vs_t1"]
+    if hw >= 2 and t2 < RUNTIME_MIN_T2_SPEEDUP:
+        errors.append(f"bench_runtime: T=2 speedup {t2:.2f}x below the "
+                      f"{RUNTIME_MIN_T2_SPEEDUP}x bar on a {hw:.0f}-core runner")
     return errors
 
 
@@ -479,6 +548,16 @@ def main():
         note = ("schema + K=2 speedup bar" if hw >= 2
                 else "schema only (1-core runner, speedup bar skipped)")
         print(f"  [OK ] fig10_parallel {note}")
+
+    runtime_errors = check_bench_runtime(fresh)
+    for e in runtime_errors:
+        print(f"  [FAIL] {e}")
+        failures.append("bench_runtime")
+    if not runtime_errors and "bench_runtime" in fresh:
+        hw = fresh["bench_runtime"].get("hardware_concurrency", 0)
+        note = ("schema + checker + T=2 speedup bar" if hw >= 2
+                else "schema + checker (1-core runner, speedup bar skipped)")
+        print(f"  [OK ] bench_runtime {note}")
 
     if compared == 0:
         print("bench_gate: no comparable metrics between baseline and fresh JSON", file=sys.stderr)

@@ -25,8 +25,10 @@
 //   --nodes     N1,N2,...      (applied to every topology without a fixed
 //               size; hypercube rounds each N down to a power of two)
 //   --latency   sync | scaled:F | uniform:MIN | exp:MEAN
-//   --workload  oneshot | poisson:COUNT:RATE | bursty:B:SIZE:GAP |
-//               sequential:COUNT:GAP        (one-shot protocols only)
+//   --workload  oneshot | poisson:COUNT:RATE[:hot=P[@NODE]] |
+//               bursty:B:SIZE:GAP | sequential:COUNT:GAP
+//               (one-shot protocols only; hot= routes fraction P of the
+//               poisson arrivals to one hot node — request skew)
 //   --reqs      closed-loop rounds per node (arrow-loop, centralized,
 //               forwarding-loop)
 //   --fault     none | loss:P | dup:P | jitter:P[:MAXU] | spike:P[:F] |
@@ -37,9 +39,15 @@
 //               min/max/ci_lo/ci_hi per metric at 95% confidence
 //               (Student-t intervals at R-1 degrees of freedom)
 //   --shards    intra-run shard count for the conservative parallel engine
-//               (sim/parallel/): arrow-loop cells without a crash schedule
-//               run on K lanes with bit-identical results; every other cell
-//               stays serial. Default 0 inherits ARROWDQ_SIM_SHARDS.
+//               (sim/parallel/): every cell with a sharded mirror — arrow and
+//               forwarding in both modes — runs on K lanes with bit-identical
+//               results; token passing, closed-loop centralized and crash
+//               cells stay serial. Default 0 inherits ARROWDQ_SIM_SHARDS.
+//   --rt        real-thread runtime pass (src/rt/): re-run each fault-free
+//               arrow-loop cell on T worker threads (0 = all cores), check
+//               the recorded history for linearizability, and attach a
+//               "runtime" JSON block (ops/s, sim-vs-runtime hop ratio).
+//               --rt-app picks the payload app: mutex | counter | directory.
 //
 // JSON: --json FILE emits the cross-product with uniform metrics per
 // scenario (schema validated by scripts/bench_gate.py --validate-sweep).
@@ -61,10 +69,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/experiment.hpp"
 #include "exp/replication.hpp"
+#include "rt/service.hpp"
 #include "support/parse.hpp"
 #include "support/table.hpp"
 
@@ -86,10 +96,40 @@ struct Options {
   int repeat = 1;             // separately-reported rows per grid point
   int replicas = 1;           // statistically folded replicas per cell
   int shards = 0;             // intra-run lanes; 0 = inherit ARROWDQ_SIM_SHARDS
+  int rt_threads = -1;        // -1 = no runtime pass; 0 = hardware concurrency
+  std::string rt_app = "mutex";  // runtime app: mutex | counter | directory
   std::string json_path;      // empty = no JSON
   std::string csv_path;       // empty = no CSV (long format, all replicas)
   bool smoke = false;
 };
+
+/// Per-cell result of the optional --rt pass (rt/service.hpp cross-
+/// validation). `present` only on fault-free arrow-loop cells — the runtime
+/// serves exactly the protocol it implements.
+struct RtRow {
+  bool present = false;
+  int threads = 0;
+  long long ops = 0;
+  double ops_per_sec = 0.0;
+  unsigned long long queue_messages = 0;
+  bool checker_passed = false;
+  double rt_hops_per_op = 0.0;
+  double sim_hops_per_op = 0.0;
+  double hops_ratio = 0.0;
+};
+
+bool parse_rt_app(const std::string& s, rt::RtApp& out) {
+  if (s == "mutex") {
+    out = rt::RtApp::kMutex;
+  } else if (s == "counter") {
+    out = rt::RtApp::kCounter;
+  } else if (s == "directory") {
+    out = rt::RtApp::kDirectory;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 std::vector<std::string> split_csv(const char* s) {
   std::vector<std::string> out;
@@ -205,25 +245,52 @@ bool parse_latency(const std::string& s, LatencySpec& out) {
 }
 
 bool parse_workload(const std::string& s, WorkloadSpec& out) {
+  // Optional request-skew suffix on poisson specs: `poisson:C:R:hot=P[@NODE]`
+  // routes fraction P of arrivals to one hot node (default node 0). Stripped
+  // here because `hot=P` is non-numeric and would poison the field() parser.
+  std::string body = s;
+  double hot_p = 0.0;
+  NodeId hot_node = 0;
+  if (s.rfind("poisson:", 0) == 0) {
+    const auto hpos = s.find(":hot=");
+    if (hpos != std::string::npos) {
+      body = s.substr(0, hpos);
+      std::string tail = s.substr(hpos + 5);
+      const auto at = tail.find('@');
+      if (at != std::string::npos) {
+        auto nd = parse_nonneg_i64(tail.substr(at + 1));
+        if (!nd) return false;
+        hot_node = static_cast<NodeId>(*nd);
+        tail.resize(at);
+      }
+      auto p = parse_positive_f64(tail);
+      if (!p || *p > 1.0) return false;  // P must land in (0, 1]
+      hot_p = *p;
+    }
+  }
   // Missing or malformed fields surface as -1 so bad specs fail parsing here
   // (usage error) instead of aborting later on a generator invariant.
-  auto field = [&s](int idx) -> double {
+  auto field = [&body](int idx) -> double {
     std::size_t pos = 0;
     for (int i = 0; i < idx; ++i) {
-      pos = s.find(':', pos);
+      pos = body.find(':', pos);
       if (pos == std::string::npos) return -1.0;
       ++pos;
     }
-    auto end = s.find(':', pos);
-    auto v = parse_f64(s.substr(pos, end == std::string::npos ? end : end - pos));
+    auto end = body.find(':', pos);
+    auto v = parse_f64(body.substr(pos, end == std::string::npos ? end : end - pos));
     return v ? *v : -1.0;
   };
-  if (s == "oneshot") {
+  if (body == "oneshot") {
     out = WorkloadSpec::one_shot_all();
-  } else if (s.rfind("poisson:", 0) == 0) {
+  } else if (body.rfind("poisson:", 0) == 0) {
     if (field(1) <= 0 || field(2) <= 0) return false;
-    out = WorkloadSpec::poisson(static_cast<int>(field(1)), field(2), /*seed=*/0);
-  } else if (s.rfind("bursty:", 0) == 0) {
+    if (hot_p > 0.0)
+      out = WorkloadSpec::poisson_skewed(static_cast<int>(field(1)), field(2), hot_node, hot_p,
+                                         /*seed=*/0);
+    else
+      out = WorkloadSpec::poisson(static_cast<int>(field(1)), field(2), /*seed=*/0);
+  } else if (body.rfind("bursty:", 0) == 0) {
     if (field(1) <= 0 || field(2) <= 0 || field(3) < 0) return false;
     out = WorkloadSpec::bursty_load(static_cast<int>(field(1)), static_cast<int>(field(2)),
                                     static_cast<Weight>(field(3)), /*seed=*/0);
@@ -244,20 +311,26 @@ int usage() {
                "                  [--fault F1,F2,..] [--workload W] [--reqs N]\n"
                "                  [--service-frac D] [--threads T] [--seed S]\n"
                "                  [--repeat R] [--replicas R] [--shards K]\n"
-               "                  [--json FILE] [--csv FILE] [--smoke]\n"
+               "                  [--rt T] [--rt-app A] [--json FILE] [--csv FILE] [--smoke]\n"
                "  P: arrow | arrow-loop | centralized | forwarding | forwarding-loop | token\n"
                "  T: complete | path | ring | randtree | wtree | grid:RxC | torus:RxC |\n"
                "     hypercube | geometric[:RADIUS]\n"
                "  SPEC: sync | scaled:F | uniform:MIN | exp:MEAN\n"
                "  F: none | loss:P | dup:P | jitter:P[:MAXU] | spike:P[:F] |\n"
                "     crash:N[:DOWNU[:PERIODU]] | chaos\n"
-               "  W: oneshot | poisson:COUNT:RATE | bursty:B:SIZE:GAP | sequential:COUNT:GAP\n"
+               "  W: oneshot | poisson:COUNT:RATE[:hot=P[@NODE]] | bursty:B:SIZE:GAP |\n"
+               "     sequential:COUNT:GAP   (hot= skews fraction P of arrivals to one node)\n"
+               "  A: mutex | counter | directory   (app driven by the --rt runtime pass)\n"
                "  service time = one unit / D ticks (0 = free local processing)\n"
                "  numeric flags take checked values: garbage or out-of-range input is\n"
                "  rejected with exit code 2, never silently coerced\n"
                "  --replicas >= 2 folds per-cell statistics (mean/stddev/CI) into the JSON\n"
-               "  --shards K runs arrow-loop cells on the sharded parallel engine (K lanes,\n"
-               "  bit-identical results; crash cells and other protocols stay serial)\n"
+               "  --shards K runs every cell with a sharded mirror on K lanes (arrow and\n"
+               "  forwarding, both modes; bit-identical results; crash cells, token passing\n"
+               "  and closed-loop centralized stay serial)\n"
+               "  --rt T re-runs each fault-free arrow-loop cell on the real-thread runtime\n"
+               "  (T workers, 0 = all cores), checks the recorded history, and attaches a\n"
+               "  \"runtime\" block with measured ops/s + sim-vs-runtime hop ratio\n"
                "  --csv dumps long format: one row per cell x replica x metric\n");
   return 2;
 }
@@ -293,7 +366,8 @@ void json_metric_stats(std::FILE* f, const char* name, const MetricStats& m, con
 
 int emit_json(const std::string& path, const Options& opt, unsigned threads,
               const std::vector<Experiment>& exps,
-              const std::vector<ReplicatedExperimentResult>& results, double wall) {
+              const std::vector<ReplicatedExperimentResult>& results,
+              const std::vector<RtRow>& rt_rows, double wall) {
   std::FILE* f = path == "-" ? stdout : std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -337,6 +411,21 @@ int emit_json(const std::string& path, const Options& opt, unsigned threads,
                    static_cast<unsigned long long>(point.messages_dropped),
                    static_cast<unsigned long long>(point.messages_duplicated), point.crashes,
                    point.stabilize_rounds, point.recovery_delta_units);
+    }
+    if (i < rt_rows.size() && rt_rows[i].present) {
+      // Runtime block: present exactly when --rt ran this cell (fault-free
+      // arrow-loop), so the schema can require it conditionally. The checker
+      // verdict — not any golden — is the correctness signal; hops_ratio is
+      // the sim-predicted vs runtime-measured cross-validation number.
+      const RtRow& rt = rt_rows[i];
+      std::fprintf(f,
+                   "     \"runtime\": {\"threads\": %d, \"ops\": %lld, \"ops_per_sec\": %.1f,\n"
+                   "      \"queue_messages\": %llu, \"checker_passed\": %s, "
+                   "\"rt_hops_per_op\": %.4f,\n"
+                   "      \"sim_hops_per_op\": %.4f, \"hops_ratio\": %.4f},\n",
+                   rt.threads, rt.ops, rt.ops_per_sec, rt.queue_messages,
+                   rt.checker_passed ? "true" : "false", rt.rt_hops_per_op, rt.sim_hops_per_op,
+                   rt.hops_ratio);
     }
     std::fprintf(f,
                  "     \"makespan_units\": %.3f, \"total_requests\": %lld, "
@@ -464,6 +553,10 @@ int main(int argc, char** argv) {
           static_cast<int>(require_i64("--replicas", next("--replicas"), parse_positive_i64));
     } else if (!std::strcmp(argv[i], "--shards")) {
       opt.shards = static_cast<int>(require_i64("--shards", next("--shards"), parse_positive_i64));
+    } else if (!std::strcmp(argv[i], "--rt")) {
+      opt.rt_threads = static_cast<int>(require_i64("--rt", next("--rt"), parse_nonneg_i64));
+    } else if (!std::strcmp(argv[i], "--rt-app")) {
+      opt.rt_app = next("--rt-app");
     } else if (!std::strcmp(argv[i], "--json")) {
       opt.json_path = next("--json");
     } else if (!std::strcmp(argv[i], "--csv")) {
@@ -498,6 +591,12 @@ int main(int argc, char** argv) {
 
   WorkloadSpec workload;
   if (!parse_workload(opt.workload, workload)) return usage();
+
+  rt::RtApp rt_app = rt::RtApp::kMutex;
+  if (!parse_rt_app(opt.rt_app, rt_app)) {
+    std::fprintf(stderr, "--rt-app: invalid value '%s'\n", opt.rt_app.c_str());
+    return usage();
+  }
 
   // The fault axis crosses like any other, so parse it up front.
   std::vector<FaultSpec> fault_specs;
@@ -552,10 +651,17 @@ int main(int argc, char** argv) {
                 e.rounds = opt.reqs_per_node;
               else
                 e.workload = workload;
-              // Only arrow-loop cells without a crash schedule can shard;
-              // the rest stay serial rather than failing validation.
-              if (proto.kind == Protocol::kArrowClosedLoop && !fault.has_crash())
-                e.shards = opt.shards;
+              // Shard every cell with a sharded mirror; the rest stay serial
+              // rather than failing validation. The mirror matrix (see
+              // shardable() in exp/experiment.cpp): arrow both modes and
+              // forwarding both modes shard; token passing is inherently
+              // serial and CLI "centralized" is always closed-loop (no
+              // sharded mirror for its reply loop); crash schedules force
+              // serial everywhere.
+              const bool can_shard =
+                  !fault.has_crash() && proto.kind != Protocol::kTokenPassing &&
+                  !(proto.kind == Protocol::kCentralized && is_loop_token(proto_str));
+              if (can_shard) e.shards = opt.shards;
               e = e.with_seed(++scenario_seed);
               e.label = e.default_label();
               if (is_loop_token(proto_str) && proto.kind == Protocol::kPointerForwarding)
@@ -671,8 +777,48 @@ int main(int argc, char** argv) {
                     wall);
   }
 
+  // Optional runtime tier pass: every fault-free arrow-loop cell gets one
+  // real-thread run cross-validated against its own sim twin. This happens
+  // after the sweep so the sweep's wall/throughput numbers stay pure sim.
+  std::vector<RtRow> rt_rows;
+  if (opt.rt_threads >= 0) {
+    rt_rows.resize(exps.size());
+    const int rt_t = opt.rt_threads == 0
+                         ? static_cast<int>(std::max(1u, std::thread::hardware_concurrency()))
+                         : opt.rt_threads;
+    for (std::size_t i = 0; i < exps.size(); ++i) {
+      const Experiment& e = exps[i];
+      if (e.protocol.kind != Protocol::kArrowClosedLoop || e.rounds <= 0 || e.fault.active())
+        continue;
+      rt::RtConfig rc;
+      rc.threads = rt_t;
+      rc.app = rt_app;
+      const rt::RtCrossValidation cv = rt::run_rt_cross_validated(e, rc);
+      RtRow& row = rt_rows[i];
+      row.present = true;
+      row.threads = cv.rt.threads;
+      row.ops = static_cast<long long>(cv.rt.ops);
+      row.ops_per_sec = cv.rt.ops_per_sec;
+      row.queue_messages = static_cast<unsigned long long>(cv.rt.queue_messages);
+      row.checker_passed = cv.check.ok;
+      row.rt_hops_per_op = cv.rt_hops_per_op;
+      row.sim_hops_per_op = cv.sim_hops_per_op;
+      row.hops_ratio = cv.hops_ratio;
+      if (!quiet)
+        std::printf("runtime %-44s T=%d ops/s=%.0f hops rt/sim=%.2f/%.2f ratio=%.2f checker=%s\n",
+                    e.label.c_str(), row.threads, row.ops_per_sec, row.rt_hops_per_op,
+                    row.sim_hops_per_op, row.hops_ratio, row.checker_passed ? "PASS" : "FAIL");
+      if (!row.checker_passed) {
+        std::fprintf(stderr, "runtime history check FAILED for %s: %s\n", e.label.c_str(),
+                     cv.check.error.c_str());
+        return 1;
+      }
+    }
+  }
+
   if (!opt.json_path.empty()) {
-    if (int rc = emit_json(opt.json_path, opt, runner.threads(), exps, results, wall)) return rc;
+    if (int rc = emit_json(opt.json_path, opt, runner.threads(), exps, results, rt_rows, wall))
+      return rc;
     if (opt.json_path != "-") std::printf("wrote %s\n", opt.json_path.c_str());
   }
   if (!opt.csv_path.empty()) {

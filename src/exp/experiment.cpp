@@ -203,6 +203,10 @@ RequestSet WorkloadSpec::build(NodeId n, NodeId root) const {
       return ::arrowdq::one_shot_all(n, root);
     case Kind::kPoisson: {
       Rng rng(mix64(seed + 0x10ad0001));
+      if (hot_probability > 0.0) {
+        const NodeId hot = std::clamp(hot_node, NodeId{0}, n - 1);
+        return poisson_hotspot(n, root, count, rate_per_unit, hot, hot_probability, rng);
+      }
       return poisson_uniform(n, root, count, rate_per_unit, rng);
     }
     case Kind::kBursty: {
@@ -398,14 +402,39 @@ int env_shards() {
   return cached;
 }
 
+/// Whether a sharded mirror exists for this scenario. Token passing replays
+/// an analytic total order (inherently serial), the centralized closed loop
+/// has no mirror, and crash schedules cannot run inside safe windows.
+bool shardable(const Experiment& e) {
+  if (e.fault.has_crash()) return false;
+  switch (e.protocol.kind) {
+    case Protocol::kArrowOneShot:
+    case Protocol::kArrowClosedLoop:
+    case Protocol::kPointerForwarding:
+      return true;
+    case Protocol::kCentralized:
+      return e.rounds == 0;
+    case Protocol::kTokenPassing:
+      return false;
+  }
+  return false;
+}
+
 /// The shard count a run should actually use. An explicit Experiment::shards
 /// wins (validate_experiment has already rejected unshardable combinations);
 /// scenarios the parallel engine cannot run stay serial.
 int effective_shards(const Experiment& e) {
   const int k = e.shards > 0 ? e.shards : env_shards();
   if (k <= 1) return 1;
-  if (e.protocol.kind != Protocol::kArrowClosedLoop || e.fault.has_crash()) return 1;
-  return k;
+  return shardable(e) ? k : 1;
+}
+
+/// Dynamic-tier wrapper for a resolved distance oracle: the sharded baseline
+/// entries take a DistTicksFn; with_static_dist inside them recovers the
+/// concrete oracle type, so the per-message draw stays a direct call.
+template <typename Dist>
+DistTicksFn dist_fn(Dist dist) {
+  return DistTicksFn(dist);
 }
 
 }  // namespace
@@ -413,6 +442,23 @@ int effective_shards(const Experiment& e) {
 template <>
 RunResult run_protocol<Protocol::kArrowOneShot>(const Experiment& e, Resolved& r) {
   auto model = e.latency.make();
+  const int shards = effective_shards(e);
+  if (shards > 1) {
+    // Sharded mirror (crash schedules were refused up front, so the outcome
+    // keeps a total order and validates like the fault-free serial path).
+    ShardSpec spec;
+    spec.shards = shards;
+    ShardedArrowRun run = run_arrow_one_shot_sharded(r.tree, r.requests, *model,
+                                                     e.protocol.service_time, e.fault, spec);
+    run.out.validate(r.requests);
+    RunResult res;
+    res.protocol = e.protocol.kind;
+    res.messages = run.messages;
+    res.messages_dropped = run.fault_stats.messages_dropped;
+    res.messages_duplicated = run.fault_stats.messages_duplicated;
+    fill_one_shot(res, e, r.requests, std::move(run.out));
+    return res;
+  }
   ArrowEngine engine(r.tree, *model);
   engine.set_service_time(e.protocol.service_time);
   engine.set_fault(e.fault);
@@ -505,8 +551,15 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
   }
   FaultStats fs;
   cfg.fault_stats_out = &fs;
-  QueuingOutcome out = with_resolved_dist(
-      r, [&](auto dist) { return run_centralized(n, r.requests, dist, cfg); });
+  const int shards = effective_shards(e);
+  QueuingOutcome out = with_resolved_dist(r, [&](auto dist) {
+    if (shards > 1) {
+      ShardSpec spec;
+      spec.shards = shards;
+      return run_centralized_sharded(n, r.requests, dist_fn(dist), cfg, spec);
+    }
+    return run_centralized(n, r.requests, dist, cfg);
+  });
   out.validate(r.requests);
   res.messages = static_cast<std::uint64_t>(out.total_hops());
   res.messages_dropped = fs.messages_dropped;
@@ -526,8 +579,15 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
   RunResult res;
   res.protocol = e.protocol.kind;
   res.crashes = e.fault.has_crash() ? e.fault.crash_count : 0;
+  const int shards = effective_shards(e);
   if (e.rounds > 0) {
     ForwardingLoopResult loop = with_resolved_dist(r, [&](auto dist) {
+      if (shards > 1) {
+        ShardSpec spec;
+        spec.shards = shards;
+        return run_pointer_forwarding_closed_loop_sharded(n, e.rounds, dist_fn(dist), cfg,
+                                                          spec);
+      }
       return run_pointer_forwarding_closed_loop(n, e.rounds, dist, cfg);
     });
     res.makespan = loop.makespan;
@@ -542,8 +602,14 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
   }
   FaultStats fs;
   cfg.fault_stats_out = &fs;
-  QueuingOutcome out = with_resolved_dist(
-      r, [&](auto dist) { return run_pointer_forwarding(n, r.requests, dist, cfg); });
+  QueuingOutcome out = with_resolved_dist(r, [&](auto dist) {
+    if (shards > 1) {
+      ShardSpec spec;
+      spec.shards = shards;
+      return run_pointer_forwarding_sharded(n, r.requests, dist_fn(dist), cfg, spec);
+    }
+    return run_pointer_forwarding(n, r.requests, dist, cfg);
+  });
   out.validate(r.requests);
   res.messages = static_cast<std::uint64_t>(out.total_hops());
   res.messages_dropped = fs.messages_dropped;
@@ -711,9 +777,14 @@ std::optional<std::string> validate_experiment(const Experiment& e) {
            "table; " + std::to_string(t.nodes) + " nodes exceeds the " +
            std::to_string(kMaxApspNodes) + "-node cap";
   if (e.shards > 1) {
-    if (e.protocol.kind != Protocol::kArrowClosedLoop)
+    if (e.protocol.kind == Protocol::kTokenPassing)
       return std::string(e.protocol.name()) +
-             ": shards > 1 is wired for the arrow closed loop only";
+             ": shards > 1 has no mirror (the token replays an analytic total order, "
+             "which is inherently serial)";
+    if (e.protocol.kind == Protocol::kCentralized && e.rounds > 0)
+      return std::string(
+          "centralized closed loop: shards > 1 supports the one-shot mode only "
+          "(no sharded mirror for the find-completion reply loop)");
     if (e.fault.has_crash())
       return std::string(
           "shards > 1 cannot run a crash schedule (the recovery wave is a global "

@@ -261,6 +261,11 @@ struct WorkloadSpec {
   int burst_size = 0;         // kBursty
   Weight gap_units = 0;       // kBursty / kSequential
   std::uint64_t seed = 0;     // randomized kinds
+  /// kPoisson request skew: a `hot_probability` fraction of arrivals come
+  /// from `hot_node` (clamped into [0, n)), the rest uniform. 0 = the
+  /// classic uniform stream. Sweepable via `poisson:COUNT:RATE:hot=P[@NODE]`.
+  double hot_probability = 0.0;
+  NodeId hot_node = 0;
   std::optional<RequestSet> custom;
 
   /// Materialize the request schedule for an n-node topology rooted at
@@ -275,6 +280,13 @@ struct WorkloadSpec {
     w.count = count;
     w.rate_per_unit = rate_per_unit;
     w.seed = seed;
+    return w;
+  }
+  static WorkloadSpec poisson_skewed(int count, double rate_per_unit, NodeId hot_node,
+                                     double hot_probability, std::uint64_t seed) {
+    WorkloadSpec w = poisson(count, rate_per_unit, seed);
+    w.hot_node = hot_node;
+    w.hot_probability = hot_probability;
     return w;
   }
   static WorkloadSpec bursty_load(int bursts, int burst_size, Weight gap_units,
@@ -393,10 +405,13 @@ struct Experiment {
   /// (sim/parallel/). Results are bit-identical to the serial core for any
   /// value, so this is purely a speed knob. 0 = inherit ARROWDQ_SIM_SHARDS
   /// (default 1; scenarios the parallel engine cannot run fall back to
-  /// serial silently). Setting > 1 explicitly is validated: only
-  /// kArrowClosedLoop is wired, and crash schedules cannot shard (the
-  /// recovery wave is a global pointer rewrite) — both are
-  /// validate_experiment errors rather than silent fallbacks.
+  /// serial silently). Sharded mirrors exist for the arrow closed loop,
+  /// one-shot arrow, one-shot centralized, and pointer forwarding in both
+  /// modes. Setting > 1 explicitly on the rest is validated: token passing
+  /// (the token replay is inherently serial), the centralized closed loop
+  /// (no mirror), and crash schedules (the recovery wave is a global
+  /// pointer rewrite) are validate_experiment errors rather than silent
+  /// fallbacks.
   int shards = 0;
 
   /// "protocol topology-n latency" summary used when `label` is empty.

@@ -1,0 +1,150 @@
+#include "rt/history.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace arrowdq::rt {
+
+History merge_histories(std::vector<HistoryRecorder>& recorders) {
+  History h;
+  std::size_t total = 0;
+  for (const HistoryRecorder& r : recorders) total += r.events().size();
+  h.events.reserve(total);
+  for (HistoryRecorder& r : recorders)
+    h.events.insert(h.events.end(), r.events().begin(), r.events().end());
+  std::sort(h.events.begin(), h.events.end(),
+            [](const Event& a, const Event& b) { return a.stamp < b.stamp; });
+  return h;
+}
+
+namespace {
+
+std::string fail(const char* what, RtReq req) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s (request %lld)", what, static_cast<long long>(req));
+  return std::string(buf);
+}
+
+}  // namespace
+
+CheckResult check_history(const History& h, const CheckSpec& spec) {
+  CheckResult res;
+  const std::int64_t total = spec.nodes * spec.rounds;
+  res.requests = total;
+  auto bad = [&res](std::string msg) {
+    res.ok = false;
+    res.error = std::move(msg);
+    return res;
+  };
+  if (spec.nodes <= 0 || spec.rounds < 0) return bad("check spec: empty run");
+
+  // Per-request event slots; index 1..total (0 unused — r0 has no events).
+  struct PerReq {
+    std::uint64_t invoke = 0, enqueue = 0, acquire = 0, release = 0;
+    bool has_invoke = false, has_enqueue = false, has_acquire = false, has_release = false;
+    RtReq pred = kRtNoReq;
+    std::int64_t counter = 0;
+  };
+  std::vector<PerReq> reqs(static_cast<std::size_t>(total) + 1);
+
+  // --- 1. shape: one event of each kind per request, on the owning node ----
+  for (const Event& e : h.events) {
+    if (e.req < 1 || e.req > total) return bad(fail("event for out-of-range request", e.req));
+    PerReq& r = reqs[static_cast<std::size_t>(e.req)];
+    const NodeId owner = static_cast<NodeId>((e.req - 1) / spec.rounds);
+    switch (e.kind) {
+      case EventKind::kInvoke:
+        if (r.has_invoke) return bad(fail("duplicate invoke", e.req));
+        if (e.node != owner) return bad(fail("invoke on the wrong node", e.req));
+        r.invoke = e.stamp;
+        r.has_invoke = true;
+        break;
+      case EventKind::kEnqueue:
+        // The enqueue site is wherever the queue message terminated, not the
+        // issuing node — only the predecessor edge is checked here.
+        if (r.has_enqueue) return bad(fail("duplicate enqueue", e.req));
+        r.enqueue = e.stamp;
+        r.pred = e.aux;
+        r.has_enqueue = true;
+        break;
+      case EventKind::kAcquire:
+        if (r.has_acquire) return bad(fail("duplicate acquire", e.req));
+        if (e.node != owner) return bad(fail("acquire on the wrong node", e.req));
+        r.acquire = e.stamp;
+        r.counter = e.aux;
+        r.has_acquire = true;
+        break;
+      case EventKind::kRelease:
+        if (r.has_release) return bad(fail("duplicate release", e.req));
+        if (e.node != owner) return bad(fail("release on the wrong node", e.req));
+        r.release = e.stamp;
+        r.has_release = true;
+        break;
+    }
+  }
+  for (RtReq q = 1; q <= total; ++q) {
+    const PerReq& r = reqs[static_cast<std::size_t>(q)];
+    if (!r.has_invoke) return bad(fail("missing invoke", q));
+    if (!r.has_enqueue) return bad(fail("missing enqueue", q));
+    if (!r.has_acquire) return bad(fail("missing acquire", q));
+    if (!r.has_release) return bad(fail("missing release", q));
+    if (!(r.invoke < r.enqueue)) return bad(fail("enqueue not after invoke", q));
+    if (!(r.enqueue < r.acquire)) return bad(fail("acquire not after enqueue", q));
+    if (!(r.acquire < r.release)) return bad(fail("release not after acquire", q));
+  }
+
+  // --- 2. total order: the pred relation is one chain from r0 --------------
+  // succ[p] = the unique request recorded as enqueued behind p.
+  std::vector<RtReq> succ(static_cast<std::size_t>(total) + 1, kRtNoReq);
+  for (RtReq q = 1; q <= total; ++q) {
+    const RtReq p = reqs[static_cast<std::size_t>(q)].pred;
+    if (p < 0 || p > total) return bad(fail("predecessor out of range", q));
+    if (succ[static_cast<std::size_t>(p)] != kRtNoReq)
+      return bad(fail("two requests enqueued behind the same predecessor", q));
+    succ[static_cast<std::size_t>(p)] = q;
+  }
+  std::vector<RtReq> chain;
+  chain.reserve(static_cast<std::size_t>(total));
+  for (RtReq cur = succ[0]; cur != kRtNoReq; cur = succ[static_cast<std::size_t>(cur)])
+    chain.push_back(cur);
+  if (static_cast<std::int64_t>(chain.size()) != total)
+    return bad(fail("predecessor chain does not cover every request; first orphan",
+                    static_cast<RtReq>(chain.size()) + 1));
+
+  // --- 3. program order: per node, chain order == issue order --------------
+  // Request ids encode issue order per node (round-major), so it suffices
+  // that each node's ids appear ascending along the chain and that invoke
+  // stamps ascend with them (round k+1 is invoked after round k released —
+  // checked via the stamp ordering below plus the mutex walk).
+  {
+    std::vector<RtReq> last_of_node(static_cast<std::size_t>(spec.nodes), kRtNoReq);
+    for (RtReq q : chain) {
+      const auto v = static_cast<std::size_t>((q - 1) / spec.rounds);
+      if (last_of_node[v] != kRtNoReq && last_of_node[v] > q)
+        return bad(fail("node's requests out of program order on the chain", q));
+      if (last_of_node[v] != kRtNoReq &&
+          reqs[static_cast<std::size_t>(last_of_node[v])].invoke >
+              reqs[static_cast<std::size_t>(q)].invoke)
+        return bad(fail("invoke stamps out of program order", q));
+      last_of_node[v] = q;
+    }
+  }
+
+  // --- 4. mutex: no overlap, each release enables its chain successor ------
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const PerReq& cur = reqs[static_cast<std::size_t>(chain[i])];
+    if (i + 1 < chain.size()) {
+      const PerReq& nxt = reqs[static_cast<std::size_t>(chain[i + 1])];
+      if (!(cur.release < nxt.acquire))
+        return bad(fail("critical sections overlap: acquired before predecessor released",
+                        chain[i + 1]));
+    }
+    // --- 5. counter: section value == 1-based chain position ---------------
+    if (spec.app == RtApp::kCounter &&
+        cur.counter != static_cast<std::int64_t>(i) + 1)
+      return bad(fail("counter value disagrees with queue position", chain[i]));
+  }
+  return res;
+}
+
+}  // namespace arrowdq::rt

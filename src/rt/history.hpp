@@ -1,0 +1,122 @@
+// Event histories for the shared-memory runtime, and the checker that stands
+// in for goldens: runtime runs are not bit-reproducible (real-thread
+// interleavings), so correctness is judged per run from a recorded history,
+// in the style of the Elle/Maelstrom harnesses — record little, check hard.
+//
+// Recording: each worker thread appends to its own log (no sharing); every
+// event is stamped from one process-wide seq_cst counter, so stamps are a
+// real-time-consistent total order witness — if event A finished before
+// event B started on any threads, stamp(A) < stamp(B). Logs are merged and
+// sorted by stamp after the run.
+//
+// The checker (check_history) verifies, for a closed-loop run of
+// `nodes x rounds` requests:
+//   1. shape        — every request has exactly one invoke, enqueue, acquire
+//                     and release event, on the right node;
+//   2. total order  — the recorded predecessor relation (enqueue events) is
+//                     a single chain from the root's implicit request r0
+//                     covering every request exactly once;
+//   3. program order— each node's requests appear on the chain in issue
+//                     order, and per request the stamps run
+//                     invoke < enqueue < acquire < release;
+//   4. mutex        — critical sections never overlap and each release
+//                     enables exactly its chain successor: along the chain,
+//                     release(r_i) < acquire(r_{i+1}) in stamp order;
+//   5. counter      — (counter app) the value read in request r_i's critical
+//                     section is exactly i, its 1-based chain position.
+//
+// The checker is sound against the runtime's recording discipline: stamps
+// are taken inside the owning worker at the semantic point (acquire before
+// entering the section, release before forwarding the token), so a checker
+// pass means the run really was a linearizable single-token execution.
+// tests/rt_test.cpp additionally proves the checker *rejects* corrupted
+// histories (overlap, dropped release, reordered acquires, forked chains).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace arrowdq::rt {
+
+/// Runtime request id: 0 is the root's implicit pre-granted request r0;
+/// request `round` (0-based) of node v is v * rounds + round + 1. 64-bit so
+/// node x round never overflows at any size the runtime can hold in memory.
+using RtReq = std::int64_t;
+inline constexpr RtReq kRtRootReq = 0;
+inline constexpr RtReq kRtNoReq = -1;
+
+enum class EventKind : std::uint8_t {
+  kInvoke,   // node decided to request (issue side)
+  kEnqueue,  // request appended behind `aux` (= predecessor id) at the sink
+  kAcquire,  // token received; `aux` = counter value read (counter app)
+  kRelease,  // critical section left
+};
+
+struct Event {
+  std::uint64_t stamp = 0;  // global epoch-counter draw, unique per event
+  RtReq req = kRtNoReq;
+  std::int64_t aux = 0;  // kEnqueue: predecessor request; kAcquire: counter value
+  NodeId node = kNoNode;
+  EventKind kind = EventKind::kInvoke;
+};
+
+/// A merged run history, sorted by stamp.
+struct History {
+  std::vector<Event> events;
+};
+
+/// Per-thread append-only recording against one shared epoch counter. The
+/// runtime owns one recorder per worker; merge() concatenates and sorts.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(std::atomic<std::uint64_t>* epoch) : epoch_(epoch) {}
+
+  void record(EventKind kind, RtReq req, NodeId node, std::int64_t aux = 0) {
+    // seq_cst: the fetch_add totally orders stamps consistently with real
+    // time across threads — the property the checker's stamp comparisons
+    // (overlap, enables-successor) rely on.
+    const std::uint64_t stamp = epoch_->fetch_add(1, std::memory_order_seq_cst);
+    events_.push_back(Event{stamp, req, aux, node, kind});
+  }
+
+  void reserve(std::size_t n) { events_.reserve(n); }
+  std::vector<Event>& events() { return events_; }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::atomic<std::uint64_t>* epoch_;
+  std::vector<Event> events_;  // owning worker only
+};
+
+/// Merge per-worker logs into one stamp-sorted history.
+History merge_histories(std::vector<HistoryRecorder>& recorders);
+
+enum class RtApp : std::uint8_t {
+  kMutex,      // bare acquire/release
+  kCounter,    // token carries a counter; each section increments and reads it
+  kDirectory,  // token is the mobile object; travel distance is accounted
+};
+
+struct CheckSpec {
+  std::int64_t nodes = 0;
+  std::int64_t rounds = 0;  // requests per node; total = nodes * rounds
+  RtApp app = RtApp::kMutex;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;  // first violation found, empty when ok
+  std::int64_t requests = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Verify a merged history against the spec (see file comment for the five
+/// checks). Returns the first violation found.
+CheckResult check_history(const History& h, const CheckSpec& spec);
+
+}  // namespace arrowdq::rt

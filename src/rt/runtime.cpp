@@ -1,0 +1,239 @@
+#include "rt/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "rt/node.hpp"
+#include "sim/parallel/partition.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq::rt {
+namespace {
+
+double now_sec() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class Runtime {
+ public:
+  Runtime(const Tree& tree, const RtConfig& cfg)
+      : tree_(tree),
+        cfg_(cfg),
+        n_(tree.node_count()),
+        rounds_(cfg.rounds_per_node),
+        part_(ShardPartition::contiguous(n_, cfg.threads < 1 ? 1 : cfg.threads)),
+        remaining_(static_cast<std::int64_t>(n_) * rounds_) {
+    ARROWDQ_ASSERT_MSG(n_ >= 1, "runtime needs at least one node");
+    ARROWDQ_ASSERT_MSG(rounds_ >= 0, "rounds_per_node must be >= 0");
+    const auto cap = static_cast<std::size_t>(cfg.mailbox_capacity < 2 ? 2 : cfg.mailbox_capacity);
+    for (NodeId v = 0; v < n_; ++v) {
+      ArrowNode& nd = nodes_.emplace_back(cap);
+      nd.link = v == tree.root() ? v : tree.parent(v);
+    }
+    // The root starts as the sink holding the (released) implicit request r0.
+    ArrowNode& root = nodes_[static_cast<std::size_t>(tree.root())];
+    root.last_issued = kRtRootReq;
+    root.token_parked = true;
+    for (int w = 0; w < part_.shard_count(); ++w) {
+      const auto owned = static_cast<std::size_t>(part_.end(w) - part_.begin(w));
+      workers_.emplace_back(owned, &epoch_, part_.begin(w), part_.end(w));
+      if (cfg_.record_history)
+        workers_.back().recorder.reserve(4 * owned * static_cast<std::size_t>(rounds_));
+    }
+  }
+
+  RtResult run() {
+    RtResult res;
+    res.threads = part_.shard_count();
+    if (rounds_ > 0) {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(part_.shard_count()));
+      const double t0 = now_sec();
+      for (int w = 0; w < part_.shard_count(); ++w)
+        threads.emplace_back([this, w] { worker_main(w); });
+      for (std::thread& t : threads) t.join();
+      res.wall_seconds = now_sec() - t0;
+    }
+    ARROWDQ_ASSERT_MSG(remaining_.load(std::memory_order_acquire) == 0,
+                       "runtime quiesced with unreleased requests");
+    for (Worker& w : workers_) {
+      res.queue_messages += w.queue_msgs;
+      res.token_messages += w.token_msgs;
+      res.token_travel_units += w.travel;
+    }
+    res.ops = static_cast<std::int64_t>(n_) * rounds_;
+    res.ops_per_sec =
+        res.wall_seconds > 0 ? static_cast<double>(res.ops) / res.wall_seconds : 0.0;
+    if (cfg_.record_history) {
+      std::vector<HistoryRecorder> recs;
+      recs.reserve(workers_.size());
+      for (Worker& w : workers_) recs.push_back(std::move(w.recorder));
+      res.history = merge_histories(recs);
+    }
+    return res;
+  }
+
+ private:
+  struct Worker {
+    Worker(std::size_t owned, std::atomic<std::uint64_t>* epoch, NodeId begin, NodeId end)
+        : runqueue(owned + 1), recorder(epoch), begin(begin), end(end) {}
+
+    RingMailbox<NodeId> runqueue;  // one slot per owned node (scheduled-flag dedup)
+    HistoryRecorder recorder;
+    NodeId begin, end;
+    std::uint64_t queue_msgs = 0;
+    std::uint64_t token_msgs = 0;
+    std::int64_t travel = 0;
+  };
+
+  NodeId node_of(RtReq q) const { return static_cast<NodeId>((q - 1) / rounds_); }
+
+  void post(NodeId to, const Msg& m) {
+    ArrowNode& nd = nodes_[static_cast<std::size_t>(to)];
+    nd.mailbox.push(m);
+    if (!nd.scheduled.exchange(true, std::memory_order_acq_rel)) {
+      const bool ok = workers_[static_cast<std::size_t>(part_.shard_of(to))].runqueue.try_push(to);
+      ARROWDQ_ASSERT_MSG(ok, "runqueue overflow despite scheduled-flag dedup");
+    }
+  }
+
+  void send_token(NodeId from, RtReq to_req, std::int64_t payload, Worker& w) {
+    ++w.token_msgs;
+    post(node_of(to_req), Msg{to_req, payload, from, MsgKind::kToken});
+  }
+
+  /// Issue this node's next request (arrow's issue rule).
+  void issue(NodeId v, ArrowNode& nd, Worker& w) {
+    const RtReq b = static_cast<RtReq>(v) * rounds_ + nd.rounds_done + 1;
+    if (cfg_.record_history) w.recorder.record(EventKind::kInvoke, b, v);
+    const NodeId old = nd.link;
+    const RtReq prev = nd.last_issued;
+    nd.last_issued = b;
+    nd.succ_of_last = kRtNoReq;
+    nd.link = v;
+    if (old != v) {
+      // prev's successor (if any) was already resolved — a terminating queue
+      // message is the only thing that moves link off v — so the token is
+      // never parked on this path.
+      ++w.queue_msgs;
+      post(old, Msg{b, 0, v, MsgKind::kQueue});
+      return;
+    }
+    // link(v) == v: no queue message terminated here since prev was issued,
+    // so b queues locally behind prev — and prev's token must be parked
+    // (released, successor unknown until right now). Grant it to b.
+    ARROWDQ_ASSERT_MSG(prev != kRtNoReq, "sink without an id at issue");
+    ARROWDQ_ASSERT_MSG(nd.token_parked, "local enqueue without a parked token");
+    if (cfg_.record_history) w.recorder.record(EventKind::kEnqueue, b, v, prev);
+    nd.token_parked = false;
+    send_token(v, b, nd.token_payload, w);
+  }
+
+  void on_queue(NodeId u, ArrowNode& nd, const Msg& m, Worker& w) {
+    const NodeId next = nd.link;
+    nd.link = m.from;  // path reversal
+    if (next != u) {
+      ++w.queue_msgs;
+      post(next, Msg{m.req, 0, u, MsgKind::kQueue});
+      return;
+    }
+    ARROWDQ_ASSERT_MSG(nd.last_issued != kRtNoReq, "sink without an id");
+    ARROWDQ_ASSERT_MSG(nd.succ_of_last == kRtNoReq, "sink already has a successor");
+    if (cfg_.record_history) w.recorder.record(EventKind::kEnqueue, m.req, u, nd.last_issued);
+    nd.succ_of_last = m.req;
+    if (nd.token_parked) {
+      nd.token_parked = false;
+      send_token(u, m.req, nd.token_payload, w);
+    }
+  }
+
+  void on_token(NodeId v, ArrowNode& nd, const Msg& m, Worker& w) {
+    ARROWDQ_ASSERT_MSG(m.req == nd.last_issued, "token for a request this node did not issue");
+    std::int64_t payload = m.payload;
+    std::int64_t aux = 0;
+    switch (cfg_.app) {
+      case RtApp::kMutex:
+        break;
+      case RtApp::kCounter:
+        aux = ++payload;  // fetch-and-increment under the queue lock
+        break;
+      case RtApp::kDirectory:
+        w.travel += tree_.distance(m.from, v);  // the object moved here
+        break;
+    }
+    if (cfg_.record_history) w.recorder.record(EventKind::kAcquire, m.req, v, aux);
+    for (int i = 0; i < cfg_.cs_spin; ++i) cs_sink_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.record_history) w.recorder.record(EventKind::kRelease, m.req, v);
+    ++nd.rounds_done;
+    if (nd.succ_of_last != kRtNoReq) {
+      send_token(v, nd.succ_of_last, payload, w);
+    } else {
+      nd.token_parked = true;
+      nd.token_payload = payload;
+    }
+    if (nd.rounds_done < rounds_) issue(v, nd, w);
+    // Last: a zero remaining count must mean every causally earlier message
+    // was already consumed (release counted only after its token landed).
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      done_.store(true, std::memory_order_release);
+  }
+
+  void drain_node(NodeId v, Worker& w) {
+    ArrowNode& nd = nodes_[static_cast<std::size_t>(v)];
+    // Clear before draining: a sender that pushes after this store either
+    // sees false and re-enqueues the node, or its message is caught below.
+    nd.scheduled.store(false, std::memory_order_release);
+    Msg m;
+    while (nd.mailbox.try_pop(m)) {
+      if (m.kind == MsgKind::kQueue)
+        on_queue(v, nd, m, w);
+      else
+        on_token(v, nd, m, w);
+    }
+    // Re-arm if mail raced in against the empty check above.
+    if (nd.mailbox.maybe_nonempty() && !nd.scheduled.exchange(true, std::memory_order_acq_rel)) {
+      const bool ok = w.runqueue.try_push(v);
+      ARROWDQ_ASSERT_MSG(ok, "runqueue overflow on re-arm");
+    }
+  }
+
+  void worker_main(int wi) {
+    Worker& w = workers_[static_cast<std::size_t>(wi)];
+    for (NodeId v = w.begin; v < w.end; ++v)
+      issue(v, nodes_[static_cast<std::size_t>(v)], w);
+    NodeId v = kNoNode;
+    for (;;) {
+      if (w.runqueue.try_pop(v)) {
+        drain_node(v, w);
+        continue;
+      }
+      if (done_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+  }
+
+  const Tree& tree_;
+  const RtConfig cfg_;
+  const NodeId n_;
+  const std::int64_t rounds_;
+  const ShardPartition part_;
+  std::deque<ArrowNode> nodes_;  // deque: ArrowNode holds atomics, never moves
+  std::deque<Worker> workers_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::int64_t> remaining_;
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> cs_sink_{0};  // cs_spin scratch
+};
+
+}  // namespace
+
+RtResult run_runtime(const Tree& tree, const RtConfig& cfg) {
+  Runtime rt(tree, cfg);
+  return rt.run();
+}
+
+}  // namespace arrowdq::rt

@@ -1,0 +1,95 @@
+// rt::Runtime — the arrow distributed-queuing protocol on real threads.
+//
+// A third execution tier next to the serial and sharded simulators: the same
+// per-node protocol state machine (graph/tree.hpp tree, arrow/arrow.hpp
+// rules), but driven by T worker threads passing messages through per-node
+// mailboxes instead of a discrete-event queue. The sim *predicts* queuing
+// cost under a latency model; the runtime *measures* it under real
+// contention — and a recorded history (rt/history.hpp) checked after the run
+// replaces goldens, because thread interleavings are not reproducible.
+//
+// Threading model:
+//  * Node ownership is static: ShardPartition::contiguous (the sharded sim's
+//    partitioner) assigns each worker a contiguous node range; a node's
+//    state (link pointer, issued-request slots) is mutated only by its
+//    owning worker, so pointer flips never race and need no atomics.
+//  * Cross-node messages go through per-node bounded MPSC mailboxes
+//    (rt/mailbox.hpp; per-producer FIFO, required by the protocol).
+//  * Scheduling: a per-node `scheduled` flag dedupes wakeups into a
+//    per-worker MPSC runqueue of node ids — a sender that transitions the
+//    flag false->true pushes the node onto its owner's runqueue; the owner
+//    clears the flag *before* draining the mailbox and re-arms afterwards if
+//    mail arrived during the drain, so wakeups are never lost. The flag
+//    bounds the runqueue at one entry per owned node.
+//  * Lifecycle barriers: workers spin up, rendezvous on a start latch, issue
+//    round 1 for every owned node, then drain mailboxes until a global
+//    remaining-releases counter hits zero. When it does, no message is in
+//    flight (a message in flight implies an unreleased request), so workers
+//    simply exit and join — quiescence and drain coincide.
+//
+// The protocol per node (exactly arrow's rules, arrow/arrow.hpp):
+//  * issue a at v:  old = link(v); id(v) <- a; link(v) <- v;
+//                   old == v ? a queues locally behind the previous id(v)
+//                            : send queue(a) to old.
+//  * queue(a) from w at u:  next = link(u); link(u) <- w;
+//                   next != u ? forward queue(a) to next
+//                             : a queues behind id(u) at u.
+//  * Token (the app payload: mutex grant / counter / directory object)
+//    travels directly holder -> successor's node once the holder has both
+//    released and learned its successor. A node that has released with no
+//    successor known yet parks the token; issuing its own next request
+//    always resolves the parked successor (either the queue message
+//    terminated here earlier, or the new request queues locally behind it).
+//
+// Closed-loop workload: every node performs `rounds_per_node` acquire ->
+// critical section -> release cycles, issuing its next request immediately
+// after releasing the previous one (token serialization is the mutex
+// semantics; the sim's Figure 10 loop instead re-issues on queuing
+// completion — see README "Runtime tier" for how to compare the two).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/tree.hpp"
+#include "rt/history.hpp"
+#include "support/types.hpp"
+
+namespace arrowdq::rt {
+
+struct RtConfig {
+  int threads = 1;
+  std::int64_t rounds_per_node = 1;
+  RtApp app = RtApp::kMutex;
+  /// Per-node mailbox ring capacity (overflow handles bursts past it).
+  int mailbox_capacity = 64;
+  /// Record invoke/enqueue/acquire/release events for check_history. Adds a
+  /// seq_cst counter increment per event — turn off for pure throughput runs.
+  bool record_history = true;
+  /// Simulated critical-section work: relaxed-atomic spin iterations inside
+  /// each section (0 = empty section).
+  int cs_spin = 0;
+};
+
+struct RtResult {
+  std::int64_t ops = 0;                 // completed acquire/release pairs
+  std::uint64_t queue_messages = 0;     // queue() hops over tree edges
+  std::uint64_t token_messages = 0;     // direct token transfers (incl. self)
+  std::int64_t token_travel_units = 0;  // directory app: weighted tree distance
+  double wall_seconds = 0.0;
+  double ops_per_sec = 0.0;
+  int threads = 0;
+  History history;  // empty unless cfg.record_history
+
+  /// Mean queue hops per request — the number cross-validated against the
+  /// sim's avg_hops_per_request.
+  double hops_per_op() const {
+    return ops == 0 ? 0.0 : static_cast<double>(queue_messages) / static_cast<double>(ops);
+  }
+};
+
+/// Run the closed-loop arrow runtime on `tree` and return measured counters
+/// (plus the merged history when recording). Asserts on internal protocol
+/// violations; use check_history(result.history, ...) as the external oracle.
+RtResult run_runtime(const Tree& tree, const RtConfig& cfg);
+
+}  // namespace arrowdq::rt

@@ -1,0 +1,49 @@
+#include "rt/service.hpp"
+
+#include <utility>
+
+#include "exp/registry.hpp"
+#include "support/assert.hpp"
+
+namespace arrowdq::rt {
+
+Tree rt_tree_for(const Experiment& e) {
+  exp_detail::Resolved r = exp_detail::resolve(e);
+  if (r.implicit && r.tree.node_count() <= 1 && r.n > 1) return r.implicit->materialize_tree();
+  return std::move(r.tree);
+}
+
+RtCrossValidation run_rt_cross_validated(const Experiment& e, const RtConfig& cfg) {
+  ARROWDQ_ASSERT_MSG(e.protocol.kind == Protocol::kArrowClosedLoop && e.rounds > 0,
+                     "the runtime serves the arrow closed loop");
+  ARROWDQ_ASSERT_MSG(!e.fault.active(), "the runtime has no fault-injection layer");
+  RtCrossValidation out;
+
+  RtConfig rc = cfg;
+  rc.rounds_per_node = e.rounds;
+  const Tree tree = rt_tree_for(e);
+  out.rt = run_runtime(tree, rc);
+  if (rc.record_history) {
+    CheckSpec spec;
+    spec.nodes = tree.node_count();
+    spec.rounds = e.rounds;
+    spec.app = rc.app;
+    out.check = check_history(out.rt.history, spec);
+    out.rt.history.events.clear();
+    out.rt.history.events.shrink_to_fit();
+  }
+
+  // The sim side stays serial and deterministic regardless of e.shards (the
+  // sharded engine is bit-identical anyway; no reason to spin lanes here).
+  Experiment sim = e;
+  sim.shards = 1;
+  out.sim = run_experiment(sim);
+
+  out.sim_hops_per_op = out.sim.avg_hops_per_request;
+  out.rt_hops_per_op = out.rt.hops_per_op();
+  out.hops_ratio =
+      out.sim_hops_per_op > 0.0 ? out.rt_hops_per_op / out.sim_hops_per_op : 0.0;
+  return out;
+}
+
+}  // namespace arrowdq::rt

@@ -1,0 +1,43 @@
+// Bridge between the Experiment scenario vocabulary and the shared-memory
+// runtime: the same TopologySpec tree + closed-loop rounds run through both
+// rt::Runtime (measured, on real threads) and the discrete-event sim
+// (predicted, deterministic), with the recorded history checked and the
+// queue-hop costs compared.
+//
+// Interpretation of the comparison: both tiers run n nodes each issuing
+// `rounds` requests through the identical arrow pointer machine on the
+// identical tree, so queue messages chase the same moving tail; hops_ratio
+// (runtime hops per op / sim hops per op) should be O(1). It is not expected
+// to be 1.0 — the sim's closed loop re-issues on queuing completion under a
+// latency model, while the runtime's apps re-issue on token release under
+// real scheduler interleavings — so drift far outside [0.2, 5] is a red
+// flag, small drift is physics. The history checker, not the ratio, is the
+// correctness oracle (runtime runs are not bit-reproducible).
+#pragma once
+
+#include "exp/experiment.hpp"
+#include "graph/tree.hpp"
+#include "rt/history.hpp"
+#include "rt/runtime.hpp"
+
+namespace arrowdq::rt {
+
+struct RtCrossValidation {
+  RtResult rt;        // measured (history cleared after checking — it is large)
+  CheckResult check;  // engaged iff cfg.record_history; ok == true otherwise
+  RunResult sim;      // the deterministic sim prediction for the same scenario
+  double sim_hops_per_op = 0.0;
+  double rt_hops_per_op = 0.0;
+  double hops_ratio = 0.0;  // rt / sim (0 when sim predicts 0 hops)
+};
+
+/// The tree the runtime should serve for `e`'s topology (materialized or
+/// implicit tier, same canonical tree the sim uses).
+Tree rt_tree_for(const Experiment& e);
+
+/// Run `e` (must be a fault-free arrow closed loop, rounds > 0) through both
+/// tiers: rt::Runtime with `cfg` threads/app, the sim serially. When
+/// cfg.record_history, the merged history is checked and then dropped.
+RtCrossValidation run_rt_cross_validated(const Experiment& e, const RtConfig& cfg);
+
+}  // namespace arrowdq::rt

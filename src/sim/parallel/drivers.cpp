@@ -344,8 +344,10 @@ class SArrowMirror {
       }
     }
     ARROWDQ_ASSERT_MSG(sink != kNoNode, "no sink at quiescence");
-    return ShardedArrowRun{std::move(out_), std::move(link_), sink,
-                           eng_.stats().edge_messages, eng_.makespan()};
+    FaultStats fs;
+    if constexpr (Faults::kActive) fs = eng_.faults().stats();
+    return ShardedArrowRun{std::move(out_),           std::move(link_), sink,
+                           eng_.stats().edge_messages, eng_.makespan(), fs};
   }
 
   void issue(const Request& r) {

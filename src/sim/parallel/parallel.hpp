@@ -62,6 +62,7 @@ struct ShardedArrowRun {
   NodeId sink = kNoNode;
   std::uint64_t messages = 0;
   Time makespan = 0;
+  FaultStats fault_stats;  // loss/duplication counters (zero when fault-free)
 };
 
 ShardedArrowRun run_arrow_one_shot_sharded(const Tree& tree, const RequestSet& requests,

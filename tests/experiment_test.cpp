@@ -31,7 +31,9 @@
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
 #include "sim/latency.hpp"
+#include "support/random.hpp"
 #include "testutil.hpp"
+#include "workload/workloads.hpp"
 
 namespace arrowdq {
 namespace {
@@ -673,6 +675,37 @@ TEST(Experiment, WorkloadSpecsMaterializeGeneratorCalls) {
         all_same = all_same && a.by_id(id).node == c.by_id(id).node &&
                    a.by_id(id).time == c.by_id(id).time;
     EXPECT_FALSE(all_same);
+  }
+}
+
+TEST(Experiment, SkewedPoissonConcentratesOnTheHotNode) {
+  const NodeId n = 20;
+  const NodeId hot = 7;
+  // build() routes through poisson_hotspot exactly (same derived RNG stream
+  // as the uniform branch).
+  {
+    WorkloadSpec w = WorkloadSpec::poisson_skewed(300, 0.5, hot, 0.9, /*seed=*/42);
+    RequestSet got = w.build(n, 0);
+    Rng rng(mix64(42 + 0x10ad0001));
+    RequestSet want = poisson_hotspot(n, /*root=*/0, 300, 0.5, hot, 0.9, rng);
+    ASSERT_EQ(got.size(), want.size());
+    int hot_count = 0;
+    for (RequestId id = 1; id <= got.size(); ++id) {
+      EXPECT_EQ(got.by_id(id).node, want.by_id(id).node);
+      EXPECT_EQ(got.by_id(id).time, want.by_id(id).time);
+      if (got.by_id(id).node == hot) ++hot_count;
+    }
+    // At P = 0.9 the hot node must dominate: at minimum well past the ~5%
+    // a uniform draw over 20 nodes would give it (loose bound, no flakes).
+    EXPECT_GT(hot_count, static_cast<int>(got.size()) / 2);
+  }
+  // hot_probability = 0 stays on the uniform generator: no node dominates.
+  {
+    RequestSet uniform = WorkloadSpec::poisson(300, 0.5, /*seed=*/42).build(n, 0);
+    int hot_count = 0;
+    for (RequestId id = 1; id <= uniform.size(); ++id)
+      if (uniform.by_id(id).node == hot) ++hot_count;
+    EXPECT_LT(hot_count, static_cast<int>(uniform.size()) / 2);
   }
 }
 

@@ -459,6 +459,8 @@ TEST(ShardedExperiment, RegistryRoutingAndValidation) {
         << topo.family_name();
   }
   {
+    // CLI "centralized" is always closed-loop; its reply loop has no
+    // sharded mirror, so shards > 1 stays a validation error there.
     Experiment e = base;
     e.topology = TopologySpec::complete(32);
     e.protocol = ProtocolSpec::centralized(0);
@@ -471,6 +473,77 @@ TEST(ShardedExperiment, RegistryRoutingAndValidation) {
     e.fault = FaultSpec::crash(2);
     e.shards = 2;
     EXPECT_NE(validate_experiment(e), std::nullopt) << "crash schedule must be rejected";
+  }
+  {
+    Experiment e = base;
+    e.topology = TopologySpec::complete(32);
+    e.protocol = ProtocolSpec::token_passing();
+    e.shards = 2;
+    EXPECT_NE(validate_experiment(e), std::nullopt)
+        << "token passing replays an analytic order — inherently serial";
+  }
+}
+
+// Every mirror wired through Experiment::shards beyond the original
+// arrow-closed-loop path: one-shot arrow, centralized one-shot (rounds = 0),
+// and pointer forwarding in both modes and both loop shapes. Each must be
+// field-by-field identical to its serial run at K in {2, 4}.
+TEST(ShardedExperiment, NewlyWiredMirrorsMatchSerial) {
+  auto expect_match = [](Experiment e, const char* what) {
+    e = e.with_seed(23);
+    const RunResult serial = run_experiment(e);
+    for (int k : {2, 4}) {
+      Experiment sharded_e = e;
+      sharded_e.shards = k;
+      EXPECT_EQ(validate_experiment(sharded_e), std::nullopt) << what;
+      const RunResult sharded = run_experiment(sharded_e);
+      EXPECT_EQ(serial.makespan, sharded.makespan) << what << " K=" << k;
+      EXPECT_EQ(serial.total_requests, sharded.total_requests) << what << " K=" << k;
+      EXPECT_EQ(serial.messages, sharded.messages) << what << " K=" << k;
+      EXPECT_EQ(serial.total_hops, sharded.total_hops) << what << " K=" << k;
+      EXPECT_EQ(serial.avg_hops_per_request, sharded.avg_hops_per_request)
+          << what << " K=" << k;
+      EXPECT_EQ(serial.avg_round_latency_units, sharded.avg_round_latency_units)
+          << what << " K=" << k;
+      EXPECT_EQ(serial.messages_dropped, sharded.messages_dropped) << what << " K=" << k;
+    }
+  };
+
+  Experiment arrow_os;
+  arrow_os.protocol = ProtocolSpec::arrow_one_shot(kTicksPerUnit / 16);
+  arrow_os.topology = TopologySpec::random_tree(48, /*seed=*/3);
+  arrow_os.latency = LatencySpec::uniform_async(/*seed=*/7, 0.2);
+  arrow_os.workload = WorkloadSpec::poisson(40, 0.5, /*seed=*/0);
+  expect_match(arrow_os, "arrow one-shot");
+
+  Experiment arrow_faulty = arrow_os;
+  arrow_faulty.fault = FaultSpec::loss(0.1);
+  expect_match(arrow_faulty, "arrow one-shot + message loss");
+
+  Experiment central_os;
+  central_os.protocol = ProtocolSpec::centralized(0, kTicksPerUnit / 16);
+  central_os.topology = TopologySpec::complete(40);
+  central_os.latency = LatencySpec::uniform_async(/*seed=*/5, 0.2);
+  central_os.workload = WorkloadSpec::poisson(30, 0.5, /*seed=*/0);
+  expect_match(central_os, "centralized one-shot");
+
+  for (ForwardingMode mode :
+       {ForwardingMode::kCompressToRequester, ForwardingMode::kReverseToSender}) {
+    Experiment fwd_os;
+    fwd_os.protocol = ProtocolSpec::pointer_forwarding(mode, kTicksPerUnit / 16);
+    fwd_os.topology = TopologySpec::complete(40);
+    fwd_os.latency = LatencySpec::uniform_async(/*seed=*/9, 0.2);
+    fwd_os.workload = WorkloadSpec::poisson(30, 0.5, /*seed=*/0);
+    expect_match(fwd_os, mode == ForwardingMode::kCompressToRequester
+                             ? "forwarding one-shot (compress)"
+                             : "forwarding one-shot (reverse)");
+
+    Experiment fwd_loop = fwd_os;
+    fwd_loop.workload = WorkloadSpec::one_shot_all();
+    fwd_loop.rounds = 6;
+    expect_match(fwd_loop, mode == ForwardingMode::kCompressToRequester
+                               ? "forwarding closed loop (compress)"
+                               : "forwarding closed loop (reverse)");
   }
 }
 
