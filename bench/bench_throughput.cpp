@@ -798,8 +798,10 @@ int run(int argc, char** argv) {
                "    \"rounds\": %lld,\n"
                "    \"app\": \"mutex\",\n"
                "    \"hardware_concurrency\": %u,\n"
-               "    \"sim_hops_per_op\": %.4f",
-               rt_nodes, static_cast<long long>(rt_rounds), hw, rt_sim_hops);
+               "    \"sim_hops_per_op\": %.4f,\n"
+               "    \"sim_hops_zero\": %s",
+               rt_nodes, static_cast<long long>(rt_rounds), hw, rt_sim_hops,
+               rt_sim_hops > 0 ? "false" : "true");
   for (const RuntimeRow& row : rt_rows) {
     std::fprintf(f,
                  ",\n    \"t_%d\": {\"threads\": %d, \"seconds\": %.6f, \"ops_per_sec\": %.0f, "

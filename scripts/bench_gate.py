@@ -244,7 +244,15 @@ def check_bench_runtime(doc):
     if not isinstance(section, dict):
         return ["bench_runtime is not an object"]
     errors = []
-    for key in ("nodes", "rounds", "hardware_concurrency", "sim_hops_per_op"):
+    # sim_hops_zero (emitted since the flag landed; absent in older runs
+    # means false) marks a sim twin that predicted zero hops per op. The
+    # hop-ratio columns are then 0-by-convention noise, not a comparison, so
+    # the sim_hops_per_op positivity requirement is waived for such runs.
+    sim_hops_zero = section.get("sim_hops_zero") is True
+    required_positive = ["nodes", "rounds", "hardware_concurrency"]
+    if not sim_hops_zero:
+        required_positive.append("sim_hops_per_op")
+    for key in required_positive:
         value = section.get(key)
         if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
             errors.append(f"bench_runtime.{key} missing or non-positive")
@@ -281,7 +289,8 @@ def check_bench_runtime(doc):
 
 SWEEP_PROTOCOLS = {"arrow", "arrow-loop", "centralized", "forwarding", "token"}
 
-SWEEP_FAULTS = {"none", "loss", "dup", "jitter", "spike", "crash", "chaos"}
+SWEEP_FAULTS = {"none", "loss", "dup", "jitter", "spike", "crash", "partition",
+                "churn", "chaos"}
 
 # Keys a scenario row carries exactly when it injects faults ("fault" is the
 # sentinel). recovery_delta_units may be negative: it is the makespan delta
@@ -294,6 +303,23 @@ SWEEP_FAULT_KEYS = [
     ("stabilize_rounds", int, False),
     ("recovery_delta_units", (int, float), True),
 ]
+
+# Fault tokens whose rows must additionally carry the partition/churn metric
+# block (chaos schedules both axes). partition_delta_units mirrors
+# recovery_delta_units' sign freedom.
+SWEEP_PARTITION_FAULTS = {"partition", "churn", "chaos"}
+
+SWEEP_PARTITION_KEYS = [
+    ("partitions", int, False),
+    ("partition_backlog_drained", int, False),
+    ("partition_delta_units", (int, float), True),
+    ("reselections", int, False),
+]
+
+# Numeric keys of a scenario's optional "runtime" block (--rt cross-
+# validation). checker_passed and sim_hops_zero are bools, checked apart.
+SWEEP_RUNTIME_KEYS = ["threads", "ops", "ops_per_sec", "queue_messages",
+                      "rt_hops_per_op", "sim_hops_per_op", "hops_ratio"]
 
 # (key, allowed types, allow negative). Every scenario row of an
 # experiment-sweep JSON must carry all of them.
@@ -422,6 +448,43 @@ def validate_sweep(path):
                                   f"({type(value).__name__})")
                 elif not allow_negative and value < 0:
                     errors.append(f"scenario[{i}].{key} is negative ({value})")
+            if fault in SWEEP_PARTITION_FAULTS:
+                for key, types, allow_negative in SWEEP_PARTITION_KEYS:
+                    value = row.get(key)
+                    if not isinstance(value, types) or isinstance(value, bool):
+                        errors.append(f"scenario[{i}].{key} missing or wrong type "
+                                      f"({type(value).__name__})")
+                    elif not allow_negative and value < 0:
+                        errors.append(f"scenario[{i}].{key} is negative ({value})")
+            elif "partitions" in row:
+                errors.append(f"scenario[{i}] carries partition metrics but fault "
+                              f"{fault!r} schedules no partitions or churn")
+        elif "partitions" in row:
+            errors.append(f"scenario[{i}] carries partition metrics without a fault")
+        rt = row.get("runtime")
+        if rt is not None:
+            if not isinstance(rt, dict):
+                errors.append(f"scenario[{i}].runtime is not an object")
+            else:
+                bad = [k for k in SWEEP_RUNTIME_KEYS
+                       if not isinstance(rt.get(k), (int, float))
+                       or isinstance(rt.get(k), bool)]
+                if bad:
+                    errors.append(f"scenario[{i}].runtime missing numeric "
+                                  f"{'/'.join(bad)}")
+                if rt.get("checker_passed") is not True:
+                    errors.append(f"scenario[{i}].runtime.checker_passed is not true")
+                if not isinstance(rt.get("sim_hops_zero"), bool):
+                    errors.append(f"scenario[{i}].runtime.sim_hops_zero missing or "
+                                  "not a bool")
+                # sim_hops_zero marks the sim/runtime hop comparison as
+                # not-comparable (the sim twin predicted zero hops); only a
+                # comparable cell must carry a positive ratio.
+                elif not rt["sim_hops_zero"] \
+                        and isinstance(rt.get("hops_ratio"), (int, float)) \
+                        and rt.get("hops_ratio") <= 0:
+                    errors.append(f"scenario[{i}].runtime.hops_ratio is not positive "
+                                  "on a comparable cell")
         rep = row.get("replication")
         if rep is not None:
             replicated_rows += 1

@@ -116,6 +116,9 @@ struct RtRow {
   double rt_hops_per_op = 0.0;
   double sim_hops_per_op = 0.0;
   double hops_ratio = 0.0;
+  // True when the sim twin recorded zero hops per op (every request was
+  // self-absorbed), making hops_ratio 0/x noise rather than a comparison.
+  bool sim_hops_zero = false;
 };
 
 bool parse_rt_app(const std::string& s, rt::RtApp& out) {
@@ -317,7 +320,8 @@ int usage() {
                "     hypercube | geometric[:RADIUS]\n"
                "  SPEC: sync | scaled:F | uniform:MIN | exp:MEAN\n"
                "  F: none | loss:P | dup:P | jitter:P[:MAXU] | spike:P[:F] |\n"
-               "     crash:N[:DOWNU[:PERIODU]] | chaos\n"
+               "     crash:N[:DOWNU[:PERIODU]] | partition:CUTS:DOWNU[:PERIODU] |\n"
+               "     churn:RATE[:leaf|any] | chaos\n"
                "  W: oneshot | poisson:COUNT:RATE[:hot=P[@NODE]] | bursty:B:SIZE:GAP |\n"
                "     sequential:COUNT:GAP   (hot= skews fraction P of arrivals to one node)\n"
                "  A: mutex | counter | directory   (app driven by the --rt runtime pass)\n"
@@ -326,8 +330,9 @@ int usage() {
                "  rejected with exit code 2, never silently coerced\n"
                "  --replicas >= 2 folds per-cell statistics (mean/stddev/CI) into the JSON\n"
                "  --shards K runs every cell with a sharded mirror on K lanes (arrow and\n"
-               "  forwarding, both modes; bit-identical results; crash cells, token passing\n"
-               "  and closed-loop centralized stay serial)\n"
+               "  forwarding, both modes; bit-identical results; topology-fault cells\n"
+               "  (crash/partition/churn), token passing and closed-loop centralized stay\n"
+               "  serial)\n"
                "  --rt T re-runs each fault-free arrow-loop cell on the real-thread runtime\n"
                "  (T workers, 0 = all cores), checks the recorded history, and attaches a\n"
                "  \"runtime\" block with measured ops/s + sim-vs-runtime hop ratio\n"
@@ -411,6 +416,17 @@ int emit_json(const std::string& path, const Options& opt, unsigned threads,
                    static_cast<unsigned long long>(point.messages_dropped),
                    static_cast<unsigned long long>(point.messages_duplicated), point.crashes,
                    point.stabilize_rounds, point.recovery_delta_units);
+      if (e.fault.has_partition() || e.fault.has_churn()) {
+        // Partition/churn sub-block: present exactly when the cell schedules
+        // topology faults beyond crashes, so the schema can require it
+        // conditionally alongside the fault block.
+        std::fprintf(f,
+                     "     \"partitions\": %d, \"partition_backlog_drained\": %llu,\n"
+                     "     \"partition_delta_units\": %.3f, \"reselections\": %d,\n",
+                     point.partitions,
+                     static_cast<unsigned long long>(point.partition_backlog_drained),
+                     point.partition_delta_units, point.reselections);
+      }
     }
     if (i < rt_rows.size() && rt_rows[i].present) {
       // Runtime block: present exactly when --rt ran this cell (fault-free
@@ -422,10 +438,11 @@ int emit_json(const std::string& path, const Options& opt, unsigned threads,
                    "     \"runtime\": {\"threads\": %d, \"ops\": %lld, \"ops_per_sec\": %.1f,\n"
                    "      \"queue_messages\": %llu, \"checker_passed\": %s, "
                    "\"rt_hops_per_op\": %.4f,\n"
-                   "      \"sim_hops_per_op\": %.4f, \"hops_ratio\": %.4f},\n",
+                   "      \"sim_hops_per_op\": %.4f, \"hops_ratio\": %.4f, "
+                   "\"sim_hops_zero\": %s},\n",
                    rt.threads, rt.ops, rt.ops_per_sec, rt.queue_messages,
                    rt.checker_passed ? "true" : "false", rt.rt_hops_per_op, rt.sim_hops_per_op,
-                   rt.hops_ratio);
+                   rt.hops_ratio, rt.sim_hops_zero ? "true" : "false");
     }
     std::fprintf(f,
                  "     \"makespan_units\": %.3f, \"total_requests\": %lld, "
@@ -494,6 +511,13 @@ int emit_csv(const std::string& path, const std::vector<Experiment>& exps,
         row("messages_duplicated", static_cast<double>(run.messages_duplicated));
         row("crashes", static_cast<double>(run.crashes));
         row("recovery_delta_units", run.recovery_delta_units);
+        if (e.fault.has_partition() || e.fault.has_churn()) {
+          row("partitions", static_cast<double>(run.partitions));
+          row("partition_backlog_drained",
+              static_cast<double>(run.partition_backlog_drained));
+          row("partition_delta_units", run.partition_delta_units);
+          row("reselections", static_cast<double>(run.reselections));
+        }
       }
     }
   }
@@ -656,10 +680,10 @@ int main(int argc, char** argv) {
               // shardable() in exp/experiment.cpp): arrow both modes and
               // forwarding both modes shard; token passing is inherently
               // serial and CLI "centralized" is always closed-loop (no
-              // sharded mirror for its reply loop); crash schedules force
-              // serial everywhere.
+              // sharded mirror for its reply loop); topology-fault schedules
+              // (crash, partition, churn) force serial everywhere.
               const bool can_shard =
-                  !fault.has_crash() && proto.kind != Protocol::kTokenPassing &&
+                  !fault.has_topology_faults() && proto.kind != Protocol::kTokenPassing &&
                   !(proto.kind == Protocol::kCentralized && is_loop_token(proto_str));
               if (can_shard) e.shards = opt.shards;
               e = e.with_seed(++scenario_seed);
@@ -677,9 +701,10 @@ int main(int argc, char** argv) {
 
   if (opt.smoke) {
     // Dedicated fault cells: crossing faults into the whole smoke grid would
-    // triple it, so pin the machinery with four targeted cells instead —
-    // message loss and crash + recovery on the protocol with full pointer
-    // recovery (arrow) and on the closed-loop baseline with graceful
+    // blow it up, so pin the machinery with eight targeted cells instead —
+    // message loss, crash + recovery, a partition window (cut + heal + FIFO
+    // backlog drain) and churn re-selection, each on the protocol with full
+    // pointer recovery (arrow) and on the closed-loop baseline with graceful
     // degradation (forwarding-loop).
     struct SmokeFaultCell {
       const char* proto;
@@ -688,8 +713,12 @@ int main(int argc, char** argv) {
     constexpr SmokeFaultCell kFaultCells[] = {
         {"arrow", "loss:0.1"},
         {"arrow", "crash:2"},
+        {"arrow", "partition:2:4:8"},
+        {"arrow", "churn:8"},
         {"forwarding-loop", "loss:0.1"},
         {"forwarding-loop", "crash:2"},
+        {"forwarding-loop", "partition:2:4:8"},
+        {"forwarding-loop", "churn:8"},
     };
     for (const SmokeFaultCell& cell : kFaultCells) {
       ProtocolSpec proto;
@@ -804,6 +833,7 @@ int main(int argc, char** argv) {
       row.rt_hops_per_op = cv.rt_hops_per_op;
       row.sim_hops_per_op = cv.sim_hops_per_op;
       row.hops_ratio = cv.hops_ratio;
+      row.sim_hops_zero = cv.sim_hops_zero;
       if (!quiet)
         std::printf("runtime %-44s T=%d ops/s=%.0f hops rt/sim=%.2f/%.2f ratio=%.2f checker=%s\n",
                     e.label.c_str(), row.threads, row.ops_per_sec, row.rt_hops_per_op,

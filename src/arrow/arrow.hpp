@@ -59,9 +59,12 @@ class ArrowEngine {
   /// delivery through the network's fault filter; crash windows corrupt the
   /// victim's pointer state and trigger a SelfStabilizer recovery wave that
   /// re-centers the queue tail at the request root before queuing resumes.
-  /// With crashes active the outcome still completes every request, but the
-  /// pre-crash successor chain may be severed (validate() would abort), so
-  /// callers must skip full-order validation for crashy runs.
+  /// Partition windows sever a subtree (cross-cut traffic queues until the
+  /// heal, each side reconciles around its own sink) and churn events splice
+  /// departed nodes out via the same wave. With any topology fault active
+  /// the outcome still completes every request, but the pre-fault successor
+  /// chain may be severed (validate() would abort), so callers must skip
+  /// full-order validation for such runs.
   void set_fault(const FaultSpec& fault) { fault_ = fault; }
   const FaultSpec& fault() const { return fault_; }
 
@@ -87,6 +90,11 @@ class ArrowEngine {
   int stabilize_rounds() const { return stabilize_rounds_; }
   int stabilize_corrections() const { return stabilize_corrections_; }
   std::int32_t crashes_applied() const { return crashes_applied_; }
+  /// Partition windows that opened during the run (≤ the schedule length:
+  /// windows after completion never fire).
+  std::int32_t partitions_applied() const { return partitions_applied_; }
+  /// Churn re-selections performed (tree-edge splices of departed nodes).
+  std::int32_t reselections() const { return reselections_; }
 
  private:
   /// Reset per-run protocol state (pointers, ids, simulator) for `requests`.
@@ -105,6 +113,8 @@ class ArrowEngine {
   int stabilize_rounds_ = 0;
   int stabilize_corrections_ = 0;
   std::int32_t crashes_applied_ = 0;
+  std::int32_t partitions_applied_ = 0;
+  std::int32_t reselections_ = 0;
 };
 
 /// Convenience: run arrow once on (tree, requests) under the given latency

@@ -104,16 +104,30 @@ class Driver {
     if constexpr (Faults::kActive) {
       crashes_ = crash_schedule(config.fault, topo_.node_count());
       crash_rng_ = Rng(mix64(config.fault.seed ^ 0xa770c4a54ULL));
-      if (!crashes_.empty()) {
+      Faults& filt = net_.faults();
+      if (!crashes_.empty() || !filt.partitions().empty() || !filt.churns().empty()) {
         if constexpr (Topo::kMaterialized) {
           stab_.emplace(*topo_.tree, root);
+          // Remap the raw seeded draws to legal victims and install the
+          // real tree bipartition for each cut (see arrow.cpp).
+          for (std::size_t k = 0; k < filt.partitions().size(); ++k) {
+            NodeId cut = remap_partition_cut(stab_->anchored(), filt.partitions()[k].victim);
+            if (cut != kNoNode)
+              filt.set_partition_cut(k, cut, subtree_mask(stab_->anchored(), cut));
+          }
+          for (std::size_t k = 0; k < filt.churns().size(); ++k)
+            filt.set_churn_victim(
+                k, remap_churn_victim(stab_->anchored(), filt.churns()[k].victim,
+                                      config.fault.churn_leaf_only != 0));
         } else {
-          // The registry keeps crash schedules off the implicit tier
-          // (resolve() materializes the tree instead); this is the
+          // The registry keeps topology-fault schedules off the implicit
+          // tier (resolve() materializes the tree instead); this is the
           // backstop for direct callers.
-          ARROWDQ_ASSERT_MSG(false, "crash recovery requires a materialized tree");
+          ARROWDQ_ASSERT_MSG(false, "topology-fault recovery requires a materialized tree");
         }
       }
+      partitions_ = filt.partitions();
+      churns_ = filt.churns();
     }
   }
 
@@ -123,6 +137,8 @@ class Driver {
     for (NodeId v = 0; v < topo_.node_count(); ++v) sim_.at(0, IssueEvent{this, v});
     if constexpr (Faults::kActive) {
       if (!crashes_.empty()) sim_.at(crashes_[0].at, CrashEvent{this, 0});
+      if (!partitions_.empty()) sim_.at(partitions_[0].at, PartitionEvent{this, 0});
+      if (!churns_.empty()) sim_.at(churns_[0].at, ChurnEvent{this, 0});
     }
     sim_.run();
     ClosedLoopResult res;
@@ -146,6 +162,9 @@ class Driver {
       res.crashes = crashes_applied_;
       res.stabilize_rounds = stabilize_rounds_;
       res.stabilize_corrections = stabilize_corrections_;
+      res.partitions = partitions_applied_;
+      res.partition_backlog = net_.faults().stats().partition_deferred;
+      res.reselections = reselections_;
     }
     return res;
   }
@@ -159,7 +178,7 @@ class Driver {
     }
     if constexpr (Faults::kActive) {
       if (m.epoch != epoch_) {
-        absorb(m);
+        absorb(at, m);
         return;
       }
     }
@@ -225,6 +244,34 @@ class Driver {
     void operator()() const { driver->on_crash(k); }
   };
 
+  struct PartitionEvent {
+    Driver* driver;
+    std::size_t k;
+    void operator()() const { driver->on_partition(k); }
+  };
+
+  struct HealEvent {
+    Driver* driver;
+    std::size_t k;
+    void operator()() const { driver->on_heal(k); }
+  };
+
+  struct ChurnEvent {
+    Driver* driver;
+    std::size_t k;
+    void operator()() const { driver->on_churn(k); }
+  };
+
+  /// A stale queue message whose side has no sink during a partition
+  /// window: park it until the window closes, then re-enter receive(). May
+  /// exceed the simulator's inline slot — boxing is fine off the hot path.
+  struct ParkedEvent {
+    Driver* driver;
+    NodeId at;
+    LoopMsg msg;
+    void operator()() const { driver->receive(at, at, msg); }
+  };
+
   Time notify_latency(NodeId from, NodeId to) const {
     if (config_.notify_latency) return config_.notify_latency(from, to);
     return kTicksPerUnit;  // complete graph, unit pairwise latency
@@ -250,9 +297,30 @@ class Driver {
 
   /// A pre-crash queue message: the pointer path it was chasing is gone, so
   /// the live sink queues the request behind its tail and answers the
-  /// requester directly — the round completes, just via recovery.
-  void absorb(const LoopMsg& m) {
-    NodeId sink = current_sink();
+  /// requester directly — the round completes, just via recovery. During a
+  /// partition window the sink scan is restricted to the receiver's side of
+  /// the cut; a sinkless side parks the message until the heal instant.
+  void absorb(NodeId at, const LoopMsg& m) {
+    NodeId sink = kNoNode;
+    const std::size_t w = net_.faults().active_partition(sim_.now());
+    if (w != Faults::kNoWindow) {
+      const auto& side = net_.faults().partition_side(w);
+      if (!side.empty()) {
+        const std::uint8_t tag = side[static_cast<std::size_t>(at)];
+        for (NodeId v = 0; v < static_cast<NodeId>(link_.size()); ++v) {
+          auto vi = static_cast<std::size_t>(v);
+          if (side[vi] == tag && link_[vi] == v) {
+            sink = v;
+            break;
+          }
+        }
+        if (sink == kNoNode) {
+          sim_.at(partitions_[w].up_at, ParkedEvent{this, at, m});
+          return;
+        }
+      }
+    }
+    if (sink == kNoNode) sink = current_sink();
     auto si = static_cast<std::size_t>(sink);
     ARROWDQ_ASSERT_MSG(last_req_[si] != kNoRequest, "absorbing sink without a tail");
     last_req_[si] = m.req;
@@ -264,12 +332,56 @@ class Driver {
     }
   }
 
+  bool rounds_remaining() const {
+    return latency_count_ < static_cast<std::int64_t>(topo_.node_count()) *
+                                config_.requests_per_node;
+  }
+
   void on_crash(std::size_t k) {
-    const std::int64_t total =
-        static_cast<std::int64_t>(topo_.node_count()) * config_.requests_per_node;
-    if (latency_count_ < total) {
+    if (rounds_remaining()) {
       corrupt_and_recover(crashes_[k].victim);
       if (k + 1 < crashes_.size()) sim_.at(crashes_[k + 1].at, CrashEvent{this, k + 1});
+    }
+  }
+
+  /// Snapshot the pre-wave sink landscape (smallest live sink + whether the
+  /// anchor already is one).
+  void snapshot_sinks(NodeId& first_sink, bool& anchor_was_sink) const {
+    const NodeId anchor = topo_.root();
+    first_sink = kNoNode;
+    anchor_was_sink = false;
+    for (NodeId v = 0; v < static_cast<NodeId>(link_.size()); ++v) {
+      if (link_[static_cast<std::size_t>(v)] == v) {
+        if (first_sink == kNoNode) first_sink = v;
+        if (v == anchor) anchor_was_sink = true;
+      }
+    }
+  }
+
+  /// The shared global recovery wave (crash, churn splice, partition heal):
+  /// see arrow.cpp's one-shot driver for the invariant argument.
+  void recover_global([[maybe_unused]] NodeId first_sink,
+                      [[maybe_unused]] bool anchor_was_sink) {
+    if constexpr (!Topo::kMaterialized) {
+      ARROWDQ_ASSERT_MSG(false, "topology-fault recovery requires a materialized tree");
+    } else {
+      const NodeId n = topo_.node_count();
+      const NodeId anchor = topo_.root();
+      ARROWDQ_ASSERT_MSG(first_sink != kNoNode, "recovery wave with no live sink");
+      RequestId adopted = last_req_[static_cast<std::size_t>(first_sink)];
+
+      ++epoch_;
+
+      auto h = stab_->estimate_hops(link_);
+      StabilizeResult res = stab_->stabilize(link_, h, 4 * n + 8);
+      ARROWDQ_ASSERT_MSG(res.converged, "self-stabilization did not converge");
+      stabilize_rounds_ += res.rounds;
+      stabilize_corrections_ += res.corrections;
+
+      if (!anchor_was_sink) {
+        ARROWDQ_ASSERT_MSG(adopted != kNoRequest, "pre-wave sink without a tail");
+        last_req_[static_cast<std::size_t>(anchor)] = adopted;
+      }
     }
   }
 
@@ -279,18 +391,11 @@ class Driver {
     } else {
       const NodeId n = topo_.node_count();
       const NodeId anchor = topo_.root();
-      // Snapshot pending tails before corrupting anything (see arrow.cpp's
-      // one-shot driver for the invariant argument).
+      // Snapshot pending tails before corrupting anything.
       NodeId first_sink = kNoNode;
       bool anchor_was_sink = false;
-      for (NodeId v = 0; v < n; ++v) {
-        if (link_[static_cast<std::size_t>(v)] == v) {
-          if (first_sink == kNoNode) first_sink = v;
-          if (v == anchor) anchor_was_sink = true;
-        }
-      }
+      snapshot_sinks(first_sink, anchor_was_sink);
       ARROWDQ_ASSERT_MSG(first_sink != kNoNode, "crash with no live sink");
-      RequestId adopted = last_req_[static_cast<std::size_t>(first_sink)];
 
       auto wi = static_cast<std::size_t>(victim);
       switch (crash_rng_.next_below(3)) {
@@ -301,19 +406,89 @@ class Driver {
         default: link_[wi] = victim == anchor ? victim : topo_.parent(victim); break;
       }
 
-      ++epoch_;
-
-      auto h = stab_->estimate_hops(link_);
-      StabilizeResult res = stab_->stabilize(link_, h, 4 * n + 8);
-      ARROWDQ_ASSERT_MSG(res.converged, "self-stabilization did not converge");
-      stabilize_rounds_ += res.rounds;
-      stabilize_corrections_ += res.corrections;
+      recover_global(first_sink, anchor_was_sink);
       ++crashes_applied_;
+    }
+  }
 
-      if (!anchor_was_sink) {
-        ARROWDQ_ASSERT_MSG(adopted != kNoRequest, "pre-crash sink without a tail");
-        last_req_[static_cast<std::size_t>(anchor)] = adopted;
+  /// Partition onset: one epoch bump, then each side holding a pre-onset
+  /// sink reconciles toward its side anchor and adopts the side's smallest
+  /// pre-onset tail (mirrors arrow.cpp's one-shot driver).
+  void on_partition([[maybe_unused]] std::size_t k) {
+    if constexpr (!Topo::kMaterialized) {
+      ARROWDQ_ASSERT_MSG(false, "topology-fault recovery requires a materialized tree");
+    } else {
+      if (!rounds_remaining()) return;
+      const NodeId n = topo_.node_count();
+      const NodeId cut = partitions_[k].victim;
+      const auto& side = net_.faults().partition_side(k);
+      ++partitions_applied_;
+      if (side.empty() || cut == kNoNode) {
+        sim_.at(partitions_[k].up_at, HealEvent{this, k});
+        return;
       }
+      NodeId first_sink[2] = {kNoNode, kNoNode};
+      bool anchor_sink[2] = {false, false};
+      const NodeId side_anchor[2] = {topo_.root(), cut};
+      for (NodeId v = 0; v < n; ++v) {
+        auto vi = static_cast<std::size_t>(v);
+        if (link_[vi] != v) continue;
+        const std::uint8_t s = side[vi];
+        if (first_sink[s] == kNoNode) first_sink[s] = v;
+        if (v == side_anchor[s]) anchor_sink[s] = true;
+      }
+
+      ++epoch_;
+      auto h = stab_->estimate_hops(link_);
+      for (int s = 0; s < 2; ++s) {
+        if (first_sink[s] == kNoNode) continue;  // frozen side
+        RequestId adopted = last_req_[static_cast<std::size_t>(first_sink[s])];
+        StabilizeResult res = stab_->stabilize_side(link_, h, 4 * n + 8, side,
+                                                    static_cast<std::uint8_t>(s),
+                                                    side_anchor[s]);
+        ARROWDQ_ASSERT_MSG(res.converged, "side stabilization did not converge");
+        stabilize_rounds_ += res.rounds;
+        stabilize_corrections_ += res.corrections;
+        if (!anchor_sink[s]) {
+          ARROWDQ_ASSERT_MSG(adopted != kNoRequest, "pre-onset sink without a tail");
+          last_req_[static_cast<std::size_t>(side_anchor[s])] = adopted;
+        }
+      }
+      sim_.at(partitions_[k].up_at, HealEvent{this, k});
+    }
+  }
+
+  /// Partition heal: merge the two pointer regimes with the shared global
+  /// wave; the filter's queued cross-cut backlog drains at this instant.
+  /// The merge runs even when the round budget is spent — quiescence must
+  /// leave a unique sink — but a finished run schedules no further windows.
+  void on_heal(std::size_t k) {
+    NodeId first_sink = kNoNode;
+    bool anchor_was_sink = false;
+    snapshot_sinks(first_sink, anchor_was_sink);
+    recover_global(first_sink, anchor_was_sink);
+    if (rounds_remaining() && k + 1 < partitions_.size())
+      sim_.at(partitions_[k + 1].at, PartitionEvent{this, k + 1});
+  }
+
+  /// Churn: splice the departed victim toward the root and re-center the
+  /// queue with the shared global wave; the filter's node-down window
+  /// covers its absence until rejoin.
+  void on_churn([[maybe_unused]] std::size_t k) {
+    if constexpr (!Topo::kMaterialized) {
+      ARROWDQ_ASSERT_MSG(false, "topology-fault recovery requires a materialized tree");
+    } else {
+      if (!rounds_remaining()) return;
+      const NodeId victim = churns_[k].victim;
+      if (victim != kNoNode && victim != topo_.root()) {
+        NodeId first_sink = kNoNode;
+        bool anchor_was_sink = false;
+        snapshot_sinks(first_sink, anchor_was_sink);
+        link_[static_cast<std::size_t>(victim)] = stab_->anchored().parent(victim);
+        recover_global(first_sink, anchor_was_sink);
+        ++reselections_;
+      }
+      if (k + 1 < churns_.size()) sim_.at(churns_[k + 1].at, ChurnEvent{this, k + 1});
     }
   }
 
@@ -334,11 +509,15 @@ class Driver {
   RequestId next_id_ = kRootRequest;
   std::int32_t epoch_ = 0;
   std::vector<CrashEventSpec> crashes_;
+  std::vector<CrashEventSpec> partitions_;
+  std::vector<CrashEventSpec> churns_;
   Rng crash_rng_{0};
   std::optional<SelfStabilizer> stab_;
   int stabilize_rounds_ = 0;
   int stabilize_corrections_ = 0;
   std::int32_t crashes_applied_ = 0;
+  std::int32_t partitions_applied_ = 0;
+  std::int32_t reselections_ = 0;
 };
 
 /// Typed handler for the statically dispatched path: one pointer, direct
@@ -374,8 +553,8 @@ ClosedLoopResult run_arrow_closed_loop_implicit(const ImplicitTopology& topo,
   ARROWDQ_ASSERT_MSG(config.requests_per_node >= 0, "requests_per_node must be >= 0");
   ARROWDQ_ASSERT_MSG(config.requests_per_node <= std::numeric_limits<std::int32_t>::max(),
                      "implicit tier keeps 32-bit round counters");
-  ARROWDQ_ASSERT_MSG(!config.fault.has_crash(),
-                     "crash recovery requires a materialized tree");
+  ARROWDQ_ASSERT_MSG(!config.fault.has_topology_faults(),
+                     "topology-fault recovery requires a materialized tree");
   return with_static_latency(latency, [&](auto lat) {
     return with_fault_filter(config.fault, topo.n, [&](auto filt) {
       using L = decltype(lat);

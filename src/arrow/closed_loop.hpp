@@ -36,9 +36,12 @@ struct ClosedLoopConfig {
   std::function<Time(NodeId, NodeId)> notify_latency;
   /// Fault schedule (default: none). Crash windows corrupt the victim's
   /// pointer state and run a SelfStabilizer recovery wave; stale queue
-  /// messages are absorbed at the live sink and answered from there. Note
-  /// a crash window scheduled past the last round completion still extends
-  /// the makespan by its (empty) trailing event.
+  /// messages are absorbed at the live sink and answered from there.
+  /// Partition windows sever a subtree (cross-cut queue and notify traffic
+  /// defers to the heal instant and drains FIFO) and churn events splice a
+  /// departed node toward the root via the same wave. Note a fault window
+  /// scheduled past the last round completion still extends the makespan by
+  /// its (empty) trailing event.
   FaultSpec fault;
 };
 
@@ -55,6 +58,9 @@ struct ClosedLoopResult {
   std::int32_t crashes = 0;
   int stabilize_rounds = 0;
   int stabilize_corrections = 0;
+  std::int32_t partitions = 0;             // partition windows that opened
+  std::uint64_t partition_backlog = 0;     // cross-cut messages queued, drained at heal
+  std::int32_t reselections = 0;           // churn tree-edge splices applied
 };
 
 /// Run the closed-loop workload with the arrow protocol on spanning tree T.
@@ -78,9 +84,10 @@ ClosedLoopResult run_arrow_closed_loop_dynamic(const Tree& tree, LatencyModel& l
 /// small constant per node and Figure-10-style runs reach n = 10^6-10^7.
 /// Tick-identical to run_arrow_closed_loop on the materialized equivalent
 /// of `topo` by construction (one driver implementation; pinned by
-/// tests/scale_test.cpp). Crash schedules are not supported here — the
-/// recovery wave needs a real Tree — and are rejected by assertion;
-/// message-level faults (loss, duplication, jitter, spikes) work normally.
+/// tests/scale_test.cpp). Topology faults (crash, partition, churn) are not
+/// supported here — the recovery waves need a real Tree — and are rejected
+/// by assertion; message-level faults (loss, duplication, jitter, spikes)
+/// work normally.
 ClosedLoopResult run_arrow_closed_loop_implicit(const ImplicitTopology& topo,
                                                 LatencyModel& latency,
                                                 const ClosedLoopConfig& config);

@@ -63,6 +63,102 @@ StabilizeResult SelfStabilizer::stabilize(std::vector<NodeId>& links, std::vecto
   return res;
 }
 
+int SelfStabilizer::round_side(std::vector<NodeId>& links, std::vector<NodeId>& h,
+                               const std::vector<std::uint8_t>& side, std::uint8_t tag,
+                               NodeId side_anchor) const {
+  auto n = tree_.node_count();
+  ARROWDQ_ASSERT(static_cast<NodeId>(links.size()) == n);
+  ARROWDQ_ASSERT(static_cast<NodeId>(h.size()) == n);
+  ARROWDQ_ASSERT(static_cast<NodeId>(side.size()) == n);
+  ARROWDQ_ASSERT(side_anchor >= 0 && side_anchor < n &&
+                 side[static_cast<std::size_t>(side_anchor)] == tag);
+  const NodeId base_depth = anchored_.depth(side_anchor);
+  const std::vector<NodeId> links_prev = links;
+  const std::vector<NodeId> h_prev = h;
+  int corrections = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    auto vi = static_cast<std::size_t>(v);
+    if (side[vi] != tag) continue;
+    NodeId l = links_prev[vi];
+    bool ok;
+    if (l == v) {
+      ok = v == side_anchor && h_prev[vi] == 0;
+    } else if (l < 0 || l >= n || side[static_cast<std::size_t>(l)] != tag) {
+      // A pointer leaving the side cannot be followed while the cut is up.
+      ok = false;
+    } else {
+      auto nb = tree_.neighbors(v);
+      bool neighbour = std::find(nb.begin(), nb.end(), l) != nb.end();
+      ok = neighbour && h_prev[vi] == h_prev[static_cast<std::size_t>(l)] + 1;
+      if (ok && links_prev[static_cast<std::size_t>(l)] == v) ok = false;  // 2-cycle
+    }
+    if (!ok) {
+      // The anchored parent of every in-side node except the side anchor is
+      // itself in-side (the side is a connected piece of the anchored tree),
+      // so resets never point across the cut.
+      links[vi] = v == side_anchor ? v : anchored_.parent(v);
+      h[vi] = anchored_.depth(v) - base_depth;
+      ++corrections;
+    }
+  }
+  return corrections;
+}
+
+StabilizeResult SelfStabilizer::stabilize_side(std::vector<NodeId>& links,
+                                               std::vector<NodeId>& h, int max_rounds,
+                                               const std::vector<std::uint8_t>& side,
+                                               std::uint8_t tag, NodeId side_anchor) const {
+  StabilizeResult res;
+  for (int r = 0; r < max_rounds; ++r) {
+    int c = round_side(links, h, side, tag, side_anchor);
+    ++res.rounds;
+    res.corrections += c;
+    if (c == 0) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+std::vector<std::uint8_t> subtree_mask(const Tree& anchored, NodeId cut) {
+  auto n = anchored.node_count();
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(n), 0);
+  if (cut < 0 || cut >= n) return mask;
+  std::vector<NodeId> stack{cut};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    mask[static_cast<std::size_t>(v)] = 1;
+    for (NodeId c : anchored.children(v)) stack.push_back(c);
+  }
+  return mask;
+}
+
+NodeId remap_partition_cut(const Tree& anchored, NodeId victim) {
+  auto n = anchored.node_count();
+  if (n <= 1) return kNoNode;
+  if (victim < 0 || victim >= n) victim = 0;
+  if (victim != anchored.root()) return victim;
+  auto kids = anchored.children(victim);
+  NodeId best = kids.front();
+  for (NodeId c : kids) best = std::min(best, c);
+  return best;
+}
+
+NodeId remap_churn_victim(const Tree& anchored, NodeId victim, bool leaf_only) {
+  auto n = anchored.node_count();
+  if (n <= 1) return kNoNode;
+  if (victim < 0 || victim >= n) victim = 0;
+  for (NodeId step = 0; step < n; ++step) {
+    NodeId v = static_cast<NodeId>((victim + step) % n);
+    if (v == anchored.root()) continue;
+    if (leaf_only && !anchored.children(v).empty()) continue;
+    return v;
+  }
+  return kNoNode;
+}
+
 std::vector<NodeId> SelfStabilizer::estimate_hops(const std::vector<NodeId>& links) const {
   auto n = tree_.node_count();
   std::vector<NodeId> h(static_cast<std::size_t>(n), n);

@@ -19,6 +19,7 @@
 // correctly for all requests issued after stabilization.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/tree.hpp"
@@ -45,14 +46,50 @@ class SelfStabilizer {
   StabilizeResult stabilize(std::vector<NodeId>& links, std::vector<NodeId>& h,
                             int max_rounds) const;
 
+  /// Partition-aware variant: stabilize only the nodes whose `side[v]` equals
+  /// `tag`, converging them toward `side_anchor` (which must lie in the side
+  /// and be, within the side, an ancestor-most node of the anchored tree —
+  /// i.e. the cut root for the isolated subtree, or the global anchor for the
+  /// remainder). Nodes outside the side are never read from or written to:
+  /// a pointer leaving the side is illegal and resets to the anchored parent,
+  /// which for every in-side node except `side_anchor` is itself in-side.
+  StabilizeResult stabilize_side(std::vector<NodeId>& links, std::vector<NodeId>& h,
+                                 int max_rounds, const std::vector<std::uint8_t>& side,
+                                 std::uint8_t tag, NodeId side_anchor) const;
+
   /// Convenience: derive initial hop estimates by following each pointer
   /// chain for at most n steps (unreachable/cyclic chains get n).
   std::vector<NodeId> estimate_hops(const std::vector<NodeId>& links) const;
 
+  /// The tree re-rooted at the anchor (reset directions / depths).
+  const Tree& anchored() const { return anchored_; }
+
  private:
+  int round_side(std::vector<NodeId>& links, std::vector<NodeId>& h,
+                 const std::vector<std::uint8_t>& side, std::uint8_t tag,
+                 NodeId side_anchor) const;
+
   const Tree& tree_;
   Tree anchored_;  // tree re-rooted at the anchor (parent = direction to reset to)
   NodeId anchor_;
 };
+
+/// Membership mask of the subtree hanging below `cut` in `anchored` (the
+/// anchor-rooted tree): mask[v] == 1 iff v is cut or a descendant of cut.
+/// Severing the edge (cut, parent(cut)) bipartitions the tree into exactly
+/// the mask-1 and mask-0 sides.
+std::vector<std::uint8_t> subtree_mask(const Tree& anchored, NodeId cut);
+
+/// Deterministically remap a raw seeded partition victim to a legal cut
+/// root: the anchor (root of `anchored`) has no parent edge to sever, so it
+/// is replaced by its smallest child. Returns kNoNode when the tree has a
+/// single node (no edge can be cut).
+NodeId remap_partition_cut(const Tree& anchored, NodeId victim);
+
+/// Deterministically remap a raw seeded churn victim to a legal departure:
+/// never the anchor, and a leaf of the anchored tree when `leaf_only` is
+/// set. Scans forward (wrapping) from the raw draw for the first eligible
+/// node; returns kNoNode when none exists.
+NodeId remap_churn_victim(const Tree& anchored, NodeId victim, bool leaf_only);
 
 }  // namespace arrowdq

@@ -277,6 +277,7 @@ CentralizedLoopResult run_centralized_closed_loop_impl(NodeId node_count,
     res.messages_dropped = fs.messages_dropped;
     res.messages_duplicated = fs.messages_duplicated;
     res.crashes = driver.core.crash_count();
+    res.partition_backlog = fs.partition_deferred;
     return res;
   });
 }

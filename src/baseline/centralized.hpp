@@ -62,6 +62,7 @@ struct CentralizedLoopResult {
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;
   std::int32_t crashes = 0;
+  std::uint64_t partition_backlog = 0;  // sends the filter queued at a cut
 };
 
 /// Closed-loop driver matching run_arrow_closed_loop: every node performs

@@ -319,6 +319,7 @@ ForwardingLoopResult run_pointer_forwarding_closed_loop_impl(
       res.messages_dropped = driver.net.faults().stats().messages_dropped;
       res.messages_duplicated = driver.net.faults().stats().messages_duplicated;
       res.crashes = static_cast<std::int32_t>(driver.net.faults().crashes().size());
+      res.partition_backlog = driver.net.faults().stats().partition_deferred;
     }
     return res;
   });

@@ -404,9 +404,11 @@ int env_shards() {
 
 /// Whether a sharded mirror exists for this scenario. Token passing replays
 /// an analytic total order (inherently serial), the centralized closed loop
-/// has no mirror, and crash schedules cannot run inside safe windows.
+/// has no mirror, and topology-fault schedules (crash, partition, churn)
+/// cannot run inside safe windows — their recovery waves are global pointer
+/// rewrites.
 bool shardable(const Experiment& e) {
-  if (e.fault.has_crash()) return false;
+  if (e.fault.has_topology_faults()) return false;
   switch (e.protocol.kind) {
     case Protocol::kArrowOneShot:
     case Protocol::kArrowClosedLoop:
@@ -463,12 +465,13 @@ RunResult run_protocol<Protocol::kArrowOneShot>(const Experiment& e, Resolved& r
   engine.set_service_time(e.protocol.service_time);
   engine.set_fault(e.fault);
   QueuingOutcome out = engine.run(r.requests);
-  // A crash severs the pre-crash successor chain (the recovery wave adopts
-  // one tail and absorbs the rest), so the full-order walk of validate()
-  // cannot apply; every request still completes exactly once (asserted by
-  // QueuingOutcome::record / is_complete). Message-only faults are pure
-  // delay and keep the order total.
-  if (!e.fault.has_crash()) out.validate(r.requests);
+  // A topology fault (crash, partition, churn) severs the pre-fault
+  // successor chain (the recovery wave adopts one tail and absorbs the
+  // rest), so the full-order walk of validate() cannot apply; every request
+  // still completes exactly once (asserted by QueuingOutcome::record /
+  // is_complete). Message-only faults are pure delay and keep the order
+  // total.
+  if (!e.fault.has_topology_faults()) out.validate(r.requests);
   RunResult res;
   res.protocol = e.protocol.kind;
   res.messages = engine.messages_sent();
@@ -477,6 +480,9 @@ RunResult run_protocol<Protocol::kArrowOneShot>(const Experiment& e, Resolved& r
   res.crashes = engine.crashes_applied();
   res.stabilize_rounds = engine.stabilize_rounds();
   res.stabilize_corrections = engine.stabilize_corrections();
+  res.partitions = engine.partitions_applied();
+  res.partition_backlog_drained = engine.fault_stats().partition_deferred;
+  res.reselections = engine.reselections();
   fill_one_shot(res, e, r.requests, std::move(out));
   return res;
 }
@@ -519,6 +525,9 @@ RunResult run_protocol<Protocol::kArrowClosedLoop>(const Experiment& e, Resolved
   res.crashes = loop.crashes;
   res.stabilize_rounds = loop.stabilize_rounds;
   res.stabilize_corrections = loop.stabilize_corrections;
+  res.partitions = loop.partitions;
+  res.partition_backlog_drained = loop.partition_backlog;
+  res.reselections = loop.reselections;
   return res;
 }
 
@@ -532,6 +541,7 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
   RunResult res;
   res.protocol = e.protocol.kind;
   res.crashes = e.fault.has_crash() ? e.fault.crash_count : 0;
+  res.partitions = e.fault.has_partition() ? e.fault.partition_count : 0;
   if (e.rounds > 0) {
     CentralizedLoopResult loop = with_resolved_dist(r, [&](auto dist) {
       return run_centralized_closed_loop(n, e.rounds, dist, cfg);
@@ -547,6 +557,7 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
     res.avg_round_latency_units = loop.avg_round_latency_units;
     res.messages_dropped = loop.messages_dropped;
     res.messages_duplicated = loop.messages_duplicated;
+    res.partition_backlog_drained = loop.partition_backlog;
     return res;
   }
   FaultStats fs;
@@ -564,6 +575,7 @@ RunResult run_protocol<Protocol::kCentralized>(const Experiment& e, Resolved& r)
   res.messages = static_cast<std::uint64_t>(out.total_hops());
   res.messages_dropped = fs.messages_dropped;
   res.messages_duplicated = fs.messages_duplicated;
+  res.partition_backlog_drained = fs.partition_deferred;
   fill_one_shot(res, e, r.requests, std::move(out));
   return res;
 }
@@ -579,6 +591,7 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
   RunResult res;
   res.protocol = e.protocol.kind;
   res.crashes = e.fault.has_crash() ? e.fault.crash_count : 0;
+  res.partitions = e.fault.has_partition() ? e.fault.partition_count : 0;
   const int shards = effective_shards(e);
   if (e.rounds > 0) {
     ForwardingLoopResult loop = with_resolved_dist(r, [&](auto dist) {
@@ -598,6 +611,7 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
     res.avg_round_latency_units = loop.avg_round_latency_units;
     res.messages_dropped = loop.messages_dropped;
     res.messages_duplicated = loop.messages_duplicated;
+    res.partition_backlog_drained = loop.partition_backlog;
     return res;
   }
   FaultStats fs;
@@ -614,6 +628,7 @@ RunResult run_protocol<Protocol::kPointerForwarding>(const Experiment& e, Resolv
   res.messages = static_cast<std::uint64_t>(out.total_hops());
   res.messages_dropped = fs.messages_dropped;
   res.messages_duplicated = fs.messages_duplicated;
+  res.partition_backlog_drained = fs.partition_deferred;
   fill_one_shot(res, e, r.requests, std::move(out));
   return res;
 }
@@ -677,12 +692,12 @@ Resolved resolve(const Experiment& e) {
     r.implicit->root = t.root;
     r.implicit->balanced_binary = (t.tree_kind == TopologySpec::TreeKind::kBalancedBinary);
     const Protocol p = e.protocol.kind;
-    // ArrowEngine / token passing / the crash-recovery wave hold a real
-    // Tree; O(n) from the closed-form parents, still no graph or APSP.
+    // ArrowEngine / token passing / the topology-fault recovery waves hold
+    // a real Tree; O(n) from the closed-form parents, still no graph/APSP.
     const bool needs_tree = p == Protocol::kArrowOneShot || p == Protocol::kTokenPassing ||
-                            (p == Protocol::kArrowClosedLoop && e.fault.has_crash());
+                            (p == Protocol::kArrowClosedLoop && e.fault.has_topology_faults());
     if (needs_tree) r.tree = r.implicit->materialize_tree();
-    r.implicit_loop = (p == Protocol::kArrowClosedLoop && !e.fault.has_crash());
+    r.implicit_loop = (p == Protocol::kArrowClosedLoop && !e.fault.has_topology_faults());
   }
   r.rows = t.rows;
   r.cols = t.cols;
@@ -789,6 +804,14 @@ std::optional<std::string> validate_experiment(const Experiment& e) {
       return std::string(
           "shards > 1 cannot run a crash schedule (the recovery wave is a global "
           "pointer rewrite that cannot execute inside a safe window)");
+    if (e.fault.has_partition())
+      return std::string(
+          "shards > 1 cannot run a partition schedule (per-side reconciliation and "
+          "the heal merge are global pointer rewrites)");
+    if (e.fault.has_churn())
+      return std::string(
+          "shards > 1 cannot run a churn schedule (tree re-selection is a global "
+          "pointer rewrite)");
   }
   return std::nullopt;
 }
@@ -837,6 +860,10 @@ RunResult run_experiment(const Experiment& e) {
     RunResult base = run_experiment(twin);
     res.recovery_delta_units = static_cast<double>(res.makespan - base.makespan) /
                                static_cast<double>(kTicksPerUnit);
+    // The topology-fault flavour: only meaningful (and only emitted in JSON)
+    // when a partition or churn schedule shaped the run.
+    if (e.fault.has_partition() || e.fault.has_churn())
+      res.partition_delta_units = res.recovery_delta_units;
   }
   return res;
 }

@@ -353,12 +353,22 @@ struct RunResult {
   //    in latency units; run_experiment fills it only when a fault schedule
   //    is active. Usually positive, but message faults can also reshuffle a
   //    schedule into a faster interleaving.
+  //  * partitions — partition windows that opened before completion;
+  //    partition_backlog_drained — cross-cut messages the filter queued at
+  //    a cut and drained FIFO at a heal instant; partition_delta_units —
+  //    makespan minus the fault-free twin's makespan, filled only when a
+  //    partition or churn schedule is active (the topology-fault flavour of
+  //    recovery_delta_units); reselections — churn tree-edge splices.
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_duplicated = 0;
   std::int32_t crashes = 0;
   int stabilize_rounds = 0;
   int stabilize_corrections = 0;
   double recovery_delta_units = 0.0;
+  std::int32_t partitions = 0;
+  std::uint64_t partition_backlog_drained = 0;
+  double partition_delta_units = 0.0;
+  std::int32_t reselections = 0;
   /// Process-wide peak resident set size (bytes) sampled when the driver
   /// returned, via getrusage. Monotone over the process lifetime, so within
   /// one process only the first / largest run's value is a faithful ceiling
@@ -386,10 +396,13 @@ struct Experiment {
   LatencySpec latency;    // arrow/token protocols; baselines use dG oracles
   /// Fault schedule — a first-class scenario axis (default: none, which
   /// compiles the fault branch out of the send path). Arrow protocols model
-  /// full crash recovery (pointer corruption + SelfStabilizer wave);
-  /// baselines degrade gracefully (delay + deferral only); kTokenPassing
-  /// strips crashes (its token replays an analytic order that cannot
-  /// express a forked post-crash queue) but keeps message faults.
+  /// full crash recovery (pointer corruption + SelfStabilizer wave),
+  /// partition windows (per-side reconciliation, FIFO backlog drain and a
+  /// merge wave at heal), and churn (deterministic tree re-selection);
+  /// baselines degrade gracefully (delay + deferral only; a partition
+  /// isolates the cut node for the window); kTokenPassing strips all
+  /// topology faults (its token replays an analytic order that cannot
+  /// express a forked queue) but keeps message faults.
   FaultSpec fault;
   /// Closed-loop rounds per node. Drives kArrowClosedLoop (must be > 0) and
   /// switches kCentralized and kPointerForwarding between their closed-loop
@@ -409,9 +422,9 @@ struct Experiment {
   /// one-shot arrow, one-shot centralized, and pointer forwarding in both
   /// modes. Setting > 1 explicitly on the rest is validated: token passing
   /// (the token replay is inherently serial), the centralized closed loop
-  /// (no mirror), and crash schedules (the recovery wave is a global
-  /// pointer rewrite) are validate_experiment errors rather than silent
-  /// fallbacks.
+  /// (no mirror), and topology-fault schedules — crash, partition, churn
+  /// (their recovery waves are global pointer rewrites) — are
+  /// validate_experiment errors rather than silent fallbacks.
   int shards = 0;
 
   /// "protocol topology-n latency" summary used when `label` is empty.

@@ -41,8 +41,8 @@ RtCrossValidation run_rt_cross_validated(const Experiment& e, const RtConfig& cf
 
   out.sim_hops_per_op = out.sim.avg_hops_per_request;
   out.rt_hops_per_op = out.rt.hops_per_op();
-  out.hops_ratio =
-      out.sim_hops_per_op > 0.0 ? out.rt_hops_per_op / out.sim_hops_per_op : 0.0;
+  out.sim_hops_zero = !(out.sim_hops_per_op > 0.0);
+  out.hops_ratio = out.sim_hops_zero ? 0.0 : out.rt_hops_per_op / out.sim_hops_per_op;
   return out;
 }
 

@@ -29,6 +29,12 @@ struct RtCrossValidation {
   double sim_hops_per_op = 0.0;
   double rt_hops_per_op = 0.0;
   double hops_ratio = 0.0;  // rt / sim (0 when sim predicts 0 hops)
+  // True iff the sim twin predicted zero hops per op (every request
+  // self-absorbed at its issuer). hops_ratio is then 0 by convention, which
+  // is indistinguishable from a genuine zero ratio — consumers comparing the
+  // tiers (bench_gate.py) must treat such a cell as not-comparable rather
+  // than as a runtime regression.
+  bool sim_hops_zero = false;
 };
 
 /// The tree the runtime should serve for `e`'s topology (materialized or

@@ -133,9 +133,11 @@ class Network {
     Time& ready = fifo_ready_[static_cast<std::size_t>(edge.id)];
     if (deliver < ready) deliver = ready;
     if constexpr (Faults::kActive) {
-      // A delivery falling inside a crash window of `to` waits the window
-      // out; the FIFO horizon moves with it so link order still holds.
-      deliver = faults_.defer(to, deliver);
+      // A delivery falling inside a crash/churn window of `to` or crossing
+      // an active partition cut waits the window out; the FIFO horizon
+      // moves with it so link order still holds and cut backlogs drain in
+      // send order at the heal instant.
+      deliver = faults_.defer_edge(from, to, deliver);
     }
     ready = deliver;
     if constexpr (Faults::kActive) {
@@ -157,7 +159,7 @@ class Network {
     Time deliver = sim_.now() + latency;
     if constexpr (Faults::kActive) {
       deliver = sim_.now() + faults_.on_direct(from, to, latency);
-      deliver = faults_.defer(to, deliver);
+      deliver = faults_.defer_edge(from, to, deliver);
     }
     ++stats_.direct_messages;
     schedule_processing(from, to, deliver, msg);

@@ -7,6 +7,7 @@
 #include <limits>
 #include <string>
 
+#include "sim/fault.hpp"
 #include "support/parse.hpp"
 
 namespace arrowdq {
@@ -56,6 +57,33 @@ TEST(Parse, SignConstrainedVariants) {
   EXPECT_FALSE(parse_positive_f64("0").has_value());
   EXPECT_FALSE(parse_positive_f64("0.0").has_value());
   EXPECT_FALSE(parse_positive_f64("-0.1").has_value());
+}
+
+TEST(Parse, FaultTokensConsumeEveryFieldFully) {
+  // parse_fault_spec holds numeric fields to a strict decimal grammar
+  // (digits, optional fraction, nothing else): strtod's partial consumption
+  // would otherwise let `0x4` read as 0, `1e1` as 1, `+2` pass a sign, or a
+  // leading dot slip through. Every fault head token has negative paths; the
+  // matching positives live in tests/fault_test.cpp.
+  for (const char* bad : {
+           // residue / strtod-isms, one per head token
+           "loss:0.5x", "dup:0x1", "jitter:1e0", "spike:0.2:+4", "crash:2:4.",
+           "partition:2:4:0x8", "churn:.5",
+           // structurally short or overlong
+           "loss", "dup:", "jitter:0.5:1:2", "spike:0.1:2:3", "crash:1:2:3:4",
+           "partition:1", "partition:1:4:8:16", "churn", "churn:5:leaf:x",
+           // out-of-range fields
+           "loss:1.01", "dup:0", "crash:1025", "partition:0:4", "partition:65:4",
+           "churn:0", "churn:101",
+           // arity on the bare heads
+           "none:x", "chaos:1"}) {
+    EXPECT_FALSE(parse_fault_spec(bad).has_value()) << "accepted '" << bad << "'";
+  }
+  // Spot-check the corresponding positives parse cleanly.
+  for (const char* ok : {"none", "loss:0.5", "dup:0.1", "jitter:0.5:1.5", "spike:0.2:4",
+                         "crash:2:4:8", "partition:2:4:8", "churn:5:leaf", "chaos"}) {
+    EXPECT_TRUE(parse_fault_spec(ok).has_value()) << "rejected '" << ok << "'";
+  }
 }
 
 }  // namespace
